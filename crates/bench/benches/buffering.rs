@@ -1,0 +1,72 @@
+//! Wall-clock companion to E8: per-block cost of the buffering layer —
+//! pool acquisition, pipeline hand-off — with no artificial device
+//! delay. This is the paper's "buffering overheads can be a significant
+//! factor" measured directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pario_buffer::{BufferPool, ReadAhead, WriteBehind};
+use pario_disk::{mem_array, DeviceRef};
+
+const BLOCK: usize = 4096;
+const BLOCKS: u64 = 256;
+
+fn dev() -> DeviceRef {
+    mem_array(1, BLOCKS, BLOCK).pop().unwrap()
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let pool = BufferPool::new(8, BLOCK);
+    c.bench_function("pool_acquire_release", |b| {
+        b.iter(|| {
+            let buf = pool.acquire();
+            std::hint::black_box(buf.len())
+        })
+    });
+}
+
+fn bench_readahead(c: &mut Criterion) {
+    let device = dev();
+    let mut g = c.benchmark_group("readahead_stream");
+    g.throughput(Throughput::Bytes(BLOCKS * BLOCK as u64));
+    g.sample_size(20);
+    for nbufs in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(nbufs), &nbufs, |b, &n| {
+            b.iter(|| {
+                let mut ra = ReadAhead::new(device.clone(), (0..BLOCKS).collect(), n);
+                let mut sum = 0u64;
+                while let Some(res) = ra.next() {
+                    let (_, buf) = res.unwrap();
+                    sum += u64::from(buf[0]);
+                    ra.recycle(buf);
+                }
+                sum
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_writebehind(c: &mut Criterion) {
+    let device = dev();
+    let mut g = c.benchmark_group("writebehind_stream");
+    g.throughput(Throughput::Bytes(BLOCKS * BLOCK as u64));
+    g.sample_size(20);
+    for nbufs in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(nbufs), &nbufs, |b, &n| {
+            b.iter(|| {
+                let wb = WriteBehind::new(device.clone(), n);
+                for blk in 0..BLOCKS {
+                    let mut buf = wb.buffer();
+                    buf[0] = blk as u8;
+                    wb.submit(blk, buf);
+                }
+                wb.finish().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool, bench_readahead, bench_writebehind);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Block-cache path costs: hit, miss, and a Zipf-skewed PDA-style
+//! workload where locality determines the hit ratio (the paper's §4
+//! "buffer caching techniques would be helpful when there is some
+//! locality of reference").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pario_buffer::{BlockCache, WritePolicy};
+use pario_disk::mem_array;
+use pario_workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BLOCK: usize = 4096;
+
+fn bench_hit_miss(c: &mut Criterion) {
+    let devs = mem_array(1, 4096, BLOCK);
+    let cache = BlockCache::new(devs, 64, WritePolicy::WriteBack);
+    cache.read(0, 0).unwrap();
+    c.bench_function("cache_hit", |b| b.iter(|| cache.read(0, 0).unwrap().len()));
+    let mut blk = 64u64;
+    c.bench_function("cache_miss_evict", |b| {
+        b.iter(|| {
+            blk = (blk + 1) % 4096;
+            cache.read(0, blk).unwrap().len()
+        })
+    });
+}
+
+fn bench_zipf_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_zipf_1000_reads");
+    for &(theta, name) in &[(0.0, "uniform"), (1.1, "skewed")] {
+        let devs = mem_array(1, 4096, BLOCK);
+        let cache = BlockCache::new(devs, 128, WritePolicy::WriteBack);
+        let zipf = Zipf::new(4096, theta);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &zipf, |b, z| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                let mut total = 0usize;
+                for _ in 0..1000 {
+                    let blk = z.sample(&mut rng) as u64;
+                    total += cache.read(0, blk).unwrap().len();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hit_miss, bench_zipf_workload);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Global-view record throughput (buffered sequential reader/writer) and
+//! the cross-organization conversion utility.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use pario_core::{convert, Organization, ParallelFile};
+use pario_fs::{GlobalReader, GlobalWriter, Volume, VolumeConfig};
+
+// 96-byte records deliberately straddle 4 KiB volume blocks, while
+// 128 records per file block (12 KiB = 3 volume blocks) keeps the
+// alignment the interleaved conversion target requires.
+const RECORD: usize = 96;
+const RPB: usize = 128;
+const RECORDS: u64 = 4096;
+
+fn vol() -> Volume {
+    Volume::create_in_memory(VolumeConfig {
+        devices: 4,
+        device_blocks: 4096,
+        block_size: 4096,
+    })
+    .unwrap()
+}
+
+fn filled(v: &Volume, name: &str) -> ParallelFile {
+    let pf = ParallelFile::create(v, name, Organization::Sequential, RECORD, RPB).unwrap();
+    let mut w = GlobalWriter::append(pf.raw().clone());
+    let rec = vec![5u8; RECORD];
+    for _ in 0..RECORDS {
+        w.write_record(&rec).unwrap();
+    }
+    w.finish().unwrap();
+    pf
+}
+
+fn bench_writer(c: &mut Criterion) {
+    let v = vol();
+    let mut g = c.benchmark_group("global_view");
+    g.throughput(Throughput::Bytes(RECORDS * RECORD as u64));
+    g.sample_size(20);
+    let rec = vec![5u8; RECORD];
+    let pf = ParallelFile::create(&v, "w", Organization::Sequential, RECORD, RPB).unwrap();
+    g.bench_function("write_records", |b| {
+        b.iter(|| {
+            let mut w = GlobalWriter::truncate(pf.raw().clone()).unwrap();
+            for _ in 0..RECORDS {
+                w.write_record(&rec).unwrap();
+            }
+            w.finish().unwrap()
+        })
+    });
+    let pf = filled(&v, "r");
+    g.bench_function("read_records", |b| {
+        b.iter(|| {
+            let mut r = GlobalReader::new(pf.raw().clone());
+            let mut rec = vec![0u8; RECORD];
+            let mut n = 0u64;
+            while r.read_record(&mut rec).unwrap() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_convert(c: &mut Criterion) {
+    let v = vol();
+    let src = filled(&v, "src");
+    let mut g = c.benchmark_group("convert");
+    g.throughput(Throughput::Bytes(RECORDS * RECORD as u64));
+    g.sample_size(10);
+    let mut i = 0u32;
+    g.bench_function("seq_to_is", |b| {
+        b.iter(|| {
+            i += 1;
+            let name = format!("dst{i}");
+            let dst = convert(
+                &v,
+                &src,
+                &name,
+                Organization::InterleavedSeq { processes: 4 },
+            )
+            .unwrap();
+            let n = dst.len_records();
+            v.remove(&name).unwrap();
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_writer, bench_convert);
+criterion_main!(benches);

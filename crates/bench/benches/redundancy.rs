@@ -1,0 +1,104 @@
+//! Ablation: what redundancy costs on the write path, and what RAID-5
+//! rotation buys over RAID-4's dedicated parity device (Kim's
+//! synchronized interleaving, cited in the paper's §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pario_fs::{FileSpec, Volume, VolumeConfig};
+use pario_layout::LayoutSpec;
+
+const BS: usize = 4096;
+const RECORDS: u64 = 256;
+
+fn volume() -> Volume {
+    Volume::create_in_memory(VolumeConfig {
+        devices: 8,
+        device_blocks: 2048,
+        block_size: BS,
+    })
+    .unwrap()
+}
+
+fn layouts() -> Vec<(&'static str, LayoutSpec)> {
+    vec![
+        (
+            "none(striped4)",
+            LayoutSpec::Striped {
+                devices: 4,
+                unit: 1,
+            },
+        ),
+        (
+            "parity_raid4",
+            LayoutSpec::Parity {
+                data_devices: 3,
+                rotated: false,
+            },
+        ),
+        (
+            "parity_raid5",
+            LayoutSpec::Parity {
+                data_devices: 3,
+                rotated: true,
+            },
+        ),
+        (
+            "shadow(2+2)",
+            LayoutSpec::Shadowed(Box::new(LayoutSpec::Striped {
+                devices: 2,
+                unit: 1,
+            })),
+        ),
+    ]
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redundant_write");
+    g.throughput(Throughput::Bytes(RECORDS * BS as u64));
+    g.sample_size(15);
+    for (name, layout) in layouts() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &layout, |b, layout| {
+            let v = volume();
+            let f = v
+                .create_file(FileSpec::new("f", BS, 1, layout.clone()))
+                .unwrap();
+            let rec = vec![0xA5u8; BS];
+            b.iter(|| {
+                for r in 0..RECORDS {
+                    f.write_record(r, &rec).unwrap();
+                }
+                RECORDS
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_degraded_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("degraded_read");
+    g.throughput(Throughput::Bytes(RECORDS * BS as u64));
+    g.sample_size(15);
+    for (name, layout) in layouts().into_iter().skip(1) {
+        let v = volume();
+        let f = v
+            .create_file(FileSpec::new("f", BS, 1, layout))
+            .unwrap();
+        for r in 0..RECORDS {
+            f.write_record(r, &vec![r as u8; BS]).unwrap();
+        }
+        v.device(1).fail();
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut buf = vec![0u8; BS];
+            b.iter(|| {
+                for r in 0..RECORDS {
+                    f.read_record(r, &mut buf).unwrap();
+                }
+                RECORDS
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_write_path, bench_degraded_read);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Wall-clock companion to E2: `StripedReader`/`StripedWriter`
+//! throughput as the device count grows (in-memory devices, so this
+//! measures the software path: buffering, merging, framing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pario_core::{Organization, ParallelFile, StripedReader, StripedWriter};
+use pario_fs::{Volume, VolumeConfig};
+
+const RECORD: usize = 4096;
+const RECORDS: u64 = 512; // 2 MiB per pass
+
+fn make_file(devices: usize) -> ParallelFile {
+    let v = Volume::create_in_memory(VolumeConfig {
+        devices,
+        device_blocks: 2048,
+        block_size: RECORD,
+    })
+    .unwrap();
+    let pf = ParallelFile::create(&v, "s", Organization::Sequential, RECORD, 1).unwrap();
+    let mut w = StripedWriter::create(pf.raw(), RECORDS, 2).unwrap();
+    let rec = vec![7u8; RECORD];
+    for _ in 0..RECORDS {
+        w.write_record(&rec).unwrap();
+    }
+    w.finish().unwrap();
+    pf
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("striped_read");
+    g.throughput(Throughput::Bytes(RECORDS * RECORD as u64));
+    g.sample_size(20);
+    for devices in [1usize, 2, 4, 8] {
+        let pf = make_file(devices);
+        g.bench_with_input(BenchmarkId::from_parameter(devices), &pf, |b, pf| {
+            b.iter(|| {
+                let r = StripedReader::new(pf.raw(), 2).unwrap();
+                let mut sum = 0u64;
+                r.read_records(|_, bytes| sum += u64::from(bytes[0])).unwrap();
+                sum
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("striped_write");
+    g.throughput(Throughput::Bytes(RECORDS * RECORD as u64));
+    g.sample_size(20);
+    for devices in [1usize, 4] {
+        let v = Volume::create_in_memory(VolumeConfig {
+            devices,
+            device_blocks: 2048,
+            block_size: RECORD,
+        })
+        .unwrap();
+        let pf =
+            ParallelFile::create(&v, "s", Organization::Sequential, RECORD, 1).unwrap();
+        let rec = vec![3u8; RECORD];
+        g.bench_with_input(BenchmarkId::from_parameter(devices), &pf, |b, pf| {
+            b.iter(|| {
+                let mut w = StripedWriter::create(pf.raw(), RECORDS, 2).unwrap();
+                for _ in 0..RECORDS {
+                    w.write_record(&rec).unwrap();
+                }
+                w.finish().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_read, bench_write);
+criterion_main!(benches);

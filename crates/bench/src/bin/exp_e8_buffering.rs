@@ -1,0 +1,130 @@
+//! E8 — §4: "Initial experiments using the S and SS organizations have
+//! shown that buffering overheads can be a significant factor in
+//! limiting speedups. The sequential organizations can mitigate this
+//! effect through the use of multiple buffering and dedicated I/O
+//! processors. Since the order of accesses is predictable, reading ahead
+//! and deferred writing can be used to overlap I/O operations with
+//! computation."
+//!
+//! Real threads: a consumer computes over blocks prefetched by a
+//! dedicated I/O thread ([`ReadAhead`]) from a device with a calibrated
+//! service time. The buffer count sweeps 1 (synchronous) to 8; the
+//! compute:I/O ratio sweeps around the balanced point where overlap pays
+//! the most. A write-behind mirror runs the deferred-write side.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pario_bench::banner;
+use pario_bench::table::{save_json, secs, Table};
+use pario_buffer::{ReadAhead, WriteBehind};
+use pario_disk::{DeviceRef, MemDisk};
+
+const BLOCK: usize = 4096;
+const BLOCKS: u64 = 24;
+const IO_MS: u64 = 2;
+
+fn spin(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+fn device() -> DeviceRef {
+    Arc::new(MemDisk::new(BLOCKS, BLOCK).with_delay(Duration::from_millis(IO_MS)))
+}
+
+fn read_side(nbufs: usize, compute: Duration) -> Duration {
+    let dev = device();
+    let mut ra = ReadAhead::new(dev, (0..BLOCKS).collect(), nbufs);
+    let t0 = Instant::now();
+    while let Some(res) = ra.next() {
+        let (_, buf) = res.expect("read");
+        spin(compute);
+        ra.recycle(buf);
+    }
+    t0.elapsed()
+}
+
+fn write_side(nbufs: usize, compute: Duration) -> Duration {
+    let dev = device();
+    let wb = WriteBehind::new(dev, nbufs);
+    let t0 = Instant::now();
+    for b in 0..BLOCKS {
+        let mut buf = wb.buffer();
+        spin(compute); // produce the block
+        buf.fill(b as u8);
+        wb.submit(b, buf);
+    }
+    wb.finish().expect("flush");
+    t0.elapsed()
+}
+
+fn main() {
+    banner(
+        "E8 (multiple buffering and I/O overlap)",
+        "single buffering serialises I/O and computation; double/multiple \
+         buffering on a dedicated I/O thread overlaps them, up to 2x at a \
+         balanced compute:I/O ratio",
+    );
+    println!(
+        "{BLOCKS} blocks of {BLOCK} B, device service {IO_MS} ms per \
+         block (slept, as a real device would); compute is spun\n"
+    );
+
+    println!("Read-ahead:");
+    let mut t = Table::new(&[
+        "compute:I/O",
+        "1 buffer",
+        "2 buffers",
+        "4 buffers",
+        "8 buffers",
+        "best speedup",
+    ]);
+    for &(num, den, label) in
+        &[(1u64, 2u64, "0.5"), (1, 1, "1.0"), (2, 1, "2.0")]
+    {
+        let compute = Duration::from_millis(IO_MS * num / den);
+        let times: Vec<Duration> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&n| read_side(n, compute))
+            .collect();
+        let best = times[1..]
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(f64::MAX, f64::min);
+        t.row(&[
+            label.to_string(),
+            secs(times[0].as_secs_f64()),
+            secs(times[1].as_secs_f64()),
+            secs(times[2].as_secs_f64()),
+            secs(times[3].as_secs_f64()),
+            format!("{:.2}x", times[0].as_secs_f64() / best),
+        ]);
+    }
+    t.print();
+    save_json("e8_readahead", &t);
+
+    println!("\nWrite-behind (deferred writing), compute:I/O = 1.0:");
+    let mut t = Table::new(&["buffers", "wall time", "speedup vs 1"]);
+    let compute = Duration::from_millis(IO_MS);
+    let base = write_side(1, compute);
+    for &n in &[1usize, 2, 4] {
+        let d = write_side(n, compute);
+        t.row(&[
+            n.to_string(),
+            secs(d.as_secs_f64()),
+            format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
+        ]);
+    }
+    t.print();
+    save_json("e8_writebehind", &t);
+    println!(
+        "\nShape: at compute:I/O = 1 double buffering approaches the ideal \
+         2x (overlap hides whichever side is shorter); away from the \
+         balanced point the bound is (compute+io)/max(compute,io). Extra \
+         buffers beyond two add little for steady rates — they absorb \
+         burstiness, not throughput."
+    );
+}

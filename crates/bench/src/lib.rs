@@ -1,0 +1,23 @@
+//! # pario-bench — the experiment harness
+//!
+//! One binary per experiment in DESIGN.md §5 (`exp_e1_figure1` …
+//! `exp_e12_is_blocksize`), each regenerating a figure or quantitative
+//! claim of Crockett (1989), plus Criterion microbenches. This library
+//! holds the shared pieces: markdown table rendering, result persistence,
+//! and builders for simulated device banks and scripted access patterns.
+
+#![warn(missing_docs)]
+
+pub mod gantt;
+pub mod simx;
+pub mod table;
+
+/// The volume/device block size used by every experiment (4 KiB — eight
+/// 512-byte sectors on the modelled drives).
+pub const BS: usize = 4096;
+
+/// Print the standard experiment header.
+pub fn banner(id: &str, claim: &str) {
+    println!("\n=== {id} ===");
+    println!("Paper claim: {claim}\n");
+}

@@ -1,0 +1,121 @@
+//! Builders connecting layouts and traces to the discrete-event world.
+
+use pario_disk::{DiskGeometry, ModeledDisk, SchedPolicy};
+use pario_layout::{runs, Layout};
+use pario_sim::{DiskReq, Op, Simulation};
+
+use crate::BS;
+
+/// Add `n` period-correct Winchester drives to `sim`; returns their ids.
+pub fn wren_bank(sim: &mut Simulation, n: usize, policy: SchedPolicy) -> Vec<usize> {
+    (0..n)
+        .map(|_| {
+            sim.add_device(Box::new(ModeledDisk::new(
+                DiskGeometry::wren_1989(),
+                policy,
+                BS,
+            )))
+        })
+        .collect()
+}
+
+/// Capacity in `BS` blocks of one modelled drive.
+pub fn wren_capacity_blocks() -> u64 {
+    ModeledDisk::new(DiskGeometry::wren_1989(), SchedPolicy::Fifo, BS).capacity_blocks()
+}
+
+/// Translate logical blocks `[lo, hi)` of a file placed by `layout`
+/// (device-local block = physical block; one file per bank) into
+/// coalesced read requests, splitting runs at `max_run` blocks — the
+/// request size a real controller would cap at.
+pub fn read_reqs(layout: &dyn Layout, lo: u64, hi: u64, max_run: u64) -> Vec<DiskReq> {
+    assert!(max_run >= 1);
+    let mut out = Vec::new();
+    for run in runs(layout, lo, hi - lo) {
+        let mut start = run.dblock;
+        let mut left = run.count;
+        while left > 0 {
+            let take = left.min(max_run);
+            out.push(DiskReq::read(run.device, start, take as u32));
+            start += take;
+            left -= take;
+        }
+    }
+    out
+}
+
+/// A strictly synchronous request-at-a-time script (single buffering):
+/// each request waits for the previous one.
+pub fn sync_script(reqs: Vec<DiskReq>) -> Vec<Op> {
+    reqs.into_iter().map(|r| Op::Io(vec![r])).collect()
+}
+
+/// A windowed script modelling `window`-deep read-ahead: `window`
+/// requests are kept in flight (batched: issue a window asynchronously,
+/// wait, repeat).
+pub fn windowed_script(reqs: Vec<DiskReq>, window: usize) -> Vec<Op> {
+    assert!(window >= 1);
+    let mut ops = Vec::new();
+    for chunk in reqs.chunks(window) {
+        ops.push(Op::IoAsync(chunk.to_vec()));
+        ops.push(Op::WaitAll);
+    }
+    ops
+}
+
+/// Interleave compute between blocking requests (per-request think time).
+pub fn compute_io_script(reqs: Vec<DiskReq>, compute: pario_sim::SimTime) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for r in reqs {
+        ops.push(Op::Io(vec![r]));
+        if !compute.is_zero() {
+            ops.push(Op::Compute(compute));
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pario_layout::Striped;
+    use pario_sim::SimTime;
+
+    #[test]
+    fn read_reqs_coalesce_and_cap() {
+        let l = Striped::new(2, 4);
+        // Blocks 0..8: unit 0 (4 blocks dev0), unit 1 (4 blocks dev1).
+        let reqs = read_reqs(&l, 0, 8, 64);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].nblocks, 4);
+        // Capped at 2-block requests: each unit splits in two.
+        let reqs = read_reqs(&l, 0, 8, 2);
+        assert_eq!(reqs.len(), 4);
+        assert!(reqs.iter().all(|r| r.nblocks == 2));
+    }
+
+    #[test]
+    fn scripts_have_expected_shape() {
+        let l = Striped::new(2, 1);
+        let reqs = read_reqs(&l, 0, 6, 64);
+        assert_eq!(sync_script(reqs.clone()).len(), 6);
+        let w = windowed_script(reqs.clone(), 4);
+        // 6 reqs in windows of 4: 2 batches of (async + wait).
+        assert_eq!(w.len(), 4);
+        let c = compute_io_script(reqs, SimTime::from_us(5));
+        assert_eq!(c.len(), 12);
+    }
+
+    #[test]
+    fn bank_runs_a_script() {
+        let mut sim = Simulation::new();
+        let ids = wren_bank(&mut sim, 2, SchedPolicy::Fifo);
+        assert_eq!(ids, vec![0, 1]);
+        let l = Striped::new(2, 1);
+        sim.add_proc(sync_script(read_reqs(&l, 0, 16, 64)));
+        let r = sim.run();
+        assert!(r.makespan > SimTime::ZERO);
+        assert_eq!(r.total_blocks(), 16);
+        assert!(wren_capacity_blocks() > 10_000);
+    }
+}

@@ -1,0 +1,43 @@
+//! # pario-buffer — buffering for parallel files
+//!
+//! "Just as important as the layout of data on disks is the development of
+//! appropriate buffering techniques and I/O software" (Crockett 1989, §4).
+//! This crate is that software layer:
+//!
+//! * [`BufferPool`] — a fixed pool of reusable block buffers with RAII
+//!   guards and back-pressure.
+//! * [`BlockCache`] — an LRU `(device, block)` cache with write-through and
+//!   write-back policies, for direct-access organizations with locality
+//!   (the paper's PDA case).
+//! * [`ReadAhead`] / [`WriteBehind`] — multiple-buffering pipelines on
+//!   dedicated I/O threads that overlap predictable sequential I/O with
+//!   computation; the buffer count is the single/double/multi-buffering
+//!   knob experiment E8 sweeps.
+//!
+//! ```
+//! use pario_buffer::ReadAhead;
+//! use pario_disk::{mem_array, BlockDevice};
+//!
+//! let dev = mem_array(1, 16, 512).pop().unwrap();
+//! dev.write_block(3, &[9u8; 512]).unwrap();
+//! // Prefetch blocks 0..8 with double buffering.
+//! let mut ra = ReadAhead::new(dev, (0..8).collect(), 2);
+//! let mut sum = 0u32;
+//! while let Some(res) = ra.next() {
+//!     let (block, buf) = res.unwrap();
+//!     sum += u32::from(buf[0]);
+//!     assert!(block < 8);
+//!     ra.recycle(buf);
+//! }
+//! assert_eq!(sum, 9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod pipeline;
+mod pool;
+
+pub use cache::{BlockCache, CacheStats, WritePolicy};
+pub use pipeline::{ReadAhead, WriteBehind};
+pub use pool::{BufferPool, PoolBuf};

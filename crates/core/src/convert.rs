@@ -1,0 +1,183 @@
+//! Format conversion between organizations.
+//!
+//! The paper's third answer to view mismatch (§5): "supply conversion
+//! utilities to copy from one format to the other, but this could be
+//! expensive for large files." Both a sequential converter (through the
+//! global views) and a parallel one (each thread copies a record range)
+//! are provided, so experiment E9 can price the copy against the degraded
+//! adapter view.
+
+use pario_fs::{copy_global, Volume};
+
+use crate::error::Result;
+use crate::organization::Organization;
+use crate::pfile::{uniform_bounds, ParallelFile};
+
+/// Copy `src` into a brand-new file `dst_name` organized as `dst_org`,
+/// sequentially through the global views. Returns the new file.
+pub fn convert(
+    vol: &Volume,
+    src: &ParallelFile,
+    dst_name: &str,
+    dst_org: Organization,
+) -> Result<ParallelFile> {
+    let dst = ParallelFile::create_sized(
+        vol,
+        dst_name,
+        dst_org,
+        src.record_size(),
+        src.records_per_block(),
+        src.len_records(),
+    )?;
+    copy_global(src.raw(), dst.raw())?;
+    Ok(dst)
+}
+
+/// Parallel conversion: `threads` workers each copy a contiguous record
+/// range. Faster than [`convert`] when source and destination placements
+/// give the workers independent devices.
+pub fn convert_parallel(
+    vol: &Volume,
+    src: &ParallelFile,
+    dst_name: &str,
+    dst_org: Organization,
+    threads: u32,
+) -> Result<ParallelFile> {
+    assert!(threads >= 1);
+    let total = src.len_records();
+    let dst = ParallelFile::create_sized(
+        vol,
+        dst_name,
+        dst_org,
+        src.record_size(),
+        src.records_per_block(),
+        total,
+    )?;
+    let bounds = uniform_bounds(total, threads);
+    let errs: Vec<crate::error::CoreError> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads as usize {
+            let (lo, hi) = (bounds[t], bounds[t + 1]);
+            let src = src.raw().clone();
+            let dst = dst.raw().clone();
+            handles.push(s.spawn(move |_| -> Result<()> {
+                let mut buf = vec![0u8; src.record_size()];
+                for r in lo..hi {
+                    src.read_record(r, &mut buf)?;
+                    dst.write_record(r, &buf)?;
+                }
+                Ok(())
+            }));
+        }
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("worker panicked").err())
+            .collect()
+    })
+    .expect("scope");
+    if let Some(e) = errs.into_iter().next() {
+        return Err(e);
+    }
+    dst.raw().extend_len_records(total);
+    Ok(dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pario_fs::{Volume, VolumeConfig};
+
+    fn vol() -> Volume {
+        Volume::create_in_memory(VolumeConfig {
+            devices: 4,
+            device_blocks: 1024,
+            block_size: 256,
+        })
+        .unwrap()
+    }
+
+    fn rec(tag: u64) -> Vec<u8> {
+        (0..64).map(|i| (tag as usize * 23 + i) as u8).collect()
+    }
+
+    fn ps_source(v: &Volume, n: u64) -> ParallelFile {
+        let org = Organization::PartitionedSeq { partitions: 4 };
+        let pf = ParallelFile::create_sized(v, "src", org, 64, 4, n).unwrap();
+        for p in 0..4 {
+            let mut h = pf.partition_handle(p).unwrap();
+            let (lo, hi) = h.range();
+            for g in lo..hi {
+                h.write_next(&rec(g)).unwrap();
+            }
+        }
+        pf
+    }
+
+    fn check(pf: &ParallelFile, n: u64) {
+        let mut r = pf.global_reader();
+        let mut buf = vec![0u8; 64];
+        let mut i = 0u64;
+        while r.read_record(&mut buf).unwrap() {
+            assert_eq!(buf, rec(i), "record {i}");
+            i += 1;
+        }
+        assert_eq!(i, n);
+    }
+
+    #[test]
+    fn sequential_conversion_ps_to_is() {
+        let v = vol();
+        let src = ps_source(&v, 128);
+        let dst = convert(
+            &v,
+            &src,
+            "dst",
+            Organization::InterleavedSeq { processes: 4 },
+        )
+        .unwrap();
+        assert_eq!(
+            dst.organization(),
+            Organization::InterleavedSeq { processes: 4 }
+        );
+        check(&dst, 128);
+        // Source untouched.
+        check(&src, 128);
+    }
+
+    #[test]
+    fn parallel_conversion_matches() {
+        let v = vol();
+        let src = ps_source(&v, 128);
+        let dst = convert_parallel(
+            &v,
+            &src,
+            "dst",
+            Organization::PartitionedSeq { partitions: 4 },
+            4,
+        )
+        .unwrap();
+        check(&dst, 128);
+        assert_eq!(dst.len_records(), 128);
+    }
+
+    #[test]
+    fn conversion_to_every_organization() {
+        let v = vol();
+        let src = ps_source(&v, 64);
+        for (i, org) in [
+            Organization::Sequential,
+            Organization::SelfScheduledSeq,
+            Organization::GlobalDirect,
+            Organization::InterleavedSeq { processes: 2 },
+            Organization::PartitionedSeq { partitions: 2 },
+            Organization::PartitionedDirect { partitions: 2 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let name = format!("dst{i}");
+            let dst = convert(&v, &src, &name, org).unwrap();
+            check(&dst, 64);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for parallel-file operations.
+
+use std::fmt;
+
+use pario_fs::FsError;
+
+use crate::organization::Organization;
+
+/// Errors from the parallel file layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying file-system error.
+    Fs(FsError),
+    /// A handle was requested that does not match the file's organization
+    /// (use the `views` module to force a mismatched view deliberately).
+    WrongOrganization {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What the file actually is.
+        actual: Organization,
+    },
+    /// A process index was out of range for the organization.
+    BadProcess {
+        /// The offending index.
+        process: u32,
+        /// Processes the organization was created for.
+        of: u32,
+    },
+    /// The file's stored organization tag is unparseable.
+    BadTag(String),
+    /// Sizing or geometry error at creation.
+    BadGeometry(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Fs(e) => write!(f, "{e}"),
+            CoreError::WrongOrganization { expected, actual } => {
+                write!(f, "operation needs a {expected} file, this one is {actual}")
+            }
+            CoreError::BadProcess { process, of } => {
+                write!(f, "process {process} out of range (organization has {of})")
+            }
+            CoreError::BadTag(tag) => write!(f, "unparseable organization tag '{tag}'"),
+            CoreError::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<FsError> for CoreError {
+    fn from(e: FsError) -> CoreError {
+        CoreError::Fs(e)
+    }
+}
+
+impl From<pario_disk::DiskError> for CoreError {
+    fn from(e: pario_disk::DiskError) -> CoreError {
+        CoreError::Fs(FsError::Disk(e))
+    }
+}
+
+/// Result alias for parallel-file operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CoreError::WrongOrganization {
+            expected: "SS",
+            actual: Organization::Sequential,
+        };
+        assert!(e.to_string().contains("SS"));
+        assert!(e.to_string().contains('S'));
+        let e: CoreError = FsError::NotFound("f".into()).into();
+        assert!(e.to_string().contains("'f'"));
+    }
+}

@@ -1,0 +1,116 @@
+//! The [`BlockDevice`] abstraction.
+//!
+//! Everything above this layer (caches, file systems, parallel file
+//! handles) speaks to storage through this trait, so in-memory devices,
+//! file-backed devices, and redundancy wrappers (shadow pairs, parity
+//! groups) compose freely.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+
+/// Cumulative traffic counters for one device.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Read requests completed.
+    pub reads: u64,
+    /// Write requests completed.
+    pub writes: u64,
+}
+
+impl IoCounters {
+    /// Total requests.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A random-access block storage device.
+///
+/// All methods take `&self`: devices are internally synchronised and shared
+/// across threads behind `Arc`. Transfers are whole blocks — exactly the
+/// discipline real device drivers impose — and partial-block framing is the
+/// job of the buffering layer above.
+pub trait BlockDevice: Send + Sync {
+    /// Block size in bytes. Constant for the device's lifetime.
+    fn block_size(&self) -> usize;
+
+    /// Capacity in blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Read one block into `buf` (`buf.len()` must equal `block_size`).
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Write one block from `data` (`data.len()` must equal `block_size`).
+    fn write_block(&self, block: u64, data: &[u8]) -> Result<()>;
+
+    /// Durably flush any device write-behind (no-op for RAM devices).
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Traffic counters since creation.
+    fn counters(&self) -> IoCounters;
+
+    /// Inject a fail-stop failure: every subsequent operation returns
+    /// [`DeviceFailed`](crate::DiskError::DeviceFailed) until [`heal`].
+    ///
+    /// [`heal`]: BlockDevice::heal
+    fn fail(&self);
+
+    /// Clear an injected failure. Device contents are whatever they were —
+    /// recovery (rebuild from parity or a shadow) is a higher layer's job.
+    fn heal(&self);
+
+    /// Whether the device is currently failed.
+    fn is_failed(&self) -> bool;
+
+    /// A short human-readable identity for error messages.
+    fn label(&self) -> String {
+        "device".to_string()
+    }
+}
+
+/// A shared handle to any block device.
+pub type DeviceRef = Arc<dyn BlockDevice>;
+
+/// Read `nblocks` consecutive blocks starting at `block` into `buf`.
+///
+/// A convenience used by rebuild and verification paths; performance-
+/// critical paths issue their own per-block requests so they can interleave.
+pub fn read_blocks(dev: &dyn BlockDevice, block: u64, buf: &mut [u8]) -> Result<()> {
+    let bs = dev.block_size();
+    assert_eq!(buf.len() % bs, 0, "buffer must be a whole number of blocks");
+    for (i, chunk) in buf.chunks_mut(bs).enumerate() {
+        dev.read_block(block + i as u64, chunk)?;
+    }
+    Ok(())
+}
+
+/// Write `buf` (a whole number of blocks) at `block`.
+pub fn write_blocks(dev: &dyn BlockDevice, block: u64, buf: &[u8]) -> Result<()> {
+    let bs = dev.block_size();
+    assert_eq!(buf.len() % bs, 0, "buffer must be a whole number of blocks");
+    for (i, chunk) in buf.chunks(bs).enumerate() {
+        dev.write_block(block + i as u64, chunk)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDisk;
+
+    #[test]
+    fn multi_block_helpers_round_trip() {
+        let d = MemDisk::new(16, 64);
+        let data: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        write_blocks(&d, 3, &data).unwrap();
+        let mut back = vec![0u8; 128];
+        read_blocks(&d, 3, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(d.counters(), IoCounters { reads: 2, writes: 2 });
+        assert_eq!(d.counters().total(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by all storage devices.
+
+use std::fmt;
+
+/// Errors surfaced by block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// The device has suffered a (possibly injected) fail-stop failure.
+    DeviceFailed {
+        /// Human-readable device identity.
+        device: String,
+    },
+    /// A request addressed blocks beyond the end of the device.
+    OutOfRange {
+        /// Requested block.
+        block: u64,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// A buffer did not match the device block size.
+    BadBufferSize {
+        /// Buffer length supplied.
+        got: usize,
+        /// Device block size expected.
+        expected: usize,
+    },
+    /// Stored data failed verification (bit rot / injected corruption).
+    Corruption {
+        /// Device-local block address.
+        block: u64,
+    },
+    /// An underlying OS I/O error (file-backed devices).
+    Io(String),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::DeviceFailed { device } => write!(f, "device {device} has failed"),
+            DiskError::OutOfRange { block, capacity } => {
+                write!(f, "block {block} out of range (capacity {capacity})")
+            }
+            DiskError::BadBufferSize { got, expected } => {
+                write!(f, "buffer of {got} bytes, device block size is {expected}")
+            }
+            DiskError::Corruption { block } => write!(f, "data corruption at block {block}"),
+            DiskError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> DiskError {
+        DiskError::Io(e.to_string())
+    }
+}
+
+/// Convenient result alias for device operations.
+pub type Result<T> = std::result::Result<T, DiskError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DiskError::DeviceFailed {
+            device: "mem3".into()
+        }
+        .to_string()
+        .contains("mem3"));
+        assert!(DiskError::OutOfRange {
+            block: 9,
+            capacity: 4
+        }
+        .to_string()
+        .contains("9"));
+        let io: DiskError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,216 @@
+//! File-backed block device.
+//!
+//! `FileDisk` stores blocks in a regular file using positioned reads and
+//! writes, giving persistence across process restarts (exercised by the
+//! volume-persistence integration tests) and a second, OS-backed
+//! implementation of [`BlockDevice`] to keep the trait honest.
+
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::device::{BlockDevice, IoCounters};
+use crate::error::{DiskError, Result};
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// A block device stored in a file on the host file system.
+pub struct FileDisk {
+    file: File,
+    block_size: usize,
+    num_blocks: u64,
+    failed: AtomicBool,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    name: String,
+}
+
+impl FileDisk {
+    /// Create (or truncate) a device file of `num_blocks * block_size`
+    /// bytes at `path`.
+    pub fn create(path: &Path, num_blocks: u64, block_size: usize) -> Result<FileDisk> {
+        assert!(block_size > 0);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(num_blocks * block_size as u64)?;
+        Ok(FileDisk {
+            file,
+            block_size,
+            num_blocks,
+            failed: AtomicBool::new(false),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            name: path.display().to_string(),
+        })
+    }
+
+    /// Open an existing device file created by [`FileDisk::create`].
+    ///
+    /// The file length must be a whole number of blocks.
+    pub fn open(path: &Path, block_size: usize) -> Result<FileDisk> {
+        assert!(block_size > 0);
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % block_size as u64 != 0 {
+            return Err(DiskError::Io(format!(
+                "file length {len} is not a multiple of block size {block_size}"
+            )));
+        }
+        Ok(FileDisk {
+            file,
+            block_size,
+            num_blocks: len / block_size as u64,
+            failed: AtomicBool::new(false),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            name: path.display().to_string(),
+        })
+    }
+
+    fn check(&self, block: u64, len: usize) -> Result<()> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(DiskError::DeviceFailed {
+                device: self.name.clone(),
+            });
+        }
+        if block >= self.num_blocks {
+            return Err(DiskError::OutOfRange {
+                block,
+                capacity: self.num_blocks,
+            });
+        }
+        if len != self.block_size {
+            return Err(DiskError::BadBufferSize {
+                got: len,
+                expected: self.block_size,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl BlockDevice for FileDisk {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        self.check(block, buf.len())?;
+        self.file
+            .read_exact_at(buf, block * self.block_size as u64)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_block(&self, block: u64, data: &[u8]) -> Result<()> {
+        self.check(block, data.len())?;
+        self.file
+            .write_all_at(data, block * self.block_size as u64)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn counters(&self) -> IoCounters {
+        IoCounters {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
+    fn heal(&self) {
+        self.failed.store(false, Ordering::Release);
+    }
+
+    fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pario-filedisk-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn create_write_reopen_read() {
+        let path = tmp("roundtrip");
+        {
+            let d = FileDisk::create(&path, 8, 64).unwrap();
+            d.write_block(3, &[7u8; 64]).unwrap();
+            d.flush().unwrap();
+        }
+        {
+            let d = FileDisk::open(&path, 64).unwrap();
+            assert_eq!(d.num_blocks(), 8);
+            let mut buf = vec![0u8; 64];
+            d.read_block(3, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 7));
+            // Untouched block is zero (sparse file semantics).
+            d.read_block(0, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 0));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_ragged_length() {
+        let path = tmp("ragged");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(matches!(FileDisk::open(&path, 64), Err(DiskError::Io(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fail_stop_applies() {
+        let path = tmp("failstop");
+        let d = FileDisk::create(&path, 2, 32).unwrap();
+        d.fail();
+        let mut buf = vec![0u8; 32];
+        assert!(matches!(
+            d.read_block(0, &mut buf),
+            Err(DiskError::DeviceFailed { .. })
+        ));
+        d.heal();
+        assert!(d.read_block(0, &mut buf).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let path = tmp("oob");
+        let d = FileDisk::create(&path, 2, 32).unwrap();
+        let mut buf = vec![0u8; 32];
+        assert!(matches!(
+            d.read_block(2, &mut buf),
+            Err(DiskError::OutOfRange { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,870 @@
+//! `RawFile`: block- and record-level access to one file.
+//!
+//! This is the layer every internal view is built on. It owns three jobs:
+//!
+//! 1. **Address translation** — logical block → layout → device slot →
+//!    extent → absolute device block.
+//! 2. **Redundancy maintenance** — parity read-modify-write cycles and
+//!    degraded reconstruction for parity layouts; dual writes and failover
+//!    reads for shadowed layouts.
+//! 3. **Byte/record framing** — records are fixed-size spans of the
+//!    logical byte stream and may straddle volume blocks; `read_span` /
+//!    `write_span` handle the block arithmetic once, for everyone above.
+
+use std::sync::Arc;
+
+use pario_disk::{DeviceRef, DiskError};
+use pario_layout::{Layout, LayoutSpec, ParityPlacement, ParityStriped, PhysBlock};
+
+use crate::alloc::resolve;
+use crate::error::{FsError, Result};
+use crate::meta::FileMeta;
+use crate::volume::{FileState, Volume};
+
+/// How the file's layout protects (or doesn't) against device failure.
+#[derive(Clone, Debug)]
+enum Redundancy {
+    /// No redundancy: a failed device loses its blocks.
+    None,
+    /// One parity block per stripe; any single failed device is
+    /// reconstructible.
+    Parity(ParityStriped),
+    /// Every primary device has a shadow at `device + primaries`.
+    Shadow {
+        /// Number of primary devices.
+        primaries: usize,
+    },
+}
+
+/// An open file: cheap to clone and share across threads.
+#[derive(Clone)]
+pub struct RawFile {
+    vol: Volume,
+    state: Arc<FileState>,
+    layout: Arc<dyn Layout>,
+    redundancy: Redundancy,
+    record_size: usize,
+    records_per_block: usize,
+    name: String,
+    id: u64,
+}
+
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+impl RawFile {
+    pub(crate) fn from_state(vol: Volume, state: Arc<FileState>) -> Result<RawFile> {
+        let (layout_spec, record_size, records_per_block, name, id) = {
+            let meta = state.meta.read();
+            (
+                meta.layout.clone(),
+                meta.record_size,
+                meta.records_per_block,
+                meta.name.clone(),
+                meta.id,
+            )
+        };
+        let layout: Arc<dyn Layout> = Arc::from(layout_spec.build());
+        let redundancy = match &layout_spec {
+            LayoutSpec::Parity {
+                data_devices,
+                rotated,
+            } => Redundancy::Parity(ParityStriped::new(
+                *data_devices,
+                if *rotated {
+                    ParityPlacement::Rotated
+                } else {
+                    ParityPlacement::Dedicated
+                },
+            )),
+            LayoutSpec::Shadowed(inner) => Redundancy::Shadow {
+                primaries: inner.devices_required(),
+            },
+            _ => Redundancy::None,
+        };
+        Ok(RawFile {
+            vol,
+            state,
+            layout,
+            redundancy,
+            record_size,
+            records_per_block,
+            name,
+            id,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// File name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unique id within the volume.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The organization tag recorded at creation.
+    pub fn org(&self) -> String {
+        self.state.meta.read().org.clone()
+    }
+
+    /// Record size in bytes.
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// Records per logical file block (the paper's block grain).
+    pub fn records_per_block(&self) -> usize {
+        self.records_per_block
+    }
+
+    /// Bytes per logical file block.
+    pub fn file_block_bytes(&self) -> usize {
+        self.record_size * self.records_per_block
+    }
+
+    /// Volume block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.vol.block_size()
+    }
+
+    /// Current length in records.
+    pub fn len_records(&self) -> u64 {
+        self.state.meta.read().len_records
+    }
+
+    /// Allocated logical blocks.
+    pub fn nblocks(&self) -> u64 {
+        self.state.meta.read().nblocks
+    }
+
+    /// Records the file can hold without (or within fixed) growth.
+    pub fn capacity_records(&self) -> u64 {
+        let meta = self.state.meta.read();
+        let by_alloc = meta.nblocks * self.block_size() as u64 / self.record_size as u64;
+        match meta.fixed_capacity_records {
+            Some(cap) => cap.min(by_alloc.max(cap)),
+            None => by_alloc,
+        }
+    }
+
+    /// True if the file was created with a hard capacity.
+    pub fn is_fixed(&self) -> bool {
+        self.state.meta.read().fixed_capacity_records.is_some()
+    }
+
+    /// The placement mapping.
+    pub fn layout(&self) -> &dyn Layout {
+        &*self.layout
+    }
+
+    /// The volume this file lives on.
+    pub fn volume(&self) -> &Volume {
+        &self.vol
+    }
+
+    /// A copy of the durable metadata.
+    pub fn meta_snapshot(&self) -> FileMeta {
+        self.state.meta.read().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Length and capacity
+    // ------------------------------------------------------------------
+
+    /// Guarantee room for `records` records (no-op if already allocated).
+    pub fn ensure_capacity_records(&self, records: u64) -> Result<()> {
+        if let Some(cap) = self.state.meta.read().fixed_capacity_records {
+            if records > cap {
+                return Err(FsError::CapacityExceeded {
+                    requested: records,
+                    capacity: cap,
+                });
+            }
+        }
+        let lblocks =
+            (records * self.record_size as u64).div_ceil(self.block_size() as u64);
+        self.vol.grow_file(&self.state, lblocks)
+    }
+
+    /// Set the length in records, growing the allocation if needed.
+    pub fn set_len_records(&self, records: u64) -> Result<()> {
+        self.ensure_capacity_records(records)?;
+        self.state.meta.write().len_records = records;
+        Ok(())
+    }
+
+    /// Raise the length to at least `records` (never shrinks).
+    pub fn extend_len_records(&self, records: u64) {
+        let mut meta = self.state.meta.write();
+        if records > meta.len_records {
+            meta.len_records = records;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Physical access
+    // ------------------------------------------------------------------
+
+    fn locate(&self, p: PhysBlock) -> (DeviceRef, u64) {
+        let meta = self.state.meta.read();
+        let dev = meta.device_map[p.device];
+        let abs = resolve(&meta.extents[p.device], p.block);
+        (self.vol.device(dev), abs)
+    }
+
+    fn try_read_phys(&self, p: PhysBlock, buf: &mut [u8]) -> Result<()> {
+        let (dev, abs) = self.locate(p);
+        dev.read_block(abs, buf).map_err(FsError::from)
+    }
+
+    fn try_write_phys(&self, p: PhysBlock, data: &[u8]) -> Result<()> {
+        let (dev, abs) = self.locate(p);
+        dev.write_block(abs, data).map_err(FsError::from)
+    }
+
+    fn check_lblock(&self, l: u64) -> Result<()> {
+        let nblocks = self.nblocks();
+        if l >= nblocks {
+            return Err(FsError::OutOfBounds {
+                record: l,
+                len: nblocks,
+            });
+        }
+        Ok(())
+    }
+
+    /// Read logical block `l` (must be allocated). Degraded parity and
+    /// shadow reads — after a device failure *or* detected corruption —
+    /// are transparent.
+    pub fn read_lblock(&self, l: u64, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.block_size());
+        self.check_lblock(l)?;
+        let p = self.layout.map(l);
+        match self.try_read_phys(p, buf) {
+            Err(FsError::Disk(
+                DiskError::DeviceFailed { .. } | DiskError::Corruption { .. },
+            )) => self.read_degraded(l, p, buf),
+            other => other,
+        }
+    }
+
+    /// Read the physical block at layout slot `slot`, device-local index
+    /// `dblock` — **recovery tooling only**: bypasses redundancy logic.
+    pub fn read_device_block(&self, slot: usize, dblock: u64, buf: &mut [u8]) -> Result<()> {
+        self.try_read_phys(PhysBlock { device: slot, block: dblock }, buf)
+    }
+
+    /// Write the physical block at layout slot `slot`, device-local index
+    /// `dblock` — **recovery tooling only**: bypasses parity maintenance
+    /// and shadow duplication entirely.
+    pub fn write_device_block(&self, slot: usize, dblock: u64, data: &[u8]) -> Result<()> {
+        self.try_write_phys(PhysBlock { device: slot, block: dblock }, data)
+    }
+
+    /// Blocks allocated on layout slot `slot`.
+    pub fn device_blocks(&self, slot: usize) -> u64 {
+        crate::alloc::extents_len(&self.state.meta.read().extents[slot])
+    }
+
+    /// Take the file's stripe lock for a multi-step recovery operation
+    /// (quiesces parity read-modify-write cycles).
+    pub fn lock_stripes(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.state.stripe_lock.lock()
+    }
+
+    fn read_degraded(&self, l: u64, p: PhysBlock, buf: &mut [u8]) -> Result<()> {
+        match &self.redundancy {
+            Redundancy::Shadow { primaries } => self.try_read_phys(
+                PhysBlock {
+                    device: p.device + primaries,
+                    block: p.block,
+                },
+                buf,
+            ),
+            Redundancy::Parity(ps) => {
+                let _g = self.state.stripe_lock.lock();
+                self.reconstruct_block(ps, l, buf)
+            }
+            Redundancy::None => Err(FsError::Disk(DiskError::DeviceFailed {
+                device: format!("device slot {}", p.device),
+            })),
+        }
+    }
+
+    /// XOR-reconstruct logical block `l` from its stripe peers and parity.
+    /// Caller holds the stripe lock.
+    fn reconstruct_block(&self, ps: &ParityStriped, l: u64, out: &mut [u8]) -> Result<()> {
+        let total = self.nblocks();
+        let s = ps.stripe_of(l);
+        let bs = self.block_size();
+        let mut scratch = vec![0u8; bs];
+        self.try_read_phys(ps.parity_location(s), &mut scratch)?;
+        out.copy_from_slice(&scratch);
+        for (b, loc) in ps.stripe_data(s, total) {
+            if b == l {
+                continue;
+            }
+            self.try_read_phys(loc, &mut scratch)?;
+            xor_into(out, &scratch);
+        }
+        Ok(())
+    }
+
+    /// Write logical block `l`, growing the file to cover it. Parity is
+    /// maintained read-modify-write; shadows receive a second copy.
+    pub fn write_lblock(&self, l: u64, data: &[u8]) -> Result<()> {
+        debug_assert_eq!(data.len(), self.block_size());
+        if l >= self.nblocks() {
+            let records = ((l + 1) * self.block_size() as u64)
+                .div_ceil(self.record_size as u64);
+            self.ensure_capacity_records(records)?;
+        }
+        match &self.redundancy.clone() {
+            Redundancy::None => self.try_write_phys(self.layout.map(l), data),
+            Redundancy::Shadow { primaries } => {
+                let p = self.layout.map(l);
+                let m = PhysBlock {
+                    device: p.device + primaries,
+                    block: p.block,
+                };
+                let r1 = self.try_write_phys(p, data);
+                let r2 = self.try_write_phys(m, data);
+                match (&r1, &r2) {
+                    (Err(_), Err(_)) => r1,
+                    // One live copy suffices; the pair is degraded, not lost.
+                    _ => Ok(()),
+                }
+            }
+            Redundancy::Parity(ps) => self.parity_write(ps, l, data),
+        }
+    }
+
+    fn parity_write(&self, ps: &ParityStriped, l: u64, data: &[u8]) -> Result<()> {
+        let _g = self.state.stripe_lock.lock();
+        let bs = self.block_size();
+        let s = ps.stripe_of(l);
+        let dloc = self.layout.map(l);
+        let ploc = ps.parity_location(s);
+        let mut old = vec![0u8; bs];
+        let old_read = match self.try_read_phys(dloc, &mut old) {
+            // Corrupt old data would poison the parity RMW; reconstruct
+            // the true old value from the stripe first (the subsequent
+            // data write heals the corruption as a side effect).
+            Err(FsError::Disk(DiskError::Corruption { .. })) => {
+                self.reconstruct_block(ps, l, &mut old)
+            }
+            other => other,
+        };
+        match old_read {
+            Ok(()) => {
+                let mut parity = vec![0u8; bs];
+                match self.try_read_phys(ploc, &mut parity) {
+                    Ok(()) => {
+                        // new parity = old parity ^ old data ^ new data
+                        xor_into(&mut parity, &old);
+                        xor_into(&mut parity, data);
+                        self.try_write_phys(dloc, data)?;
+                        match self.try_write_phys(ploc, &parity) {
+                            // Parity device died between read and write:
+                            // the data write stands, the stripe is simply
+                            // unprotected until rebuild.
+                            Err(FsError::Disk(DiskError::DeviceFailed { .. })) => Ok(()),
+                            other => other,
+                        }
+                    }
+                    Err(FsError::Disk(DiskError::DeviceFailed { .. })) => {
+                        // Parity device down: write data unprotected.
+                        self.try_write_phys(dloc, data)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Err(FsError::Disk(DiskError::DeviceFailed { .. })) => {
+                // Data device down: fold the new data into parity so a
+                // rebuild recreates it. parity = new ^ XOR(peers).
+                let mut parity = data.to_vec();
+                let total = self.nblocks();
+                let mut scratch = vec![0u8; bs];
+                for (b, loc) in ps.stripe_data(s, total) {
+                    if b == l {
+                        continue;
+                    }
+                    self.try_read_phys(loc, &mut scratch)?;
+                    xor_into(&mut parity, &scratch);
+                }
+                self.try_write_phys(ploc, &parity)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Byte spans and records
+    // ------------------------------------------------------------------
+
+    /// Read `out.len()` bytes of the logical byte stream at `offset`.
+    /// The span must lie within the allocated capacity.
+    pub fn read_span(&self, offset: u64, out: &mut [u8]) -> Result<()> {
+        let bs = self.block_size() as u64;
+        let end = offset + out.len() as u64;
+        let nblocks = self.nblocks();
+        if end > nblocks * bs {
+            return Err(FsError::OutOfBounds {
+                record: end.div_ceil(bs),
+                len: nblocks,
+            });
+        }
+        let mut scratch = vec![0u8; bs as usize];
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let byte = offset + pos as u64;
+            let l = byte / bs;
+            let within = (byte % bs) as usize;
+            let take = ((bs as usize) - within).min(out.len() - pos);
+            if within == 0 && take == bs as usize {
+                self.read_lblock(l, &mut out[pos..pos + take])?;
+            } else {
+                self.read_lblock(l, &mut scratch)?;
+                out[pos..pos + take].copy_from_slice(&scratch[within..within + take]);
+            }
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Write `data` into the logical byte stream at `offset`, growing the
+    /// allocation to cover it. Partial blocks are read-modify-written.
+    pub fn write_span(&self, offset: u64, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let bs = self.block_size() as u64;
+        let end = offset + data.len() as u64;
+        let records = end.div_ceil(self.record_size as u64);
+        self.ensure_capacity_records(records)?;
+        let mut scratch = vec![0u8; bs as usize];
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let byte = offset + pos as u64;
+            let l = byte / bs;
+            let within = (byte % bs) as usize;
+            let take = ((bs as usize) - within).min(data.len() - pos);
+            if within == 0 && take == bs as usize {
+                self.write_lblock(l, &data[pos..pos + take])?;
+            } else {
+                self.read_lblock(l, &mut scratch)?;
+                scratch[within..within + take].copy_from_slice(&data[pos..pos + take]);
+                self.write_lblock(l, &scratch)?;
+            }
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Read record `r` (must be below the file length).
+    pub fn read_record(&self, r: u64, out: &mut [u8]) -> Result<()> {
+        assert_eq!(out.len(), self.record_size, "record buffer size");
+        let len = self.len_records();
+        if r >= len {
+            return Err(FsError::OutOfBounds { record: r, len });
+        }
+        self.read_span(r * self.record_size as u64, out)
+    }
+
+    /// Write record `r`, extending the file length to cover it.
+    pub fn write_record(&self, r: u64, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), self.record_size, "record buffer size");
+        self.write_span(r * self.record_size as u64, data)?;
+        self.extend_len_records(r + 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::{FileSpec, Volume, VolumeConfig};
+
+    const BS: usize = 256;
+
+    fn vol(devices: usize) -> Volume {
+        Volume::create_in_memory(VolumeConfig {
+            devices,
+            device_blocks: 512,
+            block_size: BS,
+        })
+        .unwrap()
+    }
+
+    fn record(r: u64, size: usize) -> Vec<u8> {
+        (0..size).map(|i| (r as usize * 31 + i) as u8).collect()
+    }
+
+    fn round_trip(f: &RawFile, n: u64) {
+        let rs = f.record_size();
+        for r in 0..n {
+            f.write_record(r, &record(r, rs)).unwrap();
+        }
+        assert_eq!(f.len_records(), n);
+        let mut buf = vec![0u8; rs];
+        for r in (0..n).rev() {
+            f.read_record(r, &mut buf).unwrap();
+            assert_eq!(buf, record(r, rs), "record {r}");
+        }
+    }
+
+    #[test]
+    fn striped_round_trip_with_straddling_records() {
+        let v = vol(4);
+        // 100-byte records over 256-byte blocks: records straddle blocks.
+        let f = v
+            .create_file(FileSpec::new(
+                "s",
+                100,
+                4,
+                LayoutSpec::Striped {
+                    devices: 4,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        round_trip(&f, 50);
+    }
+
+    #[test]
+    fn partitioned_round_trip() {
+        let v = vol(2);
+        // 64 records of 64 bytes = 4096 bytes = 16 blocks; 2 partitions.
+        let f = v
+            .create_file(
+                FileSpec::new(
+                    "ps",
+                    64,
+                    8,
+                    LayoutSpec::Partitioned {
+                        bounds: vec![0, 8, 16],
+                        devices: 2,
+                    },
+                )
+                .fixed_capacity(64),
+            )
+            .unwrap();
+        round_trip(&f, 64);
+    }
+
+    #[test]
+    fn fixed_capacity_rejects_overflow() {
+        let v = vol(2);
+        let f = v
+            .create_file(
+                FileSpec::new(
+                    "ps",
+                    64,
+                    8,
+                    LayoutSpec::Partitioned {
+                        bounds: vec![0, 8, 16],
+                        devices: 2,
+                    },
+                )
+                .fixed_capacity(64),
+            )
+            .unwrap();
+        let rec = record(64, 64);
+        assert!(matches!(
+            f.write_record(64, &rec),
+            Err(FsError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn reads_past_length_rejected() {
+        let v = vol(1);
+        let f = v
+            .create_file(FileSpec::new(
+                "f",
+                32,
+                1,
+                LayoutSpec::Striped {
+                    devices: 1,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        f.write_record(0, &record(0, 32)).unwrap();
+        let mut buf = vec![0u8; 32];
+        assert!(matches!(
+            f.read_record(1, &mut buf),
+            Err(FsError::OutOfBounds { record: 1, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn sparse_write_reads_zero_gaps() {
+        let v = vol(2);
+        let f = v
+            .create_file(FileSpec::new(
+                "gda",
+                64,
+                1,
+                LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        f.write_record(10, &record(10, 64)).unwrap();
+        assert_eq!(f.len_records(), 11);
+        let mut buf = vec![0u8; 64];
+        f.read_record(3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "gap records read as zeros");
+        f.read_record(10, &mut buf).unwrap();
+        assert_eq!(buf, record(10, 64));
+    }
+
+    #[test]
+    fn shadow_survives_primary_failure() {
+        let v = vol(4);
+        let f = v
+            .create_file(FileSpec::new(
+                "sh",
+                BS,
+                1,
+                LayoutSpec::Shadowed(Box::new(LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                })),
+            ))
+            .unwrap();
+        round_trip(&f, 10);
+        // Fail primary device 0; reads fall over to its shadow (slot 2).
+        v.device(0).fail();
+        let mut buf = vec![0u8; BS];
+        for r in 0..10 {
+            f.read_record(r, &mut buf).unwrap();
+            assert_eq!(buf, record(r, BS), "record {r} after primary failure");
+        }
+        // Writes continue on the surviving copy.
+        f.write_record(3, &record(77, BS)).unwrap();
+        f.read_record(3, &mut buf).unwrap();
+        assert_eq!(buf, record(77, BS));
+    }
+
+    #[test]
+    fn shadow_fails_only_when_both_copies_fail() {
+        let v = vol(2);
+        let f = v
+            .create_file(FileSpec::new(
+                "sh",
+                BS,
+                1,
+                LayoutSpec::Shadowed(Box::new(LayoutSpec::Striped {
+                    devices: 1,
+                    unit: 1,
+                })),
+            ))
+            .unwrap();
+        f.write_record(0, &record(0, BS)).unwrap();
+        v.device(0).fail();
+        v.device(1).fail();
+        let mut buf = vec![0u8; BS];
+        assert!(f.read_record(0, &mut buf).is_err());
+        assert!(f.write_record(0, &record(1, BS)).is_err());
+    }
+
+    fn parity_file(v: &Volume, rotated: bool) -> RawFile {
+        v.create_file(FileSpec::new(
+            "par",
+            BS,
+            1,
+            LayoutSpec::Parity {
+                data_devices: 3,
+                rotated,
+            },
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn parity_degraded_read_reconstructs() {
+        for rotated in [false, true] {
+            let v = vol(4);
+            let f = parity_file(&v, rotated);
+            round_trip(&f, 12);
+            // Fail each device in turn (healing between) and verify every
+            // record reconstructs.
+            for dead in 0..4 {
+                v.device(dead).fail();
+                let mut buf = vec![0u8; BS];
+                for r in 0..12 {
+                    f.read_record(r, &mut buf).unwrap();
+                    assert_eq!(
+                        buf,
+                        record(r, BS),
+                        "rotated={rotated} dead={dead} record {r}"
+                    );
+                }
+                v.device(dead).heal();
+            }
+        }
+    }
+
+    #[test]
+    fn parity_degraded_write_preserves_reconstruction() {
+        let v = vol(4);
+        let f = parity_file(&v, false);
+        round_trip(&f, 12);
+        // Fail a data device, then OVERWRITE a record that lives on it.
+        v.device(1).fail();
+        let newrec = record(99, BS);
+        f.write_record(1, &newrec).unwrap();
+        // Still failed: the new value must come back via reconstruction.
+        let mut buf = vec![0u8; BS];
+        f.read_record(1, &mut buf).unwrap();
+        assert_eq!(buf, newrec);
+        // Other records unharmed.
+        f.read_record(2, &mut buf).unwrap();
+        assert_eq!(buf, record(2, BS));
+    }
+
+    #[test]
+    fn parity_tolerates_parity_device_failure() {
+        let v = vol(4);
+        let f = parity_file(&v, false); // dedicated parity on slot 3
+        round_trip(&f, 6);
+        v.device(3).fail();
+        // Writes and reads proceed unprotected.
+        f.write_record(0, &record(50, BS)).unwrap();
+        let mut buf = vec![0u8; BS];
+        f.read_record(0, &mut buf).unwrap();
+        assert_eq!(buf, record(50, BS));
+    }
+
+    #[test]
+    fn raid4_parity_device_is_a_write_hotspot_raid5_is_not() {
+        // The design choice behind rotated parity: with a dedicated
+        // parity device (RAID-4), EVERY logical write also writes that
+        // one device; rotation (RAID-5) spreads the load.
+        let count_writes = |rotated: bool| -> Vec<u64> {
+            let v = vol(4);
+            let before: Vec<u64> =
+                (0..4).map(|d| v.device(d).counters().writes).collect();
+            let f = v
+                .create_file(FileSpec::new(
+                    "p",
+                    BS,
+                    1,
+                    LayoutSpec::Parity {
+                        data_devices: 3,
+                        rotated,
+                    },
+                ))
+                .unwrap();
+            for r in 0..48u64 {
+                f.write_record(r, &record(r, BS)).unwrap();
+            }
+            (0..4)
+                .map(|d| v.device(d).counters().writes - before[d])
+                .collect()
+        };
+        let raid4 = count_writes(false);
+        // Dedicated parity on slot 3: one parity write per logical write;
+        // each data device only sees its 1/3 share (both sides also pay
+        // the same extent-zeroing cost, which cancels in the difference).
+        let data_max = raid4[..3].iter().max().unwrap();
+        assert!(
+            raid4[3] >= data_max + 30,
+            "RAID-4 hotspot missing: {raid4:?}"
+        );
+        let raid5 = count_writes(true);
+        let max = *raid5.iter().max().unwrap();
+        let min = *raid5.iter().min().unwrap();
+        assert!(
+            max < min * 2,
+            "RAID-5 should balance writes: {raid5:?}"
+        );
+    }
+
+    #[test]
+    fn unprotected_file_loses_failed_device() {
+        let v = vol(2);
+        let f = v
+            .create_file(FileSpec::new(
+                "plain",
+                BS,
+                1,
+                LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        round_trip(&f, 4);
+        v.device(1).fail();
+        let mut buf = vec![0u8; BS];
+        // Records on device 0 still readable; device 1's are gone.
+        assert!(f.read_record(0, &mut buf).is_ok());
+        assert!(f.read_record(1, &mut buf).is_err());
+    }
+
+    #[test]
+    fn span_io_arbitrary_offsets() {
+        let v = vol(3);
+        let f = v
+            .create_file(FileSpec::new(
+                "sp",
+                1,
+                1,
+                LayoutSpec::Striped {
+                    devices: 3,
+                    unit: 2,
+                },
+            ))
+            .unwrap();
+        let data: Vec<u8> = (0..2000).map(|i| (i % 251) as u8).collect();
+        f.write_span(123, &data).unwrap();
+        let mut out = vec![0u8; 2000];
+        f.read_span(123, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Sub-block read in the middle.
+        let mut mid = vec![0u8; 10];
+        f.read_span(700, &mut mid).unwrap();
+        assert_eq!(mid, data[700 - 123..710 - 123]);
+    }
+
+    #[test]
+    fn concurrent_parity_writers_keep_stripes_consistent() {
+        let v = vol(4);
+        let f = parity_file(&v, true);
+        f.ensure_capacity_records(64).unwrap();
+        let f = std::sync::Arc::new(f);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u64 {
+                let f = std::sync::Arc::clone(&f);
+                s.spawn(move |_| {
+                    for r in 0..16u64 {
+                        let idx = t * 16 + r;
+                        f.write_record(idx, &record(idx, BS)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Fail any device; everything must reconstruct.
+        v.device(2).fail();
+        let mut buf = vec![0u8; BS];
+        for r in 0..64 {
+            f.read_record(r, &mut buf).unwrap();
+            assert_eq!(buf, record(r, BS), "record {r}");
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! The global view: a parallel file as a conventional sequential file.
+//!
+//! "The global view is the logical structure of the file perceived as a
+//! unit … typically held by operating system utilities and other
+//! sequential programs" (§2). [`GlobalReader`] and [`GlobalWriter`] present
+//! any parallel file — whatever its internal organization — as an ordinary
+//! sequential stream of records, with block buffering so that a run of
+//! records in one volume block costs one device access.
+
+use crate::error::{FsError, Result};
+use crate::file::RawFile;
+
+/// Buffered sequential record reader over the global view.
+pub struct GlobalReader {
+    file: RawFile,
+    pos: u64,
+    buf: Vec<u8>,
+    /// Logical block currently buffered, if any.
+    cached: Option<u64>,
+}
+
+impl GlobalReader {
+    /// Start reading `file` from record 0.
+    pub fn new(file: RawFile) -> GlobalReader {
+        let bs = file.block_size();
+        GlobalReader {
+            file,
+            pos: 0,
+            buf: vec![0u8; bs],
+            cached: None,
+        }
+    }
+
+    /// Current record position.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Reposition to record `r`.
+    pub fn seek_record(&mut self, r: u64) {
+        self.pos = r;
+    }
+
+    /// Read the record at the current position into `out`; advances.
+    /// Returns `false` (and leaves `out` untouched) at end of file.
+    pub fn read_record(&mut self, out: &mut [u8]) -> Result<bool> {
+        assert_eq!(out.len(), self.file.record_size(), "record buffer size");
+        if self.pos >= self.file.len_records() {
+            return Ok(false);
+        }
+        let rs = self.file.record_size() as u64;
+        let bs = self.file.block_size() as u64;
+        let mut byte = self.pos * rs;
+        let mut copied = 0usize;
+        while copied < out.len() {
+            let l = byte / bs;
+            let within = (byte % bs) as usize;
+            if self.cached != Some(l) {
+                self.file.read_lblock(l, &mut self.buf)?;
+                self.cached = Some(l);
+            }
+            let take = (bs as usize - within).min(out.len() - copied);
+            out[copied..copied + take].copy_from_slice(&self.buf[within..within + take]);
+            copied += take;
+            byte += take as u64;
+        }
+        self.pos += 1;
+        Ok(true)
+    }
+
+    /// Read every remaining record, calling `f(record_index, bytes)`.
+    pub fn for_each(&mut self, mut f: impl FnMut(u64, &[u8])) -> Result<u64> {
+        let mut rec = vec![0u8; self.file.record_size()];
+        let mut n = 0;
+        loop {
+            let idx = self.pos;
+            if !self.read_record(&mut rec)? {
+                return Ok(n);
+            }
+            f(idx, &rec);
+            n += 1;
+        }
+    }
+
+    /// The underlying file.
+    pub fn file(&self) -> &RawFile {
+        &self.file
+    }
+}
+
+/// Buffered sequential record appender over the global view.
+///
+/// Writes accumulate in a block buffer and reach the device one whole
+/// block at a time; [`finish`](GlobalWriter::finish) flushes the tail and
+/// publishes the final length.
+pub struct GlobalWriter {
+    file: RawFile,
+    /// Next record index to write.
+    pos: u64,
+    buf: Vec<u8>,
+    /// Byte offset within the file where `buf` begins.
+    buf_start: u64,
+    /// Valid bytes in `buf`.
+    buf_len: usize,
+}
+
+impl GlobalWriter {
+    /// Append to `file` starting at its current length.
+    pub fn append(file: RawFile) -> GlobalWriter {
+        let bs = file.block_size();
+        let pos = file.len_records();
+        let buf_start = pos * file.record_size() as u64;
+        GlobalWriter {
+            file,
+            pos,
+            buf: vec![0u8; bs],
+            buf_start,
+            buf_len: 0,
+        }
+    }
+
+    /// Overwrite `file` from record 0 (length resets at finish).
+    pub fn truncate(file: RawFile) -> Result<GlobalWriter> {
+        file.set_len_records(0)?;
+        Ok(GlobalWriter::append(file))
+    }
+
+    /// Records written through this writer so far (buffered included).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        if self.buf_len > 0 {
+            let data = &self.buf[..self.buf_len];
+            self.file.write_span(self.buf_start, data)?;
+            self.buf_start += self.buf_len as u64;
+            self.buf_len = 0;
+        }
+        Ok(())
+    }
+
+    /// Append one record.
+    pub fn write_record(&mut self, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), self.file.record_size(), "record buffer size");
+        let mut copied = 0;
+        while copied < data.len() {
+            let space = self.buf.len() - self.buf_len;
+            let take = space.min(data.len() - copied);
+            self.buf[self.buf_len..self.buf_len + take]
+                .copy_from_slice(&data[copied..copied + take]);
+            self.buf_len += take;
+            copied += take;
+            if self.buf_len == self.buf.len() {
+                self.flush_buf()?;
+            }
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    /// Flush buffered data and publish the file length.
+    pub fn finish(mut self) -> Result<u64> {
+        self.flush_buf()?;
+        self.file.extend_len_records(self.pos);
+        Ok(self.pos)
+    }
+}
+
+/// The global view as a standard byte stream: implements
+/// [`std::io::Read`] and [`std::io::Seek`], so any conventional Rust
+/// code — compression, parsing, `std::io::copy` — consumes a parallel
+/// file without knowing it is one. This is the paper's "standard
+/// sequential software such as editors, graphics utilities, print
+/// spoolers" interface, in Rust idiom.
+pub struct ByteReader {
+    file: RawFile,
+    pos: u64,
+    buf: Vec<u8>,
+    cached: Option<u64>,
+}
+
+impl ByteReader {
+    /// Read the file's logical bytes (`len_records * record_size`).
+    pub fn new(file: RawFile) -> ByteReader {
+        let bs = file.block_size();
+        ByteReader {
+            file,
+            pos: 0,
+            buf: vec![0u8; bs],
+            cached: None,
+        }
+    }
+
+    /// Total logical bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.file.len_records() * self.file.record_size() as u64
+    }
+}
+
+impl std::io::Read for ByteReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let total = self.len_bytes();
+        if self.pos >= total || out.is_empty() {
+            return Ok(0);
+        }
+        let bs = self.file.block_size() as u64;
+        let l = self.pos / bs;
+        if self.cached != Some(l) {
+            self.file
+                .read_lblock(l, &mut self.buf)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            self.cached = Some(l);
+        }
+        let within = (self.pos % bs) as usize;
+        let take = (bs as usize - within)
+            .min(out.len())
+            .min((total - self.pos) as usize);
+        out[..take].copy_from_slice(&self.buf[within..within + take]);
+        self.pos += take as u64;
+        Ok(take)
+    }
+}
+
+impl std::io::Seek for ByteReader {
+    fn seek(&mut self, from: std::io::SeekFrom) -> std::io::Result<u64> {
+        use std::io::SeekFrom;
+        let total = self.len_bytes() as i64;
+        let target = match from {
+            SeekFrom::Start(o) => o as i64,
+            SeekFrom::End(d) => total + d,
+            SeekFrom::Current(d) => self.pos as i64 + d,
+        };
+        if target < 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "seek before start",
+            ));
+        }
+        self.pos = target as u64;
+        Ok(self.pos)
+    }
+}
+
+/// The appending global view as a standard byte sink: implements
+/// [`std::io::Write`]. Bytes must form whole records by the time
+/// [`finish`](ByteWriter::finish) is called; a ragged tail is an error
+/// (the paper assumes fixed-size records).
+pub struct ByteWriter {
+    inner: Option<GlobalWriter>,
+    rec: Vec<u8>,
+    fill: usize,
+}
+
+impl ByteWriter {
+    /// Append bytes to `file`, packing them into records.
+    pub fn append(file: RawFile) -> ByteWriter {
+        let rs = file.record_size();
+        ByteWriter {
+            inner: Some(GlobalWriter::append(file)),
+            rec: vec![0u8; rs],
+            fill: 0,
+        }
+    }
+
+    /// Flush whole records and publish the new length. Fails on a
+    /// partial trailing record.
+    pub fn finish(mut self) -> Result<u64> {
+        if self.fill != 0 {
+            return Err(FsError::BadSpec(format!(
+                "byte stream ended mid-record ({} of {} bytes)",
+                self.fill,
+                self.rec.len()
+            )));
+        }
+        self.inner.take().expect("writer present").finish()
+    }
+}
+
+impl std::io::Write for ByteWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        let mut consumed = 0;
+        while consumed < data.len() {
+            let space = self.rec.len() - self.fill;
+            let take = space.min(data.len() - consumed);
+            self.rec[self.fill..self.fill + take]
+                .copy_from_slice(&data[consumed..consumed + take]);
+            self.fill += take;
+            consumed += take;
+            if self.fill == self.rec.len() {
+                self.inner
+                    .as_mut()
+                    .expect("writer present")
+                    .write_record(&self.rec)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                self.fill = 0;
+            }
+        }
+        Ok(consumed)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Copy `src` into `dst` record by record through the global views.
+///
+/// The two files may have entirely different layouts and organizations;
+/// only record sizes must match. This is the paper's "conversion utility"
+/// escape hatch for internal-view mismatches (§5), and the transparent
+/// standard-file pathway for sequential tools.
+pub fn copy_global(src: &RawFile, dst: &RawFile) -> Result<u64> {
+    if src.record_size() != dst.record_size() {
+        return Err(FsError::BadSpec(format!(
+            "record sizes differ: {} vs {}",
+            src.record_size(),
+            dst.record_size()
+        )));
+    }
+    let mut reader = GlobalReader::new(src.clone());
+    let mut writer = GlobalWriter::truncate(dst.clone())?;
+    let mut rec = vec![0u8; src.record_size()];
+    while reader.read_record(&mut rec)? {
+        writer.write_record(&rec)?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::{FileSpec, Volume, VolumeConfig};
+    use pario_layout::LayoutSpec;
+
+    fn vol() -> Volume {
+        Volume::create_in_memory(VolumeConfig {
+            devices: 4,
+            device_blocks: 256,
+            block_size: 256,
+        })
+        .unwrap()
+    }
+
+    fn rec(i: u64, size: usize) -> Vec<u8> {
+        (0..size).map(|j| (i as usize * 7 + j) as u8).collect()
+    }
+
+    #[test]
+    fn write_then_read_sequentially() {
+        let v = vol();
+        let f = v
+            .create_file(FileSpec::new(
+                "g",
+                100,
+                4,
+                LayoutSpec::Striped {
+                    devices: 4,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        let mut w = GlobalWriter::append(f.clone());
+        for i in 0..33u64 {
+            w.write_record(&rec(i, 100)).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 33);
+        assert_eq!(f.len_records(), 33);
+
+        let mut r = GlobalReader::new(f);
+        let mut buf = vec![0u8; 100];
+        let mut i = 0u64;
+        while r.read_record(&mut buf).unwrap() {
+            assert_eq!(buf, rec(i, 100), "record {i}");
+            i += 1;
+        }
+        assert_eq!(i, 33);
+        // EOF is sticky.
+        assert!(!r.read_record(&mut buf).unwrap());
+    }
+
+    #[test]
+    fn seek_and_for_each() {
+        let v = vol();
+        let f = v
+            .create_file(FileSpec::new(
+                "g",
+                64,
+                1,
+                LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        for i in 0..10u64 {
+            f.write_record(i, &rec(i, 64)).unwrap();
+        }
+        let mut r = GlobalReader::new(f);
+        r.seek_record(7);
+        let mut count = 0;
+        let n = r
+            .for_each(|idx, bytes| {
+                assert_eq!(bytes, rec(idx, 64).as_slice());
+                count += 1;
+            })
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn append_continues_after_existing_records() {
+        let v = vol();
+        let f = v
+            .create_file(FileSpec::new(
+                "g",
+                64,
+                1,
+                LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        for i in 0..5u64 {
+            f.write_record(i, &rec(i, 64)).unwrap();
+        }
+        let mut w = GlobalWriter::append(f.clone());
+        for i in 5..12u64 {
+            w.write_record(&rec(i, 64)).unwrap();
+        }
+        w.finish().unwrap();
+        let mut buf = vec![0u8; 64];
+        for i in 0..12u64 {
+            f.read_record(i, &mut buf).unwrap();
+            assert_eq!(buf, rec(i, 64), "record {i}");
+        }
+    }
+
+    #[test]
+    fn copy_between_different_layouts() {
+        let v = vol();
+        let src = v
+            .create_file(
+                FileSpec::new(
+                    "ps",
+                    64,
+                    4,
+                    LayoutSpec::Partitioned {
+                        bounds: vec![0, 8, 16],
+                        devices: 2,
+                    },
+                )
+                .fixed_capacity(64),
+            )
+            .unwrap();
+        for i in 0..64u64 {
+            src.write_record(i, &rec(i, 64)).unwrap();
+        }
+        let dst = v
+            .create_file(FileSpec::new(
+                "is",
+                64,
+                4,
+                LayoutSpec::Striped {
+                    devices: 4,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        assert_eq!(copy_global(&src, &dst).unwrap(), 64);
+        let mut buf = vec![0u8; 64];
+        for i in 0..64u64 {
+            dst.read_record(i, &mut buf).unwrap();
+            assert_eq!(buf, rec(i, 64), "record {i}");
+        }
+    }
+
+    #[test]
+    fn byte_reader_is_a_standard_stream() {
+        use std::io::{Read, Seek, SeekFrom};
+        let v = vol();
+        let f = v
+            .create_file(FileSpec::new(
+                "b",
+                100,
+                4,
+                LayoutSpec::Striped {
+                    devices: 4,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        for i in 0..20u64 {
+            f.write_record(i, &rec(i, 100)).unwrap();
+        }
+        let mut r = ByteReader::new(f.clone());
+        assert_eq!(r.len_bytes(), 2000);
+        // std::io::copy drains the whole logical stream.
+        let mut all = Vec::new();
+        std::io::copy(&mut r, &mut all).unwrap();
+        assert_eq!(all.len(), 2000);
+        for i in 0..20u64 {
+            assert_eq!(&all[i as usize * 100..(i as usize + 1) * 100], rec(i, 100));
+        }
+        // Seek and partial reads.
+        r.seek(SeekFrom::Start(150)).unwrap();
+        let mut b = [0u8; 10];
+        r.read_exact(&mut b).unwrap();
+        assert_eq!(&b, &rec(1, 100)[50..60]);
+        r.seek(SeekFrom::End(-5)).unwrap();
+        let mut tail = Vec::new();
+        r.read_to_end(&mut tail).unwrap();
+        assert_eq!(tail, &rec(19, 100)[95..]);
+        assert!(r.seek(SeekFrom::Current(-100_000)).is_err());
+    }
+
+    #[test]
+    fn byte_writer_packs_records() {
+        use std::io::Write;
+        let v = vol();
+        let f = v
+            .create_file(FileSpec::new(
+                "bw",
+                100,
+                4,
+                LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        let mut w = ByteWriter::append(f.clone());
+        // Write 7 records' worth of bytes in awkward chunk sizes.
+        let mut stream = Vec::new();
+        for i in 0..7u64 {
+            stream.extend_from_slice(&rec(i, 100));
+        }
+        for chunk in stream.chunks(37) {
+            w.write_all(chunk).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 7);
+        let mut buf = vec![0u8; 100];
+        for i in 0..7u64 {
+            f.read_record(i, &mut buf).unwrap();
+            assert_eq!(buf, rec(i, 100));
+        }
+    }
+
+    #[test]
+    fn byte_writer_rejects_ragged_tail() {
+        use std::io::Write;
+        let v = vol();
+        let f = v
+            .create_file(FileSpec::new(
+                "rag",
+                100,
+                4,
+                LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        let mut w = ByteWriter::append(f);
+        w.write_all(&[1u8; 150]).unwrap();
+        assert!(matches!(w.finish(), Err(FsError::BadSpec(_))));
+    }
+
+    #[test]
+    fn copy_rejects_mismatched_record_sizes() {
+        let v = vol();
+        let a = v
+            .create_file(FileSpec::new(
+                "a",
+                64,
+                1,
+                LayoutSpec::Striped {
+                    devices: 1,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        let b = v
+            .create_file(FileSpec::new(
+                "b",
+                128,
+                1,
+                LayoutSpec::Striped {
+                    devices: 1,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        assert!(matches!(copy_global(&a, &b), Err(FsError::BadSpec(_))));
+    }
+}

@@ -1,0 +1,591 @@
+//! The volume: a directory of parallel files over a device array.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use pario_disk::{mem_array, DeviceRef};
+use pario_layout::LayoutSpec;
+
+use crate::alloc::{extents_len, Allocator, Extent};
+use crate::error::{FsError, Result};
+use crate::file::RawFile;
+use crate::meta::FileMeta;
+use crate::superblock;
+
+/// Shape of a fresh in-memory volume.
+#[derive(Copy, Clone, Debug)]
+pub struct VolumeConfig {
+    /// Number of devices.
+    pub devices: usize,
+    /// Blocks per device.
+    pub device_blocks: u64,
+    /// Block size in bytes (shared by all devices).
+    pub block_size: usize,
+}
+
+/// Specification for creating a file.
+#[derive(Clone, Debug)]
+pub struct FileSpec {
+    /// File name.
+    pub name: String,
+    /// Record size in bytes.
+    pub record_size: usize,
+    /// Records per logical file block (the paper's partitioning grain).
+    pub records_per_block: usize,
+    /// Data placement.
+    pub layout: LayoutSpec,
+    /// Opaque organization tag (owned by `pario-core`).
+    pub org: String,
+    /// Layout device slot -> volume device (defaults to `0..n`).
+    pub device_map: Option<Vec<usize>>,
+    /// Records to preallocate.
+    pub initial_records: u64,
+    /// Hard capacity for fixed-size organizations; implies full
+    /// preallocation.
+    pub fixed_capacity_records: Option<u64>,
+}
+
+impl FileSpec {
+    /// A growable file with the given geometry and placement.
+    pub fn new(
+        name: &str,
+        record_size: usize,
+        records_per_block: usize,
+        layout: LayoutSpec,
+    ) -> FileSpec {
+        FileSpec {
+            name: name.to_string(),
+            record_size,
+            records_per_block,
+            layout,
+            org: String::new(),
+            device_map: None,
+            initial_records: 0,
+            fixed_capacity_records: None,
+        }
+    }
+
+    /// Set the organization tag.
+    pub fn org(mut self, org: &str) -> FileSpec {
+        self.org = org.to_string();
+        self
+    }
+
+    /// Map layout device slots onto specific volume devices.
+    pub fn device_map(mut self, map: Vec<usize>) -> FileSpec {
+        self.device_map = Some(map);
+        self
+    }
+
+    /// Preallocate room for `records` records.
+    pub fn initial_records(mut self, records: u64) -> FileSpec {
+        self.initial_records = records;
+        self
+    }
+
+    /// Fix the file's capacity (required for partitioned layouts).
+    pub fn fixed_capacity(mut self, records: u64) -> FileSpec {
+        self.fixed_capacity_records = Some(records);
+        self
+    }
+}
+
+/// Shared runtime state of one file.
+pub struct FileState {
+    pub(crate) meta: RwLock<FileMeta>,
+    /// Serialises parity read-modify-write cycles (see `RawFile`).
+    pub(crate) stripe_lock: Mutex<()>,
+}
+
+pub(crate) struct VolInner {
+    pub(crate) devices: Vec<DeviceRef>,
+    pub(crate) block_size: usize,
+    pub(crate) meta_blocks: u64,
+    pub(crate) alloc: Mutex<Allocator>,
+    pub(crate) files: RwLock<HashMap<String, Arc<FileState>>>,
+    pub(crate) next_id: AtomicU64,
+}
+
+/// A mounted volume: cheap to clone, shared across threads.
+#[derive(Clone)]
+pub struct Volume {
+    pub(crate) inner: Arc<VolInner>,
+}
+
+impl Volume {
+    /// Create a fresh volume over `devices`, reserving the superblock
+    /// region on device 0 and writing an empty superblock.
+    pub fn new(devices: Vec<DeviceRef>) -> Result<Volume> {
+        let vol = Volume::init(devices)?;
+        vol.sync_meta()?;
+        Ok(vol)
+    }
+
+    /// Build the in-memory structures without touching the superblock.
+    fn init(devices: Vec<DeviceRef>) -> Result<Volume> {
+        if devices.is_empty() {
+            return Err(FsError::BadSpec("volume needs at least one device".into()));
+        }
+        let block_size = devices[0].block_size();
+        if devices.iter().any(|d| d.block_size() != block_size) {
+            return Err(FsError::BadSpec(
+                "all devices must share a block size".into(),
+            ));
+        }
+        let meta_blocks = superblock::meta_blocks(block_size, devices[0].num_blocks());
+        if devices[0].num_blocks() <= meta_blocks {
+            return Err(FsError::BadSpec(format!(
+                "device 0 too small for the {meta_blocks}-block superblock region"
+            )));
+        }
+        let sizes: Vec<u64> = devices.iter().map(|d| d.num_blocks()).collect();
+        let mut alloc = Allocator::with_sizes(&sizes);
+        alloc.reserve(
+            0,
+            Extent {
+                start: 0,
+                len: meta_blocks,
+            },
+        );
+        Ok(Volume {
+            inner: Arc::new(VolInner {
+                devices,
+                block_size,
+                meta_blocks,
+                alloc: Mutex::new(alloc),
+                files: RwLock::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// Create a fresh volume over in-memory devices.
+    pub fn create_in_memory(cfg: VolumeConfig) -> Result<Volume> {
+        Volume::new(mem_array(cfg.devices, cfg.device_blocks, cfg.block_size))
+    }
+
+    /// Mount a volume previously persisted with [`Volume::sync_meta`].
+    /// Fails with [`FsError::Meta`] if device 0 carries no superblock.
+    pub fn mount(devices: Vec<DeviceRef>) -> Result<Volume> {
+        let vol = Volume::init(devices)?;
+        superblock::load(&vol)?;
+        Ok(vol)
+    }
+
+    /// Volume block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.inner.block_size
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.inner.devices.len()
+    }
+
+    /// Shared handle to device `i`.
+    pub fn device(&self, i: usize) -> DeviceRef {
+        Arc::clone(&self.inner.devices[i])
+    }
+
+    /// Free blocks per device.
+    pub fn free_blocks(&self) -> Vec<u64> {
+        let alloc = self.inner.alloc.lock();
+        (0..self.num_devices())
+            .map(|d| alloc.free_blocks(d))
+            .collect()
+    }
+
+    /// Names of all files, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.files.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Create a file per `spec` and open it.
+    pub fn create_file(&self, spec: FileSpec) -> Result<RawFile> {
+        self.validate_spec(&spec)?;
+        let nslots = spec.layout.devices_required();
+        let device_map = match &spec.device_map {
+            Some(m) => m.clone(),
+            None => (0..nslots).collect(),
+        };
+        let meta = FileMeta {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            name: spec.name.clone(),
+            record_size: spec.record_size,
+            records_per_block: spec.records_per_block,
+            len_records: 0,
+            layout: spec.layout.clone(),
+            org: spec.org.clone(),
+            device_map,
+            fixed_capacity_records: spec.fixed_capacity_records,
+            nblocks: 0,
+            extents: vec![Vec::new(); nslots],
+        };
+        let state = Arc::new(FileState {
+            meta: RwLock::new(meta),
+            stripe_lock: Mutex::new(()),
+        });
+        {
+            let mut files = self.inner.files.write();
+            if files.contains_key(&spec.name) {
+                return Err(FsError::AlreadyExists(spec.name));
+            }
+            files.insert(spec.name.clone(), Arc::clone(&state));
+        }
+        // Fixed-size files are fully preallocated so partitioned layouts
+        // never see a partial total (their mapping is sized at creation).
+        // Fixed-size partitioned layouts preallocate the full mapping
+        // (their bounds may round capacity up to whole file blocks).
+        let lblocks = match (&spec.layout, spec.fixed_capacity_records) {
+            (LayoutSpec::Partitioned { bounds, .. }, Some(_)) => {
+                *bounds.last().expect("validated non-empty")
+            }
+            (_, Some(cap)) => {
+                (cap * spec.record_size as u64).div_ceil(self.block_size() as u64)
+            }
+            (_, None) => (spec.initial_records * spec.record_size as u64)
+                .div_ceil(self.block_size() as u64),
+        };
+        if lblocks > 0 {
+            if let Err(e) = self.grow_file(&state, lblocks) {
+                self.inner.files.write().remove(&spec.name);
+                return Err(e);
+            }
+        }
+        RawFile::from_state(self.clone(), state)
+    }
+
+    /// Open an existing file.
+    pub fn open(&self, name: &str) -> Result<RawFile> {
+        let state = self
+            .inner
+            .files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        RawFile::from_state(self.clone(), state)
+    }
+
+    /// Delete a file, releasing its blocks.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        let state = self
+            .inner
+            .files
+            .write()
+            .remove(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let meta = state.meta.read();
+        let mut alloc = self.inner.alloc.lock();
+        for (slot, extents) in meta.extents.iter().enumerate() {
+            let dev = meta.device_map[slot];
+            for &e in extents {
+                alloc.release(dev, e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Persist the directory and all file metadata to the superblock
+    /// region on device 0.
+    pub fn sync_meta(&self) -> Result<()> {
+        superblock::store(self)
+    }
+
+    fn validate_spec(&self, spec: &FileSpec) -> Result<()> {
+        if spec.record_size == 0 || spec.records_per_block == 0 {
+            return Err(FsError::BadSpec(
+                "record size and records per block must be positive".into(),
+            ));
+        }
+        let nslots = spec.layout.devices_required();
+        if let Some(map) = &spec.device_map {
+            if map.len() != nslots {
+                return Err(FsError::BadSpec(format!(
+                    "device map has {} entries, layout needs {nslots}",
+                    map.len()
+                )));
+            }
+            let mut seen = vec![false; self.num_devices()];
+            for &d in map {
+                if d >= self.num_devices() {
+                    return Err(FsError::BadSpec(format!("device {d} does not exist")));
+                }
+                if std::mem::replace(&mut seen[d], true) {
+                    return Err(FsError::BadSpec(format!("device {d} mapped twice")));
+                }
+            }
+        } else if nslots > self.num_devices() {
+            return Err(FsError::BadSpec(format!(
+                "layout needs {nslots} devices, volume has {}",
+                self.num_devices()
+            )));
+        }
+        if let LayoutSpec::Shadowed(inner) = &spec.layout {
+            if matches!(**inner, LayoutSpec::Parity { .. }) {
+                return Err(FsError::BadSpec(
+                    "shadowing a parity layout is not supported".into(),
+                ));
+            }
+        }
+        if matches!(spec.layout, LayoutSpec::Partitioned { .. })
+            && spec.fixed_capacity_records.is_none()
+        {
+            return Err(FsError::BadSpec(
+                "partitioned layouts require a fixed capacity".into(),
+            ));
+        }
+        if let (LayoutSpec::Partitioned { bounds, .. }, Some(cap)) =
+            (&spec.layout, spec.fixed_capacity_records)
+        {
+            let cap_blocks =
+                (cap * spec.record_size as u64).div_ceil(self.block_size() as u64);
+            let total = *bounds.last().expect("validated non-empty");
+            if total < cap_blocks {
+                return Err(FsError::BadSpec(format!(
+                    "partition bounds cover {total} blocks but capacity needs {cap_blocks}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Grow `state`'s allocation to at least `total_lblocks` logical
+    /// blocks, zeroing new extents (parity and shadow invariants start
+    /// from all-zero stripes).
+    pub(crate) fn grow_file(&self, state: &FileState, total_lblocks: u64) -> Result<()> {
+        let mut meta = state.meta.write();
+        if total_lblocks <= meta.nblocks {
+            return Ok(());
+        }
+        if let Some(cap) = meta.fixed_capacity_records {
+            let cap_blocks = match &meta.layout {
+                LayoutSpec::Partitioned { bounds, .. } => {
+                    *bounds.last().expect("non-empty bounds")
+                }
+                _ => (cap * meta.record_size as u64).div_ceil(self.block_size() as u64),
+            };
+            if total_lblocks > cap_blocks {
+                return Err(FsError::CapacityExceeded {
+                    requested: total_lblocks,
+                    capacity: cap_blocks,
+                });
+            }
+        }
+        let layout = meta.layout.build();
+        let mut added: Vec<(usize, Extent)> = Vec::new();
+        let zero = vec![0u8; self.block_size()];
+        for slot in 0..layout.devices() {
+            let need = layout.blocks_on_device(total_lblocks, slot);
+            let have = extents_len(&meta.extents[slot]);
+            if need <= have {
+                continue;
+            }
+            let dev = meta.device_map[slot];
+            let new_extents = {
+                let mut alloc = self.inner.alloc.lock();
+                match alloc.allocate(dev, need - have) {
+                    Ok(es) => es,
+                    Err(e) => {
+                        for &(d, ext) in &added {
+                            alloc.release(d, ext);
+                        }
+                        return Err(e);
+                    }
+                }
+            };
+            for &e in &new_extents {
+                added.push((dev, e));
+                for b in e.start..e.end() {
+                    self.inner.devices[dev].write_block(b, &zero)?;
+                }
+            }
+            meta.extents[slot].extend(new_extents);
+        }
+        meta.nblocks = total_lblocks;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol() -> Volume {
+        Volume::create_in_memory(VolumeConfig {
+            devices: 4,
+            device_blocks: 128,
+            block_size: 512,
+        })
+        .unwrap()
+    }
+
+    fn striped_spec(name: &str) -> FileSpec {
+        FileSpec::new(
+            name,
+            64,
+            8,
+            LayoutSpec::Striped {
+                devices: 4,
+                unit: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn create_open_list_remove() {
+        let v = vol();
+        v.create_file(striped_spec("a")).unwrap();
+        v.create_file(striped_spec("b")).unwrap();
+        assert_eq!(v.list(), vec!["a".to_string(), "b".to_string()]);
+        assert!(v.open("a").is_ok());
+        assert!(matches!(v.open("zz"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            v.create_file(striped_spec("a")),
+            Err(FsError::AlreadyExists(_))
+        ));
+        v.remove("a").unwrap();
+        assert_eq!(v.list(), vec!["b".to_string()]);
+        assert!(matches!(v.remove("a"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn remove_releases_space() {
+        let v = vol();
+        let before = v.free_blocks();
+        let f = v
+            .create_file(striped_spec("big").initial_records(512))
+            .unwrap();
+        drop(f);
+        assert!(v.free_blocks().iter().sum::<u64>() < before.iter().sum::<u64>());
+        v.remove("big").unwrap();
+        assert_eq!(v.free_blocks(), before);
+    }
+
+    #[test]
+    fn spec_validation() {
+        let v = vol();
+        // Too many devices.
+        let bad = FileSpec::new(
+            "x",
+            64,
+            1,
+            LayoutSpec::Striped {
+                devices: 9,
+                unit: 1,
+            },
+        );
+        assert!(matches!(v.create_file(bad), Err(FsError::BadSpec(_))));
+        // Zero record size.
+        let bad = FileSpec::new(
+            "x",
+            0,
+            1,
+            LayoutSpec::Striped {
+                devices: 1,
+                unit: 1,
+            },
+        );
+        assert!(matches!(v.create_file(bad), Err(FsError::BadSpec(_))));
+        // Partitioned without fixed capacity.
+        let bad = FileSpec::new(
+            "x",
+            512,
+            1,
+            LayoutSpec::Partitioned {
+                bounds: vec![0, 4, 8],
+                devices: 2,
+            },
+        );
+        assert!(matches!(v.create_file(bad), Err(FsError::BadSpec(_))));
+        // Partitioned with mismatched bounds.
+        let bad = FileSpec::new(
+            "x",
+            512,
+            1,
+            LayoutSpec::Partitioned {
+                bounds: vec![0, 4, 8],
+                devices: 2,
+            },
+        )
+        .fixed_capacity(9);
+        assert!(matches!(v.create_file(bad), Err(FsError::BadSpec(_))));
+        // Duplicate device in map.
+        let bad = striped_spec("x").device_map(vec![0, 1, 2, 2]);
+        assert!(matches!(v.create_file(bad), Err(FsError::BadSpec(_))));
+        // Shadowed parity.
+        let bad = FileSpec::new(
+            "x",
+            64,
+            1,
+            LayoutSpec::Shadowed(Box::new(LayoutSpec::Parity {
+                data_devices: 1,
+                rotated: false,
+            })),
+        );
+        assert!(matches!(v.create_file(bad), Err(FsError::BadSpec(_))));
+    }
+
+    #[test]
+    fn fixed_capacity_fully_preallocates() {
+        let v = vol();
+        let spec = FileSpec::new(
+            "ps",
+            512,
+            1,
+            LayoutSpec::Partitioned {
+                bounds: vec![0, 8, 16],
+                devices: 2,
+            },
+        )
+        .fixed_capacity(16);
+        let f = v.create_file(spec).unwrap();
+        let meta = f.meta_snapshot();
+        assert_eq!(meta.nblocks, 16);
+        assert_eq!(extents_len(&meta.extents[0]), 8);
+        assert_eq!(extents_len(&meta.extents[1]), 8);
+    }
+
+    #[test]
+    fn grow_rolls_back_on_no_space() {
+        // Device array too small for the request: allocation must fail and
+        // release anything it grabbed.
+        let v = Volume::create_in_memory(VolumeConfig {
+            devices: 2,
+            device_blocks: 80,
+            block_size: 512,
+        })
+        .unwrap();
+        let free_before = v.free_blocks();
+        let spec = FileSpec::new(
+            "huge",
+            512,
+            1,
+            LayoutSpec::Striped {
+                devices: 2,
+                unit: 1,
+            },
+        )
+        .initial_records(10_000);
+        assert!(matches!(
+            v.create_file(spec),
+            Err(FsError::NoSpace { .. })
+        ));
+        assert_eq!(v.free_blocks(), free_before);
+        assert!(v.list().is_empty(), "failed create must not leave a file");
+    }
+
+    #[test]
+    fn device_zero_reserves_superblock() {
+        let v = vol();
+        let free = v.free_blocks();
+        // Device 0 has less free space than the others (superblock region).
+        assert!(free[0] < free[1]);
+        assert_eq!(free[1], 128);
+    }
+}

@@ -1,0 +1,177 @@
+//! Byte-granularity striping.
+//!
+//! For type S files the paper views "the entire file … as a string of bytes
+//! which is broken into units most appropriate for the I/O devices
+//! involved". [`ByteStriper`] maps arbitrary byte ranges of that string onto
+//! per-device byte runs, independent of any block structure — the buffering
+//! layer "merges and splits data streams" from these runs.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous byte run on one device.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ByteRun {
+    /// Device index.
+    pub device: usize,
+    /// Byte offset within the device's portion of the file.
+    pub offset: u64,
+    /// Run length in bytes.
+    pub len: u64,
+    /// Byte offset within the logical file where this run begins.
+    pub logical: u64,
+}
+
+/// Round-robin byte striping with a fixed unit.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ByteStriper {
+    devices: usize,
+    unit: u64,
+}
+
+impl ByteStriper {
+    /// Stripe `unit` bytes at a time across `devices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0` or `unit == 0`.
+    pub fn new(devices: usize, unit: u64) -> ByteStriper {
+        assert!(devices >= 1 && unit >= 1);
+        ByteStriper { devices, unit }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Stripe unit in bytes.
+    pub fn unit(&self) -> u64 {
+        self.unit
+    }
+
+    /// Device and device-local offset of logical byte `off`.
+    pub fn locate(&self, off: u64) -> (usize, u64) {
+        let stripe = off / self.unit;
+        let within = off % self.unit;
+        let device = (stripe % self.devices as u64) as usize;
+        let row = stripe / self.devices as u64;
+        (device, row * self.unit + within)
+    }
+
+    /// Split the logical byte range `[offset, offset + len)` into maximal
+    /// per-device runs, in logical order.
+    pub fn map_range(&self, offset: u64, len: u64) -> Vec<ByteRun> {
+        let mut out: Vec<ByteRun> = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let (device, doff) = self.locate(pos);
+            // Distance to the end of the current stripe unit.
+            let unit_left = self.unit - pos % self.unit;
+            let take = unit_left.min(end - pos);
+            match out.last_mut() {
+                // With one device, consecutive units are contiguous.
+                Some(r) if r.device == device && r.offset + r.len == doff => r.len += take,
+                _ => out.push(ByteRun {
+                    device,
+                    offset: doff,
+                    len: take,
+                    logical: pos,
+                }),
+            }
+            pos += take;
+        }
+        out
+    }
+
+    /// Bytes stored on `device` for a file of `file_len` bytes.
+    pub fn bytes_on_device(&self, file_len: u64, device: usize) -> u64 {
+        if device >= self.devices {
+            return 0;
+        }
+        let d = device as u64;
+        let nd = self.devices as u64;
+        let full = file_len / self.unit;
+        let tail = file_len % self.unit;
+        let mut bytes = (full / nd + u64::from(full % nd > d)) * self.unit;
+        if tail > 0 && full % nd == d {
+            bytes += tail;
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn locate_round_robins_units() {
+        let s = ByteStriper::new(3, 10);
+        assert_eq!(s.locate(0), (0, 0));
+        assert_eq!(s.locate(9), (0, 9));
+        assert_eq!(s.locate(10), (1, 0));
+        assert_eq!(s.locate(25), (2, 5));
+        assert_eq!(s.locate(30), (0, 10));
+    }
+
+    #[test]
+    fn map_range_splits_at_unit_boundaries() {
+        let s = ByteStriper::new(2, 8);
+        let runs = s.map_range(4, 16);
+        // Bytes 4..8 on dev0, 8..16 on dev1, 16..20 on dev0 at offset 8.
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0], ByteRun { device: 0, offset: 4, len: 4, logical: 4 });
+        assert_eq!(runs[1], ByteRun { device: 1, offset: 0, len: 8, logical: 8 });
+        assert_eq!(runs[2], ByteRun { device: 0, offset: 8, len: 4, logical: 16 });
+    }
+
+    #[test]
+    fn single_device_coalesces_to_one_run() {
+        let s = ByteStriper::new(1, 4);
+        let runs = s.map_range(2, 100);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len, 100);
+        assert_eq!(runs[0].offset, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_cover_exactly(devices in 1usize..6, unit in 1u64..33,
+                                offset in 0u64..500, len in 0u64..500) {
+            let s = ByteStriper::new(devices, unit);
+            let runs = s.map_range(offset, len);
+            let total: u64 = runs.iter().map(|r| r.len).sum();
+            prop_assert_eq!(total, len);
+            // Runs are in logical order and dense.
+            let mut pos = offset;
+            for r in &runs {
+                prop_assert_eq!(r.logical, pos);
+                prop_assert!(r.len > 0);
+                pos += r.len;
+            }
+        }
+
+        #[test]
+        fn run_bytes_agree_with_locate(devices in 1usize..6, unit in 1u64..33,
+                                       offset in 0u64..300, len in 1u64..200) {
+            let s = ByteStriper::new(devices, unit);
+            for r in s.map_range(offset, len) {
+                // Every byte of the run individually locates inside it.
+                for i in 0..r.len.min(5) {
+                    let (d, o) = s.locate(r.logical + i);
+                    prop_assert_eq!(d, r.device);
+                    prop_assert_eq!(o, r.offset + i);
+                }
+            }
+        }
+
+        #[test]
+        fn device_byte_counts_sum(devices in 1usize..6, unit in 1u64..33, flen in 0u64..800) {
+            let s = ByteStriper::new(devices, unit);
+            let sum: u64 = (0..devices).map(|d| s.bytes_on_device(flen, d)).sum();
+            prop_assert_eq!(sum, flen);
+        }
+    }
+}

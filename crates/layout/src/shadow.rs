@@ -1,0 +1,154 @@
+//! Shadowed (mirrored) placement.
+//!
+//! The paper's §5: "A technique sometimes used … is to replicate every disk,
+//! and perform exactly the same I/O operations on each disk and its
+//! 'shadow'." A [`Shadowed`] layout doubles the device array: devices
+//! `0..n` are primaries placed by the inner layout, devices `n..2n` are
+//! their shadows at identical block addresses. Reads may be served from
+//! either copy; writes must go to both (enforced by the file-system layer
+//! and exercised by `pario-reliability`).
+
+use std::fmt;
+
+use crate::traits::{Layout, PhysBlock};
+
+/// A mirror of an arbitrary inner layout.
+pub struct Shadowed {
+    inner: Box<dyn Layout>,
+}
+
+impl Shadowed {
+    /// Mirror `inner` onto a second identical device array.
+    pub fn new(inner: Box<dyn Layout>) -> Shadowed {
+        Shadowed { inner }
+    }
+
+    /// Number of primary devices (= number of shadow devices).
+    pub fn primaries(&self) -> usize {
+        self.inner.devices()
+    }
+
+    /// The shadow copy of a primary location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primary` is not on a primary device.
+    pub fn mirror(&self, primary: PhysBlock) -> PhysBlock {
+        assert!(
+            primary.device < self.primaries(),
+            "mirror() takes a primary-device location"
+        );
+        PhysBlock {
+            device: primary.device + self.primaries(),
+            block: primary.block,
+        }
+    }
+
+    /// The primary copy of a shadow location (identity on primaries).
+    pub fn primary(&self, loc: PhysBlock) -> PhysBlock {
+        if loc.device >= self.primaries() {
+            PhysBlock {
+                device: loc.device - self.primaries(),
+                block: loc.block,
+            }
+        } else {
+            loc
+        }
+    }
+
+    /// Access to the wrapped layout.
+    pub fn inner(&self) -> &dyn Layout {
+        &*self.inner
+    }
+}
+
+impl fmt::Debug for Shadowed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shadowed").field("inner", &self.inner).finish()
+    }
+}
+
+impl Layout for Shadowed {
+    fn devices(&self) -> usize {
+        self.inner.devices() * 2
+    }
+
+    /// Maps to the *primary* copy; writers obtain the shadow location via
+    /// [`Shadowed::mirror`].
+    fn map(&self, lblock: u64) -> PhysBlock {
+        self.inner.map(lblock)
+    }
+
+    fn invert(&self, device: usize, dblock: u64) -> Option<u64> {
+        let n = self.primaries();
+        if device >= n {
+            self.inner.invert(device - n, dblock)
+        } else {
+            self.inner.invert(device, dblock)
+        }
+    }
+
+    fn blocks_on_device(&self, total: u64, device: usize) -> u64 {
+        let n = self.primaries();
+        if device >= n {
+            self.inner.blocks_on_device(total, device - n)
+        } else {
+            self.inner.blocks_on_device(total, device)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::striped::Striped;
+    use crate::traits::check_bijection;
+
+    fn shadowed() -> Shadowed {
+        Shadowed::new(Box::new(Striped::new(2, 1)))
+    }
+
+    #[test]
+    fn doubles_devices_and_mirrors() {
+        let l = shadowed();
+        assert_eq!(l.devices(), 4);
+        assert_eq!(l.primaries(), 2);
+        let p = l.map(3);
+        assert_eq!(p, PhysBlock { device: 1, block: 1 });
+        let m = l.mirror(p);
+        assert_eq!(m, PhysBlock { device: 3, block: 1 });
+        assert_eq!(l.primary(m), p);
+        assert_eq!(l.primary(p), p);
+    }
+
+    #[test]
+    fn shadow_locations_invert_to_same_block() {
+        let l = shadowed();
+        for b in 0..16 {
+            let p = l.map(b);
+            let m = l.mirror(p);
+            assert_eq!(l.invert(p.device, p.block), Some(b));
+            assert_eq!(l.invert(m.device, m.block), Some(b));
+        }
+    }
+
+    #[test]
+    fn primary_mapping_is_bijective() {
+        check_bijection(&shadowed(), 32);
+    }
+
+    #[test]
+    fn shadow_capacity_matches_primary() {
+        let l = shadowed();
+        for d in 0..2 {
+            assert_eq!(l.blocks_on_device(13, d), l.blocks_on_device(13, d + 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "primary-device location")]
+    fn mirror_of_shadow_panics() {
+        let l = shadowed();
+        l.mirror(PhysBlock { device: 3, block: 0 });
+    }
+}

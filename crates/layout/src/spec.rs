@@ -1,0 +1,129 @@
+//! Serializable layout descriptions.
+//!
+//! File metadata must persist across mounts, so the file system stores a
+//! [`LayoutSpec`] — a plain-data description — and rebuilds the concrete
+//! [`Layout`] object on open.
+
+use serde::{Deserialize, Serialize};
+
+use crate::parity::{ParityPlacement, ParityStriped};
+use crate::partitioned::Partitioned;
+use crate::shadow::Shadowed;
+use crate::striped::Striped;
+use crate::traits::Layout;
+
+/// A plain-data description of a data placement, stored in file metadata.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutSpec {
+    /// Round-robin units over `devices` ([`Striped`]).
+    Striped {
+        /// Devices to stripe over.
+        devices: usize,
+        /// Stripe unit in volume blocks.
+        unit: u64,
+    },
+    /// Contiguous per-partition placement ([`Partitioned`]).
+    Partitioned {
+        /// Partition boundaries in logical blocks (`bounds[0] == 0`).
+        bounds: Vec<u64>,
+        /// Devices partitions are assigned round-robin onto.
+        devices: usize,
+    },
+    /// Striping with one parity block per stripe ([`ParityStriped`]).
+    Parity {
+        /// Data devices (total devices is one more).
+        data_devices: usize,
+        /// RAID-5 style rotation if true, dedicated parity device if false.
+        rotated: bool,
+    },
+    /// A mirrored copy of another layout ([`Shadowed`]).
+    Shadowed(Box<LayoutSpec>),
+}
+
+impl LayoutSpec {
+    /// Construct the concrete layout this spec describes.
+    pub fn build(&self) -> Box<dyn Layout> {
+        match self {
+            LayoutSpec::Striped { devices, unit } => Box::new(Striped::new(*devices, *unit)),
+            LayoutSpec::Partitioned { bounds, devices } => {
+                Box::new(Partitioned::from_bounds(bounds.clone(), *devices))
+            }
+            LayoutSpec::Parity {
+                data_devices,
+                rotated,
+            } => Box::new(ParityStriped::new(
+                *data_devices,
+                if *rotated {
+                    ParityPlacement::Rotated
+                } else {
+                    ParityPlacement::Dedicated
+                },
+            )),
+            LayoutSpec::Shadowed(inner) => Box::new(Shadowed::new(inner.build())),
+        }
+    }
+
+    /// Total devices (including parity and shadow devices) this placement
+    /// needs from the volume.
+    pub fn devices_required(&self) -> usize {
+        match self {
+            LayoutSpec::Striped { devices, .. } => *devices,
+            LayoutSpec::Partitioned { devices, .. } => *devices,
+            LayoutSpec::Parity { data_devices, .. } => data_devices + 1,
+            LayoutSpec::Shadowed(inner) => inner.devices_required() * 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_matches_direct_construction() {
+        let spec = LayoutSpec::Striped {
+            devices: 3,
+            unit: 2,
+        };
+        let l = spec.build();
+        assert_eq!(l.devices(), 3);
+        assert_eq!(l.map(5), Striped::new(3, 2).map(5));
+    }
+
+    #[test]
+    fn devices_required() {
+        assert_eq!(
+            LayoutSpec::Striped {
+                devices: 4,
+                unit: 1
+            }
+            .devices_required(),
+            4
+        );
+        assert_eq!(
+            LayoutSpec::Parity {
+                data_devices: 4,
+                rotated: true
+            }
+            .devices_required(),
+            5
+        );
+        let shadowed = LayoutSpec::Shadowed(Box::new(LayoutSpec::Partitioned {
+            bounds: vec![0, 5, 10],
+            devices: 2,
+        }));
+        assert_eq!(shadowed.devices_required(), 4);
+        assert_eq!(shadowed.build().devices(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = LayoutSpec::Shadowed(Box::new(LayoutSpec::Parity {
+            data_devices: 3,
+            rotated: false,
+        }));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: LayoutSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

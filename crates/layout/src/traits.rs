@@ -1,0 +1,184 @@
+//! The layout abstraction: where does logical block *b* of a file live?
+//!
+//! A file is a sequence of *logical blocks* (the volume allocation grain).
+//! A [`Layout`] is a bijection from logical block indices onto per-device
+//! block indices, one device block per logical block. Every organization in
+//! Crockett (1989) — striped, partitioned, interleaved, declustered — is a
+//! different bijection; parity and shadowing wrap a bijection with extra
+//! redundancy locations.
+
+use std::fmt::Debug;
+
+use serde::{Deserialize, Serialize};
+
+/// A physical location: device index plus device-local block index.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PhysBlock {
+    /// Device index within the volume.
+    pub device: usize,
+    /// Block index local to that device (the file's extent mapping turns
+    /// this into an absolute device address).
+    pub block: u64,
+}
+
+/// A maximal run of consecutive logical blocks that land consecutively on
+/// one device — the unit at which I/O can be coalesced into one request.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Run {
+    /// First logical block of the run.
+    pub lblock: u64,
+    /// Device holding the run.
+    pub device: usize,
+    /// First device-local block of the run.
+    pub dblock: u64,
+    /// Number of blocks in the run.
+    pub count: u64,
+}
+
+/// A data-placement policy: a per-file bijection from logical blocks to
+/// `(device, device block)` pairs.
+///
+/// Implementations must satisfy, for all `b < total` and all devices `d`:
+///
+/// * `invert(map(b)) == Some(b)` (round trip),
+/// * `map` is injective (no two logical blocks share a physical block),
+/// * `map(b).block < blocks_on_device(total, map(b).device)` (capacity).
+///
+/// These invariants are enforced by property tests on every concrete layout.
+pub trait Layout: Send + Sync + Debug {
+    /// Number of devices this layout spreads data over.
+    fn devices(&self) -> usize;
+
+    /// Physical location of logical block `lblock`.
+    fn map(&self, lblock: u64) -> PhysBlock;
+
+    /// Logical block stored at `(device, dblock)`, if any file block maps
+    /// there (the location may be a hole for non-uniform layouts).
+    fn invert(&self, device: usize, dblock: u64) -> Option<u64>;
+
+    /// Device-local blocks needed on `device` to store a file of `total`
+    /// logical blocks.
+    fn blocks_on_device(&self, total: u64, device: usize) -> u64;
+
+    /// The largest per-device footprint — what the allocator must reserve
+    /// on every device for a file of `total` logical blocks.
+    fn max_blocks_per_device(&self, total: u64) -> u64 {
+        (0..self.devices())
+            .map(|d| self.blocks_on_device(total, d))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Coalesce the logical block range `[start, start + count)` into maximal
+/// per-device contiguous runs, in logical order.
+///
+/// Reading a file through the *global view* issues exactly these runs; their
+/// lengths determine how much sequential-device bandwidth each request can
+/// exploit (this is where the PS organization's global-view serialisation
+/// becomes visible: one giant run per device, no overlap).
+pub fn runs(layout: &dyn Layout, start: u64, count: u64) -> Vec<Run> {
+    let mut out: Vec<Run> = Vec::new();
+    for l in start..start + count {
+        let p = layout.map(l);
+        match out.last_mut() {
+            Some(r) if r.device == p.device && r.dblock + r.count == p.block => {
+                r.count += 1;
+            }
+            _ => out.push(Run {
+                lblock: l,
+                device: p.device,
+                dblock: p.block,
+                count: 1,
+            }),
+        }
+    }
+    out
+}
+
+/// Exhaustively verify the [`Layout`] bijection invariants for a file of
+/// `total` logical blocks. Intended for tests of concrete layouts (including
+/// downstream crates'); panics with a descriptive message on violation.
+pub fn check_bijection(layout: &dyn Layout, total: u64) {
+    use std::collections::HashMap;
+    let mut seen: HashMap<(usize, u64), u64> = HashMap::new();
+    for b in 0..total {
+        let p = layout.map(b);
+        assert!(
+            p.device < layout.devices(),
+            "block {b} mapped to nonexistent device {}",
+            p.device
+        );
+        let cap = layout.blocks_on_device(total, p.device);
+        assert!(
+            p.block < cap,
+            "block {b} mapped to {:?} beyond device capacity {cap}",
+            p
+        );
+        if let Some(prev) = seen.insert((p.device, p.block), b) {
+            panic!("blocks {prev} and {b} both map to {p:?}");
+        }
+        assert_eq!(
+            layout.invert(p.device, p.block),
+            Some(b),
+            "invert(map({b})) != {b}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy identity layout on one device, to test the helpers themselves.
+    #[derive(Debug)]
+    struct Identity;
+
+    impl Layout for Identity {
+        fn devices(&self) -> usize {
+            1
+        }
+        fn map(&self, lblock: u64) -> PhysBlock {
+            PhysBlock {
+                device: 0,
+                block: lblock,
+            }
+        }
+        fn invert(&self, device: usize, dblock: u64) -> Option<u64> {
+            (device == 0).then_some(dblock)
+        }
+        fn blocks_on_device(&self, total: u64, device: usize) -> u64 {
+            if device == 0 {
+                total
+            } else {
+                0
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_a_bijection() {
+        check_bijection(&Identity, 64);
+    }
+
+    #[test]
+    fn runs_coalesce_contiguous() {
+        let r = runs(&Identity, 3, 5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r[0],
+            Run {
+                lblock: 3,
+                device: 0,
+                dblock: 3,
+                count: 5
+            }
+        );
+        assert!(runs(&Identity, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn max_blocks_default() {
+        assert_eq!(Identity.max_blocks_per_device(17), 17);
+    }
+}

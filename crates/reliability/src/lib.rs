@@ -1,0 +1,42 @@
+//! # pario-reliability — failure, redundancy, recovery
+//!
+//! The paper's §5 identifies reliability as the limiting factor on I/O
+//! parallelism: MTBF falls linearly in device count, parity handles a
+//! single failed drive for striped files but not independently-accessed
+//! layouts, shadowing is the expensive alternative, and restoring one
+//! drive from backup tears cross-device consistency. This crate makes
+//! each of those statements executable:
+//!
+//! * [`mtbf`] analytics reproducing the paper's 10-device / 100-device
+//!   arithmetic, with a Monte-Carlo cross-check.
+//! * [`ChecksumDevice`] — single-bit-error detection; combined with the
+//!   file layer's parity reconstruction it *corrects* bit errors.
+//! * [`rebuild_parity_slot`] / [`resync_shadow`] / [`rebuild_device`] —
+//!   recovery after drive replacement.
+//! * [`scrub`] + [`snapshot_device`] / [`restore_device`] — the
+//!   partial-rollback consistency demonstration.
+//! * [`failure_schedule`] — deterministic exponential failure campaigns.
+//!
+//! ```
+//! use pario_reliability::{system_mtbf_hours, PAPER_DEVICE_MTBF_HOURS};
+//!
+//! // The paper's arithmetic: ten 30,000-hour drives fail every 3,000 h.
+//! assert_eq!(system_mtbf_hours(PAPER_DEVICE_MTBF_HOURS, 10), 3_000.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod checksum;
+mod inject;
+pub mod mtbf;
+mod rebuild;
+mod scrub;
+
+pub use checksum::{fnv1a, ChecksumDevice};
+pub use inject::{apply_failures, failure_schedule, FailureEvent};
+pub use mtbf::{
+    expected_failures, monte_carlo_mttf, paper_table, system_mtbf_hours, MtbfRow,
+    HOURS_PER_YEAR, PAPER_DEVICE_MTBF_HOURS,
+};
+pub use rebuild::{rebuild_device, rebuild_parity_slot, resync_shadow, RebuildReport};
+pub use scrub::{repair, restore_device, scrub, snapshot_device};

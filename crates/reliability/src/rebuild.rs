@@ -1,0 +1,315 @@
+//! Device rebuild: recovering a replaced drive's contents.
+//!
+//! Parity files rebuild the lost slot by XOR over each stripe ("complete
+//! failure of a single drive", §5); shadowed files re-synchronise from
+//! the surviving copy. [`rebuild_device`] sweeps a whole volume and
+//! reports which files were recoverable — unprotected files are exactly
+//! the paper's warning case.
+
+use pario_fs::{FsError, RawFile, Result, Volume};
+use pario_layout::{LayoutSpec, ParityPlacement, ParityStriped};
+
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+fn parity_model(raw: &RawFile) -> Option<ParityStriped> {
+    match raw.meta_snapshot().layout {
+        LayoutSpec::Parity {
+            data_devices,
+            rotated,
+        } => Some(ParityStriped::new(
+            data_devices,
+            if rotated {
+                ParityPlacement::Rotated
+            } else {
+                ParityPlacement::Dedicated
+            },
+        )),
+        _ => None,
+    }
+}
+
+/// Rebuild layout slot `failed_slot` of a parity-protected file onto its
+/// (replaced, healed) device. Returns blocks rebuilt.
+///
+/// The file's stripe lock is held throughout, quiescing concurrent
+/// parity updates.
+pub fn rebuild_parity_slot(raw: &RawFile, failed_slot: usize) -> Result<u64> {
+    let ps = parity_model(raw).ok_or_else(|| {
+        FsError::BadSpec("rebuild_parity_slot needs a parity-striped file".into())
+    })?;
+    if failed_slot > ps.stripe_width() {
+        return Err(FsError::BadSpec(format!(
+            "slot {failed_slot} out of range for {}+1 devices",
+            ps.stripe_width()
+        )));
+    }
+    let _quiesce = raw.lock_stripes();
+    let total = raw.nblocks();
+    let bs = raw.block_size();
+    let mut acc = vec![0u8; bs];
+    let mut buf = vec![0u8; bs];
+    let mut rebuilt = 0;
+    for s in 0..ps.stripes(total) {
+        let pdev = ps.parity_device(s);
+        let members = ps.stripe_data(s, total);
+        let lost_here = pdev == failed_slot
+            || members.iter().any(|(_, loc)| loc.device == failed_slot);
+        if !lost_here {
+            continue;
+        }
+        // XOR everything in the stripe except the lost block.
+        acc.fill(0);
+        if pdev != failed_slot {
+            raw.read_device_block(pdev, s, &mut buf)?;
+            xor_into(&mut acc, &buf);
+        }
+        for (_, loc) in &members {
+            if loc.device == failed_slot {
+                continue;
+            }
+            raw.read_device_block(loc.device, loc.block, &mut buf)?;
+            xor_into(&mut acc, &buf);
+        }
+        raw.write_device_block(failed_slot, s, &acc)?;
+        rebuilt += 1;
+    }
+    Ok(rebuilt)
+}
+
+/// Re-synchronise layout slot `slot` of a shadowed file from its mirror
+/// partner. Returns blocks copied.
+pub fn resync_shadow(raw: &RawFile, slot: usize) -> Result<u64> {
+    let primaries = match raw.meta_snapshot().layout {
+        LayoutSpec::Shadowed(inner) => inner.devices_required(),
+        _ => {
+            return Err(FsError::BadSpec(
+                "resync_shadow needs a shadowed file".into(),
+            ))
+        }
+    };
+    let peer = if slot < primaries {
+        slot + primaries
+    } else {
+        slot - primaries
+    };
+    let bs = raw.block_size();
+    let mut buf = vec![0u8; bs];
+    let blocks = raw.device_blocks(slot);
+    for b in 0..blocks {
+        raw.read_device_block(peer, b, &mut buf)?;
+        raw.write_device_block(slot, b, &buf)?;
+    }
+    Ok(blocks)
+}
+
+/// Outcome of a volume-wide rebuild after replacing one device.
+#[derive(Clone, Debug, Default)]
+pub struct RebuildReport {
+    /// Files recovered via parity, with blocks rebuilt.
+    pub parity_rebuilt: Vec<(String, u64)>,
+    /// Files re-synchronised from shadows, with blocks copied.
+    pub shadow_resynced: Vec<(String, u64)>,
+    /// Files on the device with no redundancy — data lost, exactly the
+    /// paper's warning for independently-accessed PS/IS layouts.
+    pub unprotected: Vec<String>,
+    /// Files not touching the device at all.
+    pub unaffected: Vec<String>,
+}
+
+/// Rebuild every file on `vol` that stored data on (replaced, healed)
+/// device `device_idx`.
+pub fn rebuild_device(vol: &Volume, device_idx: usize) -> Result<RebuildReport> {
+    let mut report = RebuildReport::default();
+    for name in vol.list() {
+        let raw = vol.open(&name)?;
+        let meta = raw.meta_snapshot();
+        let slot = meta.device_map.iter().position(|&d| d == device_idx);
+        let Some(slot) = slot else {
+            report.unaffected.push(name);
+            continue;
+        };
+        match &meta.layout {
+            LayoutSpec::Parity { .. } => {
+                let n = rebuild_parity_slot(&raw, slot)?;
+                report.parity_rebuilt.push((name, n));
+            }
+            LayoutSpec::Shadowed(_) => {
+                let n = resync_shadow(&raw, slot)?;
+                report.shadow_resynced.push((name, n));
+            }
+            _ => report.unprotected.push(name),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pario_fs::{FileSpec, VolumeConfig};
+
+    const BS: usize = 256;
+
+    fn vol() -> Volume {
+        Volume::create_in_memory(VolumeConfig {
+            devices: 6,
+            device_blocks: 256,
+            block_size: BS,
+        })
+        .unwrap()
+    }
+
+    fn rec(tag: u64) -> Vec<u8> {
+        (0..BS).map(|i| (tag as usize * 41 + i) as u8).collect()
+    }
+
+    fn blank(dev: &pario_disk::DeviceRef) {
+        let zero = vec![0u8; BS];
+        for b in 0..dev.num_blocks() {
+            dev.write_block(b, &zero).unwrap();
+        }
+    }
+
+    fn parity_file(v: &Volume, name: &str, rotated: bool, n: u64) -> RawFile {
+        let f = v
+            .create_file(FileSpec::new(
+                name,
+                BS,
+                1,
+                pario_layout::LayoutSpec::Parity {
+                    data_devices: 3,
+                    rotated,
+                },
+            ))
+            .unwrap();
+        for r in 0..n {
+            f.write_record(r, &rec(r)).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn parity_rebuild_restores_replaced_device() {
+        for rotated in [false, true] {
+            for dead_slot in 0..4usize {
+                let v = vol();
+                let f = parity_file(&v, "p", rotated, 24);
+                // Fail, replace with a blank, rebuild.
+                let dev = v.device(dead_slot);
+                dev.fail();
+                // (writes during the outage keep parity coherent)
+                f.write_record(2, &rec(99)).unwrap();
+                dev.heal();
+                blank(&dev); // replacement drive arrives blank
+                let rebuilt = rebuild_parity_slot(&f, dead_slot).unwrap();
+                assert!(rebuilt > 0, "slot {dead_slot} had blocks to rebuild");
+                // All devices healthy: every record readable *directly*.
+                let mut buf = vec![0u8; BS];
+                for r in 0..24u64 {
+                    f.read_record(r, &mut buf).unwrap();
+                    let expect = if r == 2 { rec(99) } else { rec(r) };
+                    assert_eq!(buf, expect, "rotated={rotated} slot={dead_slot} rec {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_resync_restores_mirror() {
+        let v = vol();
+        let f = v
+            .create_file(FileSpec::new(
+                "sh",
+                BS,
+                1,
+                pario_layout::LayoutSpec::Shadowed(Box::new(
+                    pario_layout::LayoutSpec::Striped {
+                        devices: 2,
+                        unit: 1,
+                    },
+                )),
+            ))
+            .unwrap();
+        for r in 0..16u64 {
+            f.write_record(r, &rec(r)).unwrap();
+        }
+        // Lose shadow device 2 (mirror of primary 0); writes continue.
+        v.device(2).fail();
+        f.write_record(0, &rec(77)).unwrap();
+        v.device(2).heal();
+        blank(&v.device(2)); // replacement mirror arrives blank
+        let copied = resync_shadow(&f, 2).unwrap();
+        assert!(copied >= 8);
+        // Now fail the PRIMARY: reads must come from the resynced shadow.
+        v.device(0).fail();
+        let mut buf = vec![0u8; BS];
+        for r in 0..16u64 {
+            f.read_record(r, &mut buf).unwrap();
+            let expect = if r == 0 { rec(77) } else { rec(r) };
+            assert_eq!(buf, expect, "record {r}");
+        }
+    }
+
+    #[test]
+    fn volume_rebuild_classifies_files() {
+        let v = vol();
+        parity_file(&v, "prot", false, 12);
+        let plain = v
+            .create_file(FileSpec::new(
+                "plain",
+                BS,
+                1,
+                pario_layout::LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        plain.write_record(0, &rec(1)).unwrap();
+        let elsewhere = v
+            .create_file(
+                FileSpec::new(
+                    "elsewhere",
+                    BS,
+                    1,
+                    pario_layout::LayoutSpec::Striped {
+                        devices: 1,
+                        unit: 1,
+                    },
+                )
+                .device_map(vec![5]),
+            )
+            .unwrap();
+        elsewhere.write_record(0, &rec(2)).unwrap();
+
+        // Replace device 1 (blank) and rebuild.
+        v.device(1).heal();
+        let report = rebuild_device(&v, 1).unwrap();
+        assert_eq!(report.parity_rebuilt.len(), 1);
+        assert_eq!(report.parity_rebuilt[0].0, "prot");
+        assert_eq!(report.unprotected, vec!["plain".to_string()]);
+        assert_eq!(report.unaffected, vec!["elsewhere".to_string()]);
+    }
+
+    #[test]
+    fn rebuild_rejects_wrong_layouts() {
+        let v = vol();
+        let plain = v
+            .create_file(FileSpec::new(
+                "x",
+                BS,
+                1,
+                pario_layout::LayoutSpec::Striped {
+                    devices: 1,
+                    unit: 1,
+                },
+            ))
+            .unwrap();
+        assert!(rebuild_parity_slot(&plain, 0).is_err());
+        assert!(resync_shadow(&plain, 0).is_err());
+    }
+}

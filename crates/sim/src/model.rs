@@ -1,0 +1,117 @@
+//! Device service models.
+//!
+//! A [`DeviceModel`] owns a device's request queue and decides *which*
+//! pending request to service next (the scheduling policy) and *how long*
+//! that service takes (the timing model). The engine only sees opaque
+//! enqueue/start-next operations, so rotating disks, fixed-latency RAM
+//! devices, and anything else plug in interchangeably.
+
+use std::collections::VecDeque;
+
+use crate::request::{PendingReq, ServiceBreakdown, Started};
+use crate::time::SimTime;
+
+/// A pluggable per-device queueing-and-timing model.
+///
+/// The engine calls `enqueue` when a process issues a request, and
+/// `start_next` whenever the device is idle and may begin servicing. A model
+/// services one request at a time; overlap across devices is what the
+/// simulation is for.
+pub trait DeviceModel: Send {
+    /// Add a request to the device queue.
+    fn enqueue(&mut self, req: PendingReq);
+
+    /// Number of requests waiting (not counting one in service).
+    fn pending(&self) -> usize;
+
+    /// Choose the next request, compute its completion time from `now`, and
+    /// commit internal state (head position etc.) to it. Returns `None` when
+    /// the queue is empty.
+    fn start_next(&mut self, now: SimTime) -> Option<Started>;
+}
+
+/// The simplest useful model: FIFO queue, constant per-request overhead plus
+/// a constant per-block transfer time.
+///
+/// This models a device with no positional state — a RAM disk, or a disk
+/// whose seek pattern the experiment deliberately abstracts away. It is also
+/// the reference model for engine unit tests because its timing is trivial
+/// to predict by hand.
+#[derive(Debug)]
+pub struct FixedLatencyModel {
+    /// Fixed overhead charged to every request.
+    pub per_request: SimTime,
+    /// Transfer time charged per block.
+    pub per_block: SimTime,
+    queue: VecDeque<PendingReq>,
+}
+
+impl FixedLatencyModel {
+    /// Create a model with the given per-request and per-block costs.
+    pub fn new(per_request: SimTime, per_block: SimTime) -> FixedLatencyModel {
+        FixedLatencyModel {
+            per_request,
+            per_block,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl DeviceModel for FixedLatencyModel {
+    fn enqueue(&mut self, req: PendingReq) {
+        self.queue.push_back(req);
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn start_next(&mut self, now: SimTime) -> Option<Started> {
+        let pending = self.queue.pop_front()?;
+        let transfer = self.per_block * u64::from(pending.req.nblocks);
+        let breakdown = ServiceBreakdown {
+            seek: self.per_request,
+            rotation: SimTime::ZERO,
+            transfer,
+        };
+        Some(Started {
+            pending,
+            complete_at: now + breakdown.total(),
+            breakdown,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::DiskReq;
+
+    fn pend(block: u64, nblocks: u32, tag: u64) -> PendingReq {
+        PendingReq {
+            req: DiskReq::read(0, block, nblocks),
+            proc: 0,
+            issued: SimTime::ZERO,
+            tag,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_timing() {
+        let mut m = FixedLatencyModel::new(SimTime::from_us(10), SimTime::from_us(2));
+        m.enqueue(pend(100, 1, 0));
+        m.enqueue(pend(0, 3, 1));
+        assert_eq!(m.pending(), 2);
+
+        let s0 = m.start_next(SimTime::ZERO).unwrap();
+        assert_eq!(s0.pending.tag, 0);
+        assert_eq!(s0.complete_at, SimTime::from_us(12));
+        assert_eq!(m.pending(), 1);
+
+        let s1 = m.start_next(s0.complete_at).unwrap();
+        assert_eq!(s1.pending.tag, 1);
+        // 10us overhead + 3 blocks * 2us.
+        assert_eq!(s1.complete_at, SimTime::from_us(12 + 16));
+        assert!(m.start_next(SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Scripted process behaviour.
+//!
+//! A simulated process is a straight-line script of operations: compute for
+//! a while, do some I/O, synchronise. Scripts are built ahead of time by the
+//! experiment (often from a layout mapping), which keeps the engine free of
+//! application logic and makes every run exactly reproducible.
+
+use crate::request::DiskReq;
+use crate::time::SimTime;
+
+/// One step in a process script.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Occupy the CPU for the given span (no device activity).
+    Compute(SimTime),
+    /// Issue the requests and block until *all* of this process's
+    /// outstanding requests (including earlier async ones) complete.
+    Io(Vec<DiskReq>),
+    /// Issue the requests and continue immediately (read-ahead / deferred
+    /// write). Completions are collected by a later `Io` or `WaitAll`.
+    IoAsync(Vec<DiskReq>),
+    /// Block until every outstanding request of this process completes.
+    WaitAll,
+    /// Block until every live process has reached its own `Barrier`.
+    Barrier,
+}
+
+impl Op {
+    /// A blocking read of `nblocks` at `block` on `device`.
+    pub fn read(device: usize, block: u64, nblocks: u32) -> Op {
+        Op::Io(vec![DiskReq::read(device, block, nblocks)])
+    }
+
+    /// A blocking write of `nblocks` at `block` on `device`.
+    pub fn write(device: usize, block: u64, nblocks: u32) -> Op {
+        Op::Io(vec![DiskReq::write(device, block, nblocks)])
+    }
+}
+
+/// Builder for a process script.
+///
+/// ```
+/// use pario_sim::{Script, SimTime};
+/// let script = Script::new()
+///     .compute(SimTime::from_us(50))
+///     .read(0, 0, 8)
+///     .barrier()
+///     .build();
+/// assert_eq!(script.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Script {
+    ops: Vec<Op>,
+}
+
+impl Script {
+    /// Start an empty script.
+    pub fn new() -> Script {
+        Script::default()
+    }
+
+    /// Append an arbitrary op.
+    pub fn op(mut self, op: Op) -> Script {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append a compute phase.
+    pub fn compute(self, d: SimTime) -> Script {
+        self.op(Op::Compute(d))
+    }
+
+    /// Append a blocking single-extent read.
+    pub fn read(self, device: usize, block: u64, nblocks: u32) -> Script {
+        self.op(Op::read(device, block, nblocks))
+    }
+
+    /// Append a blocking single-extent write.
+    pub fn write(self, device: usize, block: u64, nblocks: u32) -> Script {
+        self.op(Op::write(device, block, nblocks))
+    }
+
+    /// Append a blocking multi-request I/O (e.g. one logical block split
+    /// across several devices by a declustered layout).
+    pub fn io(self, reqs: Vec<DiskReq>) -> Script {
+        self.op(Op::Io(reqs))
+    }
+
+    /// Append a non-blocking I/O (read-ahead / write-behind).
+    pub fn io_async(self, reqs: Vec<DiskReq>) -> Script {
+        self.op(Op::IoAsync(reqs))
+    }
+
+    /// Append a wait for all outstanding async I/O.
+    pub fn wait_all(self) -> Script {
+        self.op(Op::WaitAll)
+    }
+
+    /// Append a global barrier.
+    pub fn barrier(self) -> Script {
+        self.op(Op::Barrier)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Vec<Op> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let s = Script::new()
+            .compute(SimTime::from_us(1))
+            .read(0, 2, 3)
+            .write(1, 4, 5)
+            .wait_all()
+            .barrier()
+            .build();
+        assert_eq!(s.len(), 5);
+        assert!(matches!(s[0], Op::Compute(d) if d == SimTime::from_us(1)));
+        match &s[1] {
+            Op::Io(reqs) => {
+                assert_eq!(reqs.len(), 1);
+                assert_eq!(reqs[0].block, 2);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+        assert!(matches!(s[3], Op::WaitAll));
+        assert!(matches!(s[4], Op::Barrier));
+    }
+}

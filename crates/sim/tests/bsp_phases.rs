@@ -1,0 +1,102 @@
+//! Bulk-synchronous patterns on the engine: multi-superstep barrier
+//! accounting, compute/I-O phase alternation, and stragglers.
+
+use pario_sim::{FixedLatencyModel, Op, Script, SimTime, Simulation};
+
+fn dev() -> Box<FixedLatencyModel> {
+    Box::new(FixedLatencyModel::new(
+        SimTime::from_us(20),
+        SimTime::from_us(5),
+    ))
+}
+
+#[test]
+fn supersteps_advance_in_lockstep() {
+    // 3 processes, 4 supersteps of (compute, io, barrier); compute times
+    // differ per process, so every superstep waits for the slowest.
+    let mut sim = Simulation::new();
+    let d = sim.add_device(dev());
+    for p in 0..3u64 {
+        let mut s = Script::new();
+        for step in 0..4u64 {
+            s = s
+                .compute(SimTime::from_us(100 * (p + 1)))
+                .read(d, p * 100 + step, 1)
+                .barrier();
+        }
+        sim.add_proc(s.build());
+    }
+    let r = sim.run();
+    // Each superstep costs at least the slowest compute (300us); the
+    // serialized I/O of 3 requests adds 3*25us.
+    let floor = SimTime::from_us(4 * (300 + 25));
+    assert!(r.makespan >= floor, "{} < {}", r.makespan, floor);
+    // The fastest process accumulates barrier wait; the slowest barely.
+    assert!(r.procs[0].barrier_wait > r.procs[2].barrier_wait);
+    // Everyone performed 4 blocking I/O calls.
+    assert!(r.procs.iter().all(|p| p.io_calls == 4));
+}
+
+#[test]
+fn phase_structure_shows_in_device_idle_time() {
+    // With a barrier after each I/O burst, the device idles during the
+    // compute phases: busy time is well below the makespan.
+    let mut sim = Simulation::new();
+    let d = sim.add_device(dev());
+    for _ in 0..2 {
+        sim.add_proc(
+            Script::new()
+                .compute(SimTime::from_ms(1))
+                .read(d, 0, 1)
+                .barrier()
+                .compute(SimTime::from_ms(1))
+                .read(d, 1, 1)
+                .barrier()
+                .build(),
+        );
+    }
+    let r = sim.run();
+    let util = r.devices[0].utilization(r.makespan);
+    assert!(util < 0.2, "device should be mostly idle, util={util:.2}");
+    assert!(r.makespan >= SimTime::from_ms(2));
+}
+
+#[test]
+fn straggler_detection_via_barrier_wait() {
+    // One straggler makes everyone else's barrier_wait large — exactly
+    // the signal a load-balance study reads from the report.
+    let mut sim = Simulation::new();
+    for p in 0..4u64 {
+        let compute = if p == 3 {
+            SimTime::from_ms(10)
+        } else {
+            SimTime::from_ms(1)
+        };
+        sim.add_proc(Script::new().compute(compute).barrier().build());
+    }
+    let r = sim.run();
+    for p in 0..3 {
+        assert_eq!(r.procs[p].barrier_wait, SimTime::from_ms(9), "proc {p}");
+    }
+    assert_eq!(r.procs[3].barrier_wait, SimTime::ZERO);
+    assert_eq!(r.makespan, SimTime::from_ms(10));
+}
+
+#[test]
+fn async_prefetch_across_barriers() {
+    // Fire-and-forget reads issued before a barrier complete during the
+    // next phase; WaitAll after the barrier collects them.
+    let mut sim = Simulation::new();
+    let d = sim.add_device(dev());
+    sim.add_proc(vec![
+        Op::IoAsync(vec![pario_sim::DiskReq::read(d, 0, 100)]),
+        Op::Barrier,
+        Op::Compute(SimTime::from_us(10)),
+        Op::WaitAll,
+    ]);
+    sim.add_proc(vec![Op::Barrier]);
+    let r = sim.run();
+    // Read costs 20 + 100*5 = 520us, overlapping the barrier + compute.
+    assert_eq!(r.makespan, SimTime::from_us(520));
+    assert_eq!(r.procs[0].io_wait, SimTime::from_us(510));
+}

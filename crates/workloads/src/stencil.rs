@@ -1,0 +1,205 @@
+//! 1-D stencil workload (the paper's §5 boundary-data scenario).
+//!
+//! A relaxation sweep where each cell's new value depends on its
+//! neighbours: the canonical reason "data along partition boundaries is
+//! needed by processes on both sides of the boundary". The reference
+//! implementation here gives experiments and tests an exact answer to
+//! compare parallel halo-based runs against.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A 1-D Jacobi-style stencil problem.
+#[derive(Clone, Debug)]
+pub struct Stencil1D {
+    /// Cell values.
+    pub cells: Vec<f64>,
+}
+
+impl Stencil1D {
+    /// A seeded random initial state of `n` cells in `[0, 1)`.
+    pub fn random(n: usize, seed: u64) -> Stencil1D {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Stencil1D {
+            cells: (0..n).map(|_| rng.random()).collect(),
+        }
+    }
+
+    /// One Jacobi sweep: `new[i] = (old[i-1] + old[i] + old[i+1]) / 3`,
+    /// with clamped boundaries.
+    pub fn step(&self) -> Stencil1D {
+        let n = self.cells.len();
+        let at = |i: isize| {
+            let i = i.clamp(0, n as isize - 1) as usize;
+            self.cells[i]
+        };
+        Stencil1D {
+            cells: (0..n as isize)
+                .map(|i| (at(i - 1) + at(i) + at(i + 1)) / 3.0)
+                .collect(),
+        }
+    }
+
+    /// `passes` sweeps.
+    pub fn run(&self, passes: u32) -> Stencil1D {
+        let mut s = self.clone();
+        for _ in 0..passes {
+            s = s.step();
+        }
+        s
+    }
+
+    /// Serialise cell `i` as a fixed-size record of `record_size` bytes
+    /// (f64 little-endian + zero padding).
+    pub fn record(&self, i: usize, record_size: usize) -> Vec<u8> {
+        assert!(record_size >= 8);
+        let mut rec = vec![0u8; record_size];
+        rec[..8].copy_from_slice(&self.cells[i].to_le_bytes());
+        rec
+    }
+
+    /// Parse a record written by [`Stencil1D::record`].
+    pub fn parse(rec: &[u8]) -> f64 {
+        f64::from_le_bytes(rec[..8].try_into().expect("record holds an f64"))
+    }
+}
+
+/// A 2-D Jacobi (5-point) stencil problem, stored row-major — the
+/// natural fit for a PS file with one record per row, where each process
+/// owns a band of rows and needs one halo row from each neighbour.
+#[derive(Clone, Debug)]
+pub struct Stencil2D {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major cell values (`rows * cols`).
+    pub cells: Vec<f64>,
+}
+
+impl Stencil2D {
+    /// A seeded random grid.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Stencil2D {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Stencil2D {
+            rows,
+            cols,
+            cells: (0..rows * cols).map(|_| rng.random()).collect(),
+        }
+    }
+
+    /// Cell accessor with clamped boundaries.
+    pub fn at(&self, r: isize, c: isize) -> f64 {
+        let r = r.clamp(0, self.rows as isize - 1) as usize;
+        let c = c.clamp(0, self.cols as isize - 1) as usize;
+        self.cells[r * self.cols + c]
+    }
+
+    /// One 5-point Jacobi sweep with clamped boundaries.
+    pub fn step(&self) -> Stencil2D {
+        let mut next = self.clone();
+        for r in 0..self.rows as isize {
+            for c in 0..self.cols as isize {
+                next.cells[r as usize * self.cols + c as usize] = (self.at(r, c)
+                    + self.at(r - 1, c)
+                    + self.at(r + 1, c)
+                    + self.at(r, c - 1)
+                    + self.at(r, c + 1))
+                    / 5.0;
+            }
+        }
+        next
+    }
+
+    /// `passes` sweeps.
+    pub fn run(&self, passes: u32) -> Stencil2D {
+        let mut s = self.clone();
+        for _ in 0..passes {
+            s = s.step();
+        }
+        s
+    }
+
+    /// Serialise row `r` as one fixed-size record (`cols` little-endian
+    /// f64s, zero-padded to `record_size`).
+    pub fn row_record(&self, r: usize, record_size: usize) -> Vec<u8> {
+        assert!(record_size >= self.cols * 8);
+        let mut rec = vec![0u8; record_size];
+        for c in 0..self.cols {
+            rec[c * 8..(c + 1) * 8]
+                .copy_from_slice(&self.cells[r * self.cols + c].to_le_bytes());
+        }
+        rec
+    }
+
+    /// Parse a row record written by [`Stencil2D::row_record`].
+    pub fn parse_row(rec: &[u8], cols: usize) -> Vec<f64> {
+        (0..cols)
+            .map(|c| f64::from_le_bytes(rec[c * 8..(c + 1) * 8].try_into().expect("f64")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_smooths() {
+        let s = Stencil1D {
+            cells: vec![0.0, 1.0, 0.0],
+        };
+        let t = s.step();
+        assert!((t.cells[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.cells[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.cells[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_mean() {
+        let s = Stencil1D::random(32, 7);
+        let r = s.run(8000);
+        let first = r.cells[0];
+        // The slowest smoothing mode decays like ~0.997^passes; 8000
+        // passes bring a 32-cell line well under 1e-4 spread.
+        assert!(r.cells.iter().all(|&c| (c - first).abs() < 1e-4));
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let s = Stencil1D::random(4, 1);
+        let rec = s.record(2, 64);
+        assert_eq!(rec.len(), 64);
+        assert_eq!(Stencil1D::parse(&rec), s.cells[2]);
+    }
+
+    #[test]
+    fn stencil2d_smooths_and_serialises() {
+        let s = Stencil2D {
+            rows: 3,
+            cols: 3,
+            cells: vec![0.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        let t = s.step();
+        assert!((t.cells[4] - 1.0).abs() < 1e-12); // centre: 5/5
+        assert!((t.cells[1] - 1.0).abs() < 1e-12); // edge neighbour
+        // Corner (0,0): clamped — (0 + 0 + 0 + 0 + 0)/5 = 0.
+        assert_eq!(t.cells[0], 0.0);
+        let rec = t.row_record(1, 64);
+        assert_eq!(Stencil2D::parse_row(&rec, 3), t.cells[3..6].to_vec());
+    }
+
+    #[test]
+    fn stencil2d_converges() {
+        let s = Stencil2D::random(8, 8, 3);
+        let r = s.run(4000);
+        let first = r.cells[0];
+        assert!(r.cells.iter().all(|&c| (c - first).abs() < 1e-4));
+    }
+
+    #[test]
+    fn deterministic_seed() {
+        assert_eq!(Stencil1D::random(8, 3).cells, Stencil1D::random(8, 3).cells);
+        assert_ne!(Stencil1D::random(8, 3).cells, Stencil1D::random(8, 4).cells);
+    }
+}

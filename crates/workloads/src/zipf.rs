@@ -1,0 +1,115 @@
+//! Zipf-distributed sampling.
+//!
+//! Livny et al.'s declustering result (cited in the paper's §4) concerns
+//! *non-uniform* access patterns: a few hot blocks receive most requests.
+//! A Zipf distribution with exponent `theta` is the standard model; with
+//! `theta == 0` it degenerates to uniform.
+
+use rand::{Rng, RngExt};
+
+/// Samples ranks `0..n` with probability proportional to
+/// `1 / (rank + 1)^theta`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` items with skew `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "need at least one item");
+        assert!(theta >= 0.0 && theta.is_finite(), "bad exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler covers no items (never: constructor forbids).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `k`.
+    pub fn prob(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.prob(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.prob(0) > z.prob(1));
+        assert!(z.prob(1) > z.prob(50));
+        // Rank 0 of a theta=1 Zipf over 100 items gets ~19%.
+        assert!(z.prob(0) > 0.15 && z.prob(0) < 0.25);
+    }
+
+    #[test]
+    fn samples_match_distribution() {
+        let z = Zipf::new(10, 0.9);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let expected = z.prob(k) * n as f64;
+            let got = count as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.15 + 30.0,
+                "rank {k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

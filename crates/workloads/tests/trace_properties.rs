@@ -1,0 +1,109 @@
+//! Property tests over the workload generators: exhaustiveness,
+//! determinism, and distributional sanity.
+
+use proptest::prelude::*;
+
+use pario_workloads::{
+    AccessKind, OutOfCore, SkewedBlocks, TaskQueue, WrappedMatrix, Zipf,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Wrapped-matrix ownership partitions the rows exactly.
+    #[test]
+    fn matrix_rows_partition(rows in 1u64..60, cols in 1u64..10, procs in 1u32..8) {
+        let m = WrappedMatrix { rows, cols, processes: procs };
+        let mut seen = vec![0u32; rows as usize];
+        for p in 0..procs {
+            for r in m.rows_of(p) {
+                seen[r as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        let t = m.write_trace();
+        prop_assert_eq!(t.len() as u64, rows * cols);
+        prop_assert_eq!(t.touched().len() as u64, rows * cols);
+        // per_process returns exactly the trace split.
+        let per = t.per_process(procs);
+        prop_assert_eq!(per.iter().map(|v| v.len()).sum::<usize>(), t.len());
+    }
+
+    /// Task queues: work is conserved and both schedules respect the
+    /// classic bounds — ideal <= schedule, and greedy self-scheduling is
+    /// within Graham's 2x of the lower bound. (Greedy can lose to a
+    /// lucky static split on particular inputs, so no ss <= static
+    /// property holds universally; E3/the examples show the *expected*
+    /// advantage on heavy-tailed work.)
+    #[test]
+    fn task_queue_bounds(n in 1usize..300, min_work in 1u64..20, seed in 0u64..500, workers in 1u32..9) {
+        let q = TaskQueue::generate(n, min_work, seed);
+        prop_assert_eq!(q.work.len(), n);
+        prop_assert!(q.work.iter().all(|&w| w >= min_work && w <= min_work * 16));
+        let ideal = q.ideal_makespan(u64::from(workers));
+        let ss = q.self_sched_makespan(workers);
+        let st = q.static_makespan(workers);
+        prop_assert!(ideal <= ss, "ideal {} > ss {}", ideal, ss);
+        prop_assert!(ideal <= st, "ideal {} > static {}", ideal, st);
+        // Graham's bound for greedy list scheduling.
+        prop_assert!(ss <= ideal * 2, "ss {} > 2*ideal {}", ss, ideal);
+    }
+
+    /// Out-of-core traces: every page touched read+write once per pass,
+    /// directions alternate.
+    #[test]
+    fn out_of_core_exhaustive(pages in 1u64..40, procs in 1u32..5, passes in 1u32..5) {
+        let w = OutOfCore { pages_per_part: pages, processes: procs, passes };
+        let t = w.trace();
+        prop_assert_eq!(
+            t.len() as u64,
+            2 * pages * u64::from(procs) * u64::from(passes)
+        );
+        for (p, accesses) in t.per_process(procs).into_iter().enumerate() {
+            let reads = accesses.iter().filter(|a| a.kind == AccessKind::Read).count();
+            prop_assert_eq!(reads as u64, pages * u64::from(passes), "proc {}", p);
+            // Each read is immediately followed by a write of the same page.
+            for pair in accesses.chunks(2) {
+                prop_assert_eq!(pair[0].index, pair[1].index);
+                prop_assert_eq!(pair[0].kind, AccessKind::Read);
+                prop_assert_eq!(pair[1].kind, AccessKind::Write);
+            }
+        }
+    }
+
+    /// Skewed block traces are deterministic, in range, and the write
+    /// fraction tracks the parameter.
+    #[test]
+    fn skewed_blocks_sane(blocks in 1u64..200, requests in 1usize..500, theta in 0.0f64..2.0, wf in 0.0f64..1.0, seed in 0u64..100) {
+        let w = SkewedBlocks { blocks, requests, theta, write_fraction: wf, seed };
+        let a = w.trace(3);
+        let b = w.trace(3);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.accesses.iter().zip(&b.accesses) {
+            prop_assert_eq!(x, y);
+        }
+        prop_assert!(a.accesses.iter().all(|acc| acc.index < blocks));
+        if requests > 100 {
+            let writes = a.accesses.iter().filter(|x| x.kind == AccessKind::Write).count();
+            let frac = writes as f64 / requests as f64;
+            prop_assert!((frac - wf).abs() < 0.2, "write fraction {} vs {}", frac, wf);
+        }
+    }
+
+    /// Zipf probabilities are a monotone distribution summing to one.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..200, theta in 0.0f64..3.0) {
+        let z = Zipf::new(n, theta);
+        let total: f64 = (0..n).map(|k| z.prob(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..n {
+            prop_assert!(z.prob(k - 1) >= z.prob(k) - 1e-12);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! A queue with multiple servers — the paper's motivating workload for
+//! the self-scheduled (SS) organization: "self-scheduled input is
+//! appropriate for algorithms which select the next available unit of
+//! work for processing, as in a queue with multiple servers.
+//! Self-scheduled output can be used when the order of the results is
+//! not important."
+//!
+//! A master writes a file of heavy-tailed tasks; four workers claim
+//! tasks through a shared SS reader (automatic load balancing) and emit
+//! results through a shared SS writer. The same tasks run under a static
+//! partitioned split for contrast.
+//!
+//! ```sh
+//! cargo run --example work_queue
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pario::core::{Organization, ParallelFile};
+use pario::fs::{Volume, VolumeConfig};
+use pario::workloads::TaskQueue;
+
+const TASKS: usize = 120;
+const RECORD: usize = 64;
+const WORKERS: u32 = 4;
+
+fn spin_units(units: u64) {
+    // One work unit = 50 microseconds of CPU.
+    let end = Instant::now() + Duration::from_micros(50 * units);
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+fn main() {
+    let volume = Volume::create_in_memory(VolumeConfig {
+        devices: 4,
+        device_blocks: 1024,
+        block_size: 4096,
+    })
+    .expect("volume");
+
+    // The master publishes the task file (task id + work units).
+    let q = TaskQueue::generate(TASKS, 1, 2026);
+    let input = ParallelFile::create(
+        &volume,
+        "tasks",
+        Organization::SelfScheduledSeq,
+        RECORD,
+        64,
+    )
+    .expect("create tasks");
+    {
+        let mut w = input.global_writer();
+        for (id, &work) in q.work.iter().enumerate() {
+            let mut rec = vec![0u8; RECORD];
+            rec[..8].copy_from_slice(&(id as u64).to_le_bytes());
+            rec[8..16].copy_from_slice(&work.to_le_bytes());
+            w.write_record(&rec).expect("write task");
+        }
+        w.finish().expect("finish");
+    }
+    let results = ParallelFile::create(
+        &volume,
+        "results",
+        Organization::SelfScheduledSeq,
+        RECORD,
+        64,
+    )
+    .expect("create results");
+
+    // Self-scheduled run: whoever is free takes the next task.
+    let per_worker: Vec<AtomicU64> = (0..WORKERS).map(|_| AtomicU64::new(0)).collect();
+    let t0 = Instant::now();
+    crossbeam::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let reader = input.self_sched_reader().expect("reader");
+            let writer = results.self_sched_writer().expect("writer");
+            let per_worker = &per_worker;
+            s.spawn(move |_| {
+                let mut rec = vec![0u8; RECORD];
+                while reader.read_next(&mut rec).expect("claim").is_some() {
+                    let id = u64::from_le_bytes(rec[..8].try_into().unwrap());
+                    let work = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+                    spin_units(work); // "process" the task
+                    let mut out = vec![0u8; RECORD];
+                    out[..8].copy_from_slice(&id.to_le_bytes());
+                    out[8..16].copy_from_slice(&u64::from(w).to_le_bytes());
+                    writer.write_next(&out).expect("emit");
+                    per_worker[w as usize].fetch_add(work, Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("workers");
+    let self_sched_time = t0.elapsed();
+    results.self_sched_writer().unwrap().finish().expect("finish");
+
+    let loads: Vec<u64> = per_worker.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    println!("self-scheduled: {self_sched_time:?}, per-worker work units {loads:?}");
+
+    // Every task appears in the results exactly once (order immaterial).
+    let mut seen = [false; TASKS];
+    let mut g = results.global_reader();
+    let mut rec = vec![0u8; RECORD];
+    while g.read_record(&mut rec).expect("read") {
+        let id = u64::from_le_bytes(rec[..8].try_into().unwrap()) as usize;
+        assert!(!seen[id], "task {id} duplicated");
+        seen[id] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every task processed");
+    println!("all {TASKS} tasks processed exactly once");
+
+    // Static contrast: contiguous quarter of the queue per worker.
+    let t0 = Instant::now();
+    crossbeam::thread::scope(|s| {
+        for w in 0..WORKERS as usize {
+            let chunk: Vec<u64> = q
+                .work
+                .chunks(TASKS.div_ceil(WORKERS as usize))
+                .nth(w)
+                .unwrap_or(&[])
+                .to_vec();
+            s.spawn(move |_| {
+                for units in chunk {
+                    spin_units(units);
+                }
+            });
+        }
+    })
+    .expect("workers");
+    let static_time = t0.elapsed();
+    println!("static partitioning: {static_time:?}");
+    // On a single CPU core spun work serialises whatever the split, so
+    // wall times converge; the load-balance contrast is in the makespan
+    // model (max per-worker finish time on truly parallel workers):
+    println!(
+        "modelled parallel makespans (work units): ideal {}, self-scheduled {}, static {} — self-scheduling absorbs the heavy tail",
+        q.ideal_makespan(u64::from(WORKERS)),
+        q.self_sched_makespan(WORKERS),
+        q.static_makespan(WORKERS)
+    );
+    println!("ok");
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerate every figure and quantitative claim of Crockett (1989).
+# Outputs land on stdout and (as JSON) in results/.
+set -e
+mkdir -p results
+for exp in e1_figure1 e2_striping e3_selfsched e4_device_per_process \
+           e5_global_view e6_seek_degradation e7_declustering \
+           e8_buffering e9_view_mismatch e10_boundary e11_reliability \
+           e12_is_blocksize; do
+    cargo run --release -q -p pario-bench --bin "exp_$exp"
+done

@@ -1,0 +1,15 @@
+//! `pario` — command-line utility for parallel file volumes.
+//!
+//! See `pario help` for usage. All logic lives in `pario::cli` so the
+//! test suite exercises it directly.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pario::cli::run(&args) {
+        Ok(out) => print!("{out}{}", if out.ends_with('\n') || out.is_empty() { "" } else { "\n" }),
+        Err(e) => {
+            eprintln!("pario: {e}");
+            std::process::exit(1);
+        }
+    }
+}

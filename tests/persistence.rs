@@ -1,0 +1,149 @@
+//! Integration: parallel files are *standard* files — they "outlive the
+//! execution of the parallel programs which use them". A volume on
+//! file-backed devices is written by one "program run", unmounted, and
+//! remounted by another; organizations, partition maps, and data all
+//! survive.
+
+use std::path::PathBuf;
+
+use pario::core::{Organization, ParallelFile};
+use pario::disk::{DeviceRef, FileDisk};
+use pario::fs::Volume;
+use pario::workloads::record_payload;
+
+const RECORD: usize = 128;
+
+fn device_paths(tag: &str) -> Vec<PathBuf> {
+    (0..3)
+        .map(|i| {
+            let mut p = std::env::temp_dir();
+            p.push(format!("pario-it-{}-{tag}-{i}.img", std::process::id()));
+            p
+        })
+        .collect()
+}
+
+fn open_devices(paths: &[PathBuf], create: bool) -> Vec<DeviceRef> {
+    paths
+        .iter()
+        .map(|p| {
+            let d = if create {
+                FileDisk::create(p, 512, 512).unwrap()
+            } else {
+                FileDisk::open(p, 512).unwrap()
+            };
+            std::sync::Arc::new(d) as DeviceRef
+        })
+        .collect()
+}
+
+#[test]
+fn full_lifecycle_across_mounts() {
+    let paths = device_paths("lifecycle");
+
+    // ---- Program run 1: create and fill two files, then unmount.
+    {
+        let v = Volume::new(open_devices(&paths, true)).unwrap();
+        let ps = ParallelFile::create_sized(
+            &v,
+            "grid.ps",
+            Organization::PartitionedSeq { partitions: 3 },
+            RECORD,
+            4,
+            96,
+        )
+        .unwrap();
+        for p in 0..3 {
+            let mut h = ps.partition_handle(p).unwrap();
+            let (lo, hi) = h.range();
+            for g in lo..hi {
+                h.write_next(&record_payload(g, RECORD)).unwrap();
+            }
+        }
+        let ss = ParallelFile::create(
+            &v,
+            "log.ss",
+            Organization::SelfScheduledSeq,
+            RECORD,
+            4,
+        )
+        .unwrap();
+        let w = ss.self_sched_writer().unwrap();
+        for i in 0..20u64 {
+            w.write_next(&record_payload(1000 + i, RECORD)).unwrap();
+        }
+        w.finish().unwrap();
+        v.sync_meta().unwrap();
+    }
+
+    // ---- Program run 2: remount, verify, extend, unmount.
+    {
+        let v = Volume::mount(open_devices(&paths, false)).unwrap();
+        assert_eq!(v.list(), vec!["grid.ps".to_string(), "log.ss".to_string()]);
+
+        let ps = ParallelFile::open(&v, "grid.ps").unwrap();
+        assert_eq!(
+            ps.organization(),
+            Organization::PartitionedSeq { partitions: 3 }
+        );
+        let mut buf = vec![0u8; RECORD];
+        for g in 0..96u64 {
+            ps.raw().read_record(g, &mut buf).unwrap();
+            assert_eq!(buf, record_payload(g, RECORD), "record {g}");
+        }
+
+        let ss = ParallelFile::open(&v, "log.ss").unwrap();
+        assert_eq!(ss.len_records(), 20);
+        // Append more through the global view.
+        let mut w = ss.global_writer();
+        for i in 20..30u64 {
+            w.write_record(&record_payload(1000 + i, RECORD)).unwrap();
+        }
+        w.finish().unwrap();
+        v.sync_meta().unwrap();
+    }
+
+    // ---- Program run 3 (a sequential tool): read everything globally.
+    {
+        let v = Volume::mount(open_devices(&paths, false)).unwrap();
+        let ss = ParallelFile::open(&v, "log.ss").unwrap();
+        assert_eq!(ss.len_records(), 30);
+        let mut r = ss.global_reader();
+        let mut buf = vec![0u8; RECORD];
+        let mut i = 0u64;
+        while r.read_record(&mut buf).unwrap() {
+            assert_eq!(buf, record_payload(1000 + i, RECORD));
+            i += 1;
+        }
+        assert_eq!(i, 30);
+        // Remove a file and persist that too.
+        v.remove("grid.ps").unwrap();
+        v.sync_meta().unwrap();
+    }
+    {
+        let v = Volume::mount(open_devices(&paths, false)).unwrap();
+        assert_eq!(v.list(), vec!["log.ss".to_string()]);
+    }
+
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn mount_refuses_mismatched_block_size() {
+    let paths = device_paths("badbs");
+    {
+        Volume::new(open_devices(&paths, true)).unwrap();
+    }
+    // Reopen with a different (but dividing) block size: the superblock
+    // must reject the mismatch.
+    let devs: Vec<DeviceRef> = paths
+        .iter()
+        .map(|p| std::sync::Arc::new(FileDisk::open(p, 256).unwrap()) as DeviceRef)
+        .collect();
+    assert!(Volume::mount(devs).is_err());
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
