@@ -49,9 +49,7 @@ fn bench_runs(c: &mut Criterion) {
     let striped = Striped::new(4, 16);
     let partitioned = Partitioned::uniform(65_536, 4, 4);
     let mut g = c.benchmark_group("runs_coalesce_64k_blocks");
-    g.bench_function("striped", |b| {
-        b.iter(|| runs(&striped, 0, 65_536).len())
-    });
+    g.bench_function("striped", |b| b.iter(|| runs(&striped, 0, 65_536).len()));
     g.bench_function("partitioned", |b| {
         b.iter(|| runs(&partitioned, 0, 65_536).len())
     });

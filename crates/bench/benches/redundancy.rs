@@ -80,9 +80,7 @@ fn bench_degraded_read(c: &mut Criterion) {
     g.sample_size(15);
     for (name, layout) in layouts().into_iter().skip(1) {
         let v = volume();
-        let f = v
-            .create_file(FileSpec::new("f", BS, 1, layout))
-            .unwrap();
+        let f = v.create_file(FileSpec::new("f", BS, 1, layout)).unwrap();
         for r in 0..RECORDS {
             f.write_record(r, &vec![r as u8; BS]).unwrap();
         }

@@ -18,8 +18,7 @@ fn make_file() -> ParallelFile {
         block_size: RECORD,
     })
     .unwrap();
-    let pf =
-        ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, 1).unwrap();
+    let pf = ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, 1).unwrap();
     pf.raw().ensure_capacity_records(RECORDS).unwrap();
     for r in 0..RECORDS {
         pf.raw().write_record(r, &vec![r as u8; RECORD]).unwrap();
@@ -57,16 +56,12 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(RECORDS));
     g.sample_size(15);
     for threads in [1u32, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("two_phase", threads),
-            &threads,
-            |b, &t| b.iter(|| drain(&pf, t, false)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("big_lock", threads),
-            &threads,
-            |b, &t| b.iter(|| drain(&pf, t, true)),
-        );
+        g.bench_with_input(BenchmarkId::new("two_phase", threads), &threads, |b, &t| {
+            b.iter(|| drain(&pf, t, false))
+        });
+        g.bench_with_input(BenchmarkId::new("big_lock", threads), &threads, |b, &t| {
+            b.iter(|| drain(&pf, t, true))
+        });
     }
     g.finish();
 }

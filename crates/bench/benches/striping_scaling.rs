@@ -37,7 +37,8 @@ fn bench_read(c: &mut Criterion) {
             b.iter(|| {
                 let r = StripedReader::new(pf.raw(), 2).unwrap();
                 let mut sum = 0u64;
-                r.read_records(|_, bytes| sum += u64::from(bytes[0])).unwrap();
+                r.read_records(|_, bytes| sum += u64::from(bytes[0]))
+                    .unwrap();
                 sum
             })
         });
@@ -56,8 +57,7 @@ fn bench_write(c: &mut Criterion) {
             block_size: RECORD,
         })
         .unwrap();
-        let pf =
-            ParallelFile::create(&v, "s", Organization::Sequential, RECORD, 1).unwrap();
+        let pf = ParallelFile::create(&v, "s", Organization::Sequential, RECORD, 1).unwrap();
         let rec = vec![3u8; RECORD];
         g.bench_with_input(BenchmarkId::from_parameter(devices), &pf, |b, pf| {
             b.iter(|| {

@@ -22,9 +22,7 @@
 
 use pario_bench::banner;
 use pario_bench::table::{save_json, Table};
-use pario_core::{
-    create_replicated, read_partition_with_halo, Organization, ParallelFile,
-};
+use pario_core::{create_replicated, read_partition_with_halo, Organization, ParallelFile};
 use pario_fs::{Volume, VolumeConfig};
 use pario_workloads::Stencil1D;
 
@@ -86,8 +84,10 @@ fn naive(v: &Volume, s0: &Stencil1D) -> (u64, u64, Vec<f64>) {
             let region = read_partition_with_halo(&pf, p, 1).unwrap();
             let (lo, hi) = region.own_range();
             let val = |i: u64| -> f64 {
-                let j = i.clamp(region.first_record(),
-                                region.first_record() + region.len_records() - 1);
+                let j = i.clamp(
+                    region.first_record(),
+                    region.first_record() + region.len_records() - 1,
+                );
                 Stencil1D::parse(region.record(j))
             };
             let new: Vec<f64> = (lo..hi)
@@ -180,15 +180,21 @@ fn replicated(v: &Volume, s0: &Stencil1D) -> (u64, u64, u64, Vec<f64>) {
     for pass in 0..PASSES {
         let rep = create_replicated(v, &format!("rep{pass}"), &pf, PARTS, 1).unwrap();
         overhead = rep.overhead_records();
-        let next = make_ps(v, &format!("rep-next{pass}"), &Stencil1D {
-            cells: vec![0.0; CELLS as usize],
-        });
+        let next = make_ps(
+            v,
+            &format!("rep-next{pass}"),
+            &Stencil1D {
+                cells: vec![0.0; CELLS as usize],
+            },
+        );
         for p in 0..PARTS {
             let region = rep.read_partition(p).unwrap();
             let (lo, hi) = region.own_range();
             let val = |i: u64| -> f64 {
-                let j = i.clamp(region.first_record(),
-                                region.first_record() + region.len_records() - 1);
+                let j = i.clamp(
+                    region.first_record(),
+                    region.first_record() + region.len_records() - 1,
+                );
                 Stencil1D::parse(region.record(j))
             };
             let h = next.partition_handle(p).unwrap();

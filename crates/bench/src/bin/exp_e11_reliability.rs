@@ -238,7 +238,10 @@ fn rollback_consistency() {
     }
     rel::restore_device(&v.device(1), &backups[1]).unwrap();
     let torn = rel::scrub(&f).unwrap();
-    println!("   device 1 alone restored from backup: {} stripes torn", torn.len());
+    println!(
+        "   device 1 alone restored from backup: {} stripes torn",
+        torn.len()
+    );
     for d in [0usize, 2, 3] {
         rel::restore_device(&v.device(d), &backups[d]).unwrap();
     }
@@ -253,7 +256,12 @@ fn rollback_consistency() {
 
 fn failure_campaign() {
     println!("(7) One simulated year of exponential failures (seeded):");
-    let mut t = Table::new(&["devices", "failures in 1 yr (seed 1)", "(seed 2)", "(seed 3)"]);
+    let mut t = Table::new(&[
+        "devices",
+        "failures in 1 yr (seed 1)",
+        "(seed 2)",
+        "(seed 3)",
+    ]);
     for devices in [10usize, 100] {
         let counts: Vec<String> = (1..=3)
             .map(|seed| {

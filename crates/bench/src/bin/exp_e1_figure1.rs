@@ -59,7 +59,10 @@ fn figure_s(v: &Volume) -> Vec<Option<u32>> {
         idx += 1;
     }
     assert_eq!(idx, RECORDS);
-    assert!(owner.iter().all(|&o| o == Some(0)), "S: one process, all blocks");
+    assert!(
+        owner.iter().all(|&o| o == Some(0)),
+        "S: one process, all blocks"
+    );
     owner
 }
 
@@ -152,7 +155,10 @@ fn figure_ss(v: &Volume) -> Vec<Option<u32>> {
     }
     assert_eq!(served, BLOCKS, "SS: every record served exactly once");
     let mut more = vec![0u8; block_bytes];
-    assert!(readers[0].read_next(&mut more).unwrap().is_none(), "exhausted");
+    assert!(
+        readers[0].read_next(&mut more).unwrap().is_none(),
+        "exhausted"
+    );
     owner
 }
 

@@ -37,13 +37,7 @@ fn main() {
          rate roughly linearly",
     );
 
-    let mut t = Table::new(&[
-        "devices",
-        "read time",
-        "throughput",
-        "speedup",
-        "mean util",
-    ]);
+    let mut t = Table::new(&["devices", "read time", "throughput", "speedup", "mean util"]);
     let mut base = 0.0;
     for d in [1usize, 2, 4, 8, 16] {
         let (time, tput, util) = stream(d, UNIT, 2 * d);

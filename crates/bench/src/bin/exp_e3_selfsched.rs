@@ -27,9 +27,7 @@ const DELAY: Duration = Duration::from_millis(2);
 fn volume(devices: usize) -> Volume {
     let devs: Vec<DeviceRef> = (0..devices)
         .map(|i| {
-            Arc::new(
-                MemDisk::named(&format!("d{i}"), 512, RECORD).with_delay(DELAY),
-            ) as DeviceRef
+            Arc::new(MemDisk::named(&format!("d{i}"), 512, RECORD).with_delay(DELAY)) as DeviceRef
         })
         .collect();
     Volume::new(devs).expect("volume")
@@ -37,8 +35,8 @@ fn volume(devices: usize) -> Volume {
 
 fn run(threads: u32, naive: bool) -> Duration {
     let v = volume(4);
-    let pf = ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, 1)
-        .expect("create");
+    let pf =
+        ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, 1).expect("create");
     // Fill without timing it.
     pf.raw().ensure_capacity_records(RECORDS).unwrap();
     for r in 0..RECORDS {

@@ -10,9 +10,9 @@
 //! with (a) contiguous per-process allocation vs (b) fine-grained
 //! interleaved on-disk allocation, under FIFO and SCAN arm scheduling.
 
+use pario_bench::banner;
 use pario_bench::simx::{wren_bank, wren_capacity_blocks};
 use pario_bench::table::{save_json, secs, Table};
-use pario_bench::banner;
 use pario_disk::SchedPolicy;
 use pario_sim::{DiskReq, Op, Simulation};
 
@@ -85,9 +85,7 @@ fn main() {
             (Alloc::Contiguous, "contiguous"),
             (Alloc::Interleaved, "interleaved"),
         ] {
-            for (policy, pname) in
-                [(SchedPolicy::Fifo, "FIFO"), (SchedPolicy::Scan, "SCAN")]
-            {
+            for (policy, pname) in [(SchedPolicy::Fifo, "FIFO"), (SchedPolicy::Scan, "SCAN")] {
                 let (m, seek_share) = run(procs, D, alloc, policy);
                 // Per-process-work normalised slowdown vs the private
                 // 1-proc-per-drive baseline.

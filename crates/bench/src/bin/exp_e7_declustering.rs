@@ -9,9 +9,9 @@
 //! 32 KiB file block on one drive) and *declustered* (each file block
 //! split across all four drives).
 
+use pario_bench::banner;
 use pario_bench::simx::{read_reqs, wren_bank};
 use pario_bench::table::{save_json, secs, Table};
-use pario_bench::banner;
 use pario_disk::SchedPolicy;
 use pario_layout::Striped;
 use pario_sim::{Op, Simulation};

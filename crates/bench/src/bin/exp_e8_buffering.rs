@@ -82,9 +82,7 @@ fn main() {
         "8 buffers",
         "best speedup",
     ]);
-    for &(num, den, label) in
-        &[(1u64, 2u64, "0.5"), (1, 1, "1.0"), (2, 1, "2.0")]
-    {
+    for &(num, den, label) in &[(1u64, 2u64, "0.5"), (1, 1, "1.0"), (2, 1, "2.0")] {
         let compute = Duration::from_millis(IO_MS * num / den);
         let times: Vec<Duration> = [1usize, 2, 4, 8]
             .iter()

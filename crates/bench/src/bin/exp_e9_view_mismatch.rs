@@ -122,7 +122,11 @@ fn main() {
         secs(adapter),
         secs(adapter),
     ]);
-    t.row(&["(b) global view (1 reader)".into(), secs(global), secs(global)]);
+    t.row(&[
+        "(b) global view (1 reader)".into(),
+        secs(global),
+        secs(global),
+    ]);
     t.row(&[
         "(c) convert, then native IS".into(),
         secs(convert + native),
@@ -144,13 +148,7 @@ fn main() {
         } else {
             "global"
         };
-        t.row(&[
-            k.to_string(),
-            secs(a),
-            secs(g),
-            secs(c),
-            best.to_string(),
-        ]);
+        t.row(&[k.to_string(), secs(a), secs(g), secs(c), best.to_string()]);
     }
     t.print();
     save_json("e9_crossover", &t);

@@ -1,0 +1,228 @@
+//! Span coalescing — §4's "transfer as much data as possible in each
+//! access" applied to the span I/O path: instead of one device request
+//! per volume block, a span is translated into maximal per-device runs
+//! (one vectored request each), and independent runs proceed on their
+//! devices in parallel.
+//!
+//! Three lanes over the same files and spans, on memory devices with a
+//! modelled per-request service time (so request COUNT, not bandwidth,
+//! dominates — the 1989 regime):
+//!
+//! * `per-block`   — one `read_lblock` per volume block (the old path),
+//! * `coalesced`   — the span path with the device fan-out disabled,
+//! * `coal+par`    — the span path as shipped (fan-out enabled).
+//!
+//! A second table replays the paper's global-view scenario: a 64 MiB
+//! sequential scan through `GlobalReader`, reporting device requests per
+//! block against the per-block baseline.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pario_bench::table::{save_json, Table};
+use pario_bench::{banner, BS};
+use pario_disk::{DeviceRef, MemDisk};
+use pario_fs::{FileSpec, GlobalReader, RawFile, Volume};
+use pario_layout::LayoutSpec;
+
+/// Modelled service time per device request.
+const DELAY: Duration = Duration::from_micros(30);
+
+fn delayed_volume(devices: usize, device_blocks: u64) -> Volume {
+    let devs: Vec<DeviceRef> = (0..devices)
+        .map(|i| {
+            Arc::new(MemDisk::named(&format!("mem{i}"), device_blocks, BS).with_delay(DELAY))
+                as DeviceRef
+        })
+        .collect();
+    Volume::new(devs).unwrap()
+}
+
+fn total_reads(v: &Volume, devices: usize) -> (u64, u64) {
+    let mut reqs = 0;
+    let mut blocks = 0;
+    for d in 0..devices {
+        let c = v.device(d).counters();
+        reqs += c.reads;
+        blocks += c.blocks_read;
+    }
+    (reqs, blocks)
+}
+
+/// One measured lane: returns (seconds, device read requests issued).
+fn lane(v: &Volume, devices: usize, f: impl FnOnce()) -> (f64, u64) {
+    let (reqs0, _) = total_reads(v, devices);
+    let t0 = Instant::now();
+    f();
+    let secs = t0.elapsed().as_secs_f64();
+    let (reqs1, _) = total_reads(v, devices);
+    (secs, reqs1 - reqs0)
+}
+
+fn sweep_case(t: &mut Table, name: &str, devices: usize, layout: LayoutSpec, span_blocks: u64) {
+    let v = delayed_volume(devices, 8192);
+    let f = v.create_file(FileSpec::new("f", BS, 1, layout)).unwrap();
+    let bytes = span_blocks as usize * BS;
+    let data: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+    f.write_span(0, &data).unwrap();
+
+    let mut out = vec![0u8; bytes];
+    let (t_pb, r_pb) = lane(&v, devices, || {
+        for l in 0..span_blocks {
+            f.read_lblock(l, &mut out[l as usize * BS..(l as usize + 1) * BS])
+                .unwrap();
+        }
+    });
+    assert_eq!(out, data);
+
+    let serial = f.clone().with_span_parallel(false);
+    let mut out = vec![0u8; bytes];
+    let (t_co, r_co) = lane(&v, devices, || serial.read_span(0, &mut out).unwrap());
+    assert_eq!(out, data);
+
+    let mut out = vec![0u8; bytes];
+    let (t_cp, r_cp) = lane(&v, devices, || f.read_span(0, &mut out).unwrap());
+    assert_eq!(out, data);
+    assert_eq!(r_co, r_cp, "fan-out must not change the request count");
+
+    t.row(&[
+        name.to_string(),
+        devices.to_string(),
+        span_blocks.to_string(),
+        format!("{:.1}ms/{r_pb}", t_pb * 1e3),
+        format!("{:.1}ms/{r_co}", t_co * 1e3),
+        format!("{:.1}ms/{r_cp}", t_cp * 1e3),
+        format!("{:.1}x", r_pb as f64 / r_co as f64),
+        format!("{:.1}x", t_pb / t_cp),
+    ]);
+}
+
+fn global_scan_case(t: &mut Table, devices: usize, unit: u64) {
+    const FILE_BYTES: u64 = 64 * 1024 * 1024;
+    let blocks = FILE_BYTES / BS as u64;
+    let v = delayed_volume(devices, blocks / devices as u64 + 64);
+    let f: RawFile = v
+        .create_file(FileSpec::new(
+            "scan",
+            BS,
+            1,
+            LayoutSpec::Striped { devices, unit },
+        ))
+        .unwrap();
+    // Fill through the coalesced span path in 1 MiB strides.
+    let chunk = vec![7u8; 256 * BS];
+    for i in 0..blocks / 256 {
+        f.write_span(i * 256 * BS as u64, &chunk).unwrap();
+    }
+    f.set_len_records(blocks).unwrap();
+
+    let (t_pb, r_pb) = lane(&v, devices, || {
+        let mut buf = vec![0u8; BS];
+        for l in 0..blocks {
+            f.read_lblock(l, &mut buf).unwrap();
+        }
+    });
+    let (t_gv, r_gv) = lane(&v, devices, || {
+        let mut r = GlobalReader::new(f.clone());
+        let mut rec = vec![0u8; BS];
+        let mut n = 0u64;
+        while r.read_record(&mut rec).unwrap() {
+            n += 1;
+        }
+        assert_eq!(n, blocks);
+    });
+    let drop = r_pb as f64 / r_gv as f64;
+    assert!(
+        drop >= 4.0,
+        "global-view scan must cut device requests >=4x (got {drop:.1}x)"
+    );
+    t.row(&[
+        format!("striped u{unit}"),
+        devices.to_string(),
+        blocks.to_string(),
+        format!("{:.0}ms/{r_pb}", t_pb * 1e3),
+        format!("{:.0}ms/{r_gv}", t_gv * 1e3),
+        format!("{drop:.1}x"),
+        format!("{:.1}x", t_pb / t_gv),
+    ]);
+}
+
+fn main() {
+    banner(
+        "span coalescing (vectored runs + device fan-out)",
+        "transferring as much data as possible in each access: spans \
+         become one vectored request per device run, and independent \
+         runs proceed in parallel across devices",
+    );
+
+    let mut t = Table::new(&[
+        "layout",
+        "devs",
+        "blocks",
+        "per-block t/req",
+        "coalesced t/req",
+        "coal+par t/req",
+        "req drop",
+        "speedup",
+    ]);
+    for &devices in &[2usize, 4, 8] {
+        for &span_blocks in &[64u64, 512, 2048] {
+            sweep_case(
+                &mut t,
+                "striped u2",
+                devices,
+                LayoutSpec::Striped { devices, unit: 2 },
+                span_blocks,
+            );
+        }
+    }
+    for &span_blocks in &[64u64, 512] {
+        sweep_case(
+            &mut t,
+            "striped u8",
+            4,
+            LayoutSpec::Striped {
+                devices: 4,
+                unit: 8,
+            },
+            span_blocks,
+        );
+        sweep_case(
+            &mut t,
+            "shadowed u2",
+            8,
+            LayoutSpec::Shadowed(Box::new(LayoutSpec::Striped {
+                devices: 4,
+                unit: 2,
+            })),
+            span_blocks,
+        );
+        sweep_case(
+            &mut t,
+            "parity rot",
+            4,
+            LayoutSpec::Parity {
+                data_devices: 3,
+                rotated: true,
+            },
+            span_blocks,
+        );
+    }
+    t.print();
+    save_json("span_coalesce", &t);
+
+    println!("\n64 MiB sequential scan through the global view:");
+    let mut g = Table::new(&[
+        "layout",
+        "devs",
+        "blocks",
+        "per-block t/req",
+        "global view t/req",
+        "req drop",
+        "speedup",
+    ]);
+    global_scan_case(&mut g, 4, 2);
+    global_scan_case(&mut g, 4, 4);
+    g.print();
+    save_json("span_coalesce_global", &g);
+}

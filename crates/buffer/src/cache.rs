@@ -129,7 +129,13 @@ impl BlockCache {
         Ok(())
     }
 
-    fn insert(&self, state: &mut State, key: (usize, u64), data: Box<[u8]>, dirty: bool) -> Result<()> {
+    fn insert(
+        &self,
+        state: &mut State,
+        key: (usize, u64),
+        data: Box<[u8]>,
+        dirty: bool,
+    ) -> Result<()> {
         self.evict_if_full(state)?;
         let stamp = state.next_stamp;
         state.next_stamp += 1;
@@ -299,7 +305,10 @@ mod tests {
         c.write(0, 5, &[9u8; 64]).unwrap();
         let mut buf = vec![0u8; 64];
         devs[0].read_block(5, &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == 0), "write must not reach device yet");
+        assert!(
+            buf.iter().all(|&b| b == 0),
+            "write must not reach device yet"
+        );
         // Read-your-writes through the cache.
         assert_eq!(c.read(0, 5).unwrap()[0], 9);
         c.flush().unwrap();

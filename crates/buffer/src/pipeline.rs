@@ -240,9 +240,8 @@ mod tests {
         // sleeping I/O thread does not occupy the CPU.
         let compute = Duration::from_millis(2);
         let run = |nbufs: usize| {
-            let dev = Arc::new(
-                MemDisk::new(12, 1024).with_delay(Duration::from_millis(2)),
-            ) as DeviceRef;
+            let dev =
+                Arc::new(MemDisk::new(12, 1024).with_delay(Duration::from_millis(2))) as DeviceRef;
             let mut ra = ReadAhead::new(dev, (0..12).collect(), nbufs);
             let t0 = Instant::now();
             let mut sum = 0u64;

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use pario_buffer::{BlockCache, ReadAhead, WritePolicy, WriteBehind};
+use pario_buffer::{BlockCache, ReadAhead, WriteBehind, WritePolicy};
 use pario_disk::{BlockDevice, IoNode, MemDisk};
 
 const BS: usize = 256;

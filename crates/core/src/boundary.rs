@@ -61,11 +61,7 @@ impl HaloRegion {
 
 /// Load partition `p` of a PS/PDA file into memory together with up to
 /// `halo` records from each neighbouring partition.
-pub fn read_partition_with_halo(
-    pf: &ParallelFile,
-    p: u32,
-    halo: u64,
-) -> Result<HaloRegion> {
+pub fn read_partition_with_halo(pf: &ParallelFile, p: u32, halo: u64) -> Result<HaloRegion> {
     let (lo, hi) = pf.partition_record_range(p)?;
     let total = pf.len_records();
     let first = lo.saturating_sub(halo);
@@ -313,7 +309,11 @@ mod tests {
         let reference: Vec<u64> = (0..n as usize)
             .map(|i| {
                 let l = if i == 0 { vals[0] } else { vals[i - 1] };
-                let rr = if i + 1 == n as usize { vals[i] } else { vals[i + 1] };
+                let rr = if i + 1 == n as usize {
+                    vals[i]
+                } else {
+                    vals[i + 1]
+                };
                 (l + vals[i] + rr) / 3
             })
             .collect();

@@ -133,8 +133,9 @@ impl DirectHandle {
                     out[done..done + take].copy_from_slice(&bytes[within..within + take]);
                 }
                 None => {
-                    c.cache
-                        .update(dev, abs, |frame| write(&mut frame[within..within + take], take))?;
+                    c.cache.update(dev, abs, |frame| {
+                        write(&mut frame[within..within + take], take)
+                    })?;
                 }
             }
             byte += take as u64;

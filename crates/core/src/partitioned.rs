@@ -315,7 +315,7 @@ mod tests {
         let h = pf.partition_handle(1).unwrap();
         assert_eq!(h.len(), 14);
         assert_eq!(h.blocks(), 4); // 4+4+4+2
-        // Blocks may be visited in any order; records within go in order.
+                                   // Blocks may be visited in any order; records within go in order.
         for blk in [2u64, 0, 3, 1] {
             let mut c = h.block_cursor(blk).unwrap();
             let expect = if blk == 3 { 2 } else { 4 };

@@ -143,10 +143,8 @@ impl ParallelFile {
                 "{org} files are sized at creation; use create_sized"
             )));
         }
-        let layout =
-            Self::default_layout(vol, org, record_size, records_per_block, None)?;
-        let spec = FileSpec::new(name, record_size, records_per_block, layout)
-            .org(&org.tag());
+        let layout = Self::default_layout(vol, org, record_size, records_per_block, None)?;
+        let spec = FileSpec::new(name, record_size, records_per_block, layout).org(&org.tag());
         Ok(Self::wrap(vol.create_file(spec)?, org))
     }
 
@@ -167,8 +165,7 @@ impl ParallelFile {
             records_per_block,
             Some(total_records),
         )?;
-        let mut spec = FileSpec::new(name, record_size, records_per_block, layout)
-            .org(&org.tag());
+        let mut spec = FileSpec::new(name, record_size, records_per_block, layout).org(&org.tag());
         if org.is_fixed_size() {
             spec = spec.fixed_capacity(total_records);
         } else {
@@ -188,8 +185,7 @@ impl ParallelFile {
         layout: LayoutSpec,
         fixed_capacity: Option<u64>,
     ) -> Result<ParallelFile> {
-        let mut spec = FileSpec::new(name, record_size, records_per_block, layout)
-            .org(&org.tag());
+        let mut spec = FileSpec::new(name, record_size, records_per_block, layout).org(&org.tag());
         if let Some(cap) = fixed_capacity {
             spec = spec.fixed_capacity(cap);
         }

@@ -304,7 +304,10 @@ mod tests {
             let mut count_per_writer = [0u64; 7];
             while r.read_record(&mut rec).unwrap() {
                 let tag = rec[0];
-                assert!((1..=6).contains(&tag), "hole or torn record (naive={naive})");
+                assert!(
+                    (1..=6).contains(&tag),
+                    "hole or torn record (naive={naive})"
+                );
                 assert!(rec.iter().all(|&b| b == tag), "torn record");
                 count_per_writer[tag as usize] += 1;
             }

@@ -46,9 +46,7 @@ impl StripedReader {
         let pipelines = per_slot
             .into_iter()
             .enumerate()
-            .map(|(slot, blocks)| {
-                ReadAhead::new(vol.device(meta.device_map[slot]), blocks, nbufs)
-            })
+            .map(|(slot, blocks)| ReadAhead::new(vol.device(meta.device_map[slot]), blocks, nbufs))
             .collect();
         Ok(StripedReader {
             pipelines,

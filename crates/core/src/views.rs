@@ -19,11 +19,7 @@ use crate::selfsched::SelfSchedReader;
 
 /// View any file through an interleaved (IS) access pattern for process
 /// `p` of `processes`, regardless of its organization.
-pub fn force_interleaved(
-    pf: &ParallelFile,
-    p: u32,
-    processes: u32,
-) -> Result<InterleavedHandle> {
+pub fn force_interleaved(pf: &ParallelFile, p: u32, processes: u32) -> Result<InterleavedHandle> {
     if p >= processes || processes == 0 {
         return Err(CoreError::BadProcess {
             process: p,
@@ -35,11 +31,7 @@ pub fn force_interleaved(
 
 /// View any file through a partitioned (PS) access pattern: near-equal
 /// contiguous record ranges over the *current* file length.
-pub fn force_partition(
-    pf: &ParallelFile,
-    p: u32,
-    partitions: u32,
-) -> Result<PartitionHandle> {
+pub fn force_partition(pf: &ParallelFile, p: u32, partitions: u32) -> Result<PartitionHandle> {
     if p >= partitions || partitions == 0 {
         return Err(CoreError::BadProcess {
             process: p,

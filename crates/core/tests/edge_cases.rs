@@ -141,8 +141,7 @@ fn forced_partition_view_on_short_file() {
 fn self_sched_writer_after_reopen_appends() {
     let v = vol();
     {
-        let pf =
-            ParallelFile::create(&v, "log", Organization::SelfScheduledSeq, 64, 4).unwrap();
+        let pf = ParallelFile::create(&v, "log", Organization::SelfScheduledSeq, 64, 4).unwrap();
         let w = pf.self_sched_writer().unwrap();
         for _ in 0..5 {
             w.write_next(&[1u8; 64]).unwrap();

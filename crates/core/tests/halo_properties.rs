@@ -5,9 +5,7 @@
 
 use proptest::prelude::*;
 
-use pario_core::{
-    create_replicated, read_partition_with_halo, Organization, ParallelFile,
-};
+use pario_core::{create_replicated, read_partition_with_halo, Organization, ParallelFile};
 use pario_fs::{Volume, VolumeConfig};
 
 const RECORD: usize = 64;

@@ -23,6 +23,8 @@ pub struct FileDisk {
     failed: AtomicBool,
     reads: AtomicU64,
     writes: AtomicU64,
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
     name: String,
 }
 
@@ -45,6 +47,8 @@ impl FileDisk {
             failed: AtomicBool::new(false),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            blocks_read: AtomicU64::new(0),
+            blocks_written: AtomicU64::new(0),
             name: path.display().to_string(),
         })
     }
@@ -68,6 +72,8 @@ impl FileDisk {
             failed: AtomicBool::new(false),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            blocks_read: AtomicU64::new(0),
+            blocks_written: AtomicU64::new(0),
             name: path.display().to_string(),
         })
     }
@@ -92,6 +98,30 @@ impl FileDisk {
         }
         Ok(())
     }
+
+    /// Bounds check for a vectored transfer of `len` bytes at `block`;
+    /// returns the block count.
+    fn check_span(&self, block: u64, len: usize) -> Result<u64> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(DiskError::DeviceFailed {
+                device: self.name.clone(),
+            });
+        }
+        if !len.is_multiple_of(self.block_size) {
+            return Err(DiskError::BadBufferSize {
+                got: len,
+                expected: self.block_size,
+            });
+        }
+        let nblocks = (len / self.block_size) as u64;
+        match block.checked_add(nblocks) {
+            Some(end) if end <= self.num_blocks => Ok(nblocks),
+            _ => Err(DiskError::OutOfRange {
+                block: block.max(self.num_blocks),
+                capacity: self.num_blocks,
+            }),
+        }
+    }
 }
 
 impl BlockDevice for FileDisk {
@@ -108,6 +138,7 @@ impl BlockDevice for FileDisk {
         self.file
             .read_exact_at(buf, block * self.block_size as u64)?;
         self.reads.fetch_add(1, Ordering::Relaxed);
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -116,6 +147,33 @@ impl BlockDevice for FileDisk {
         self.file
             .write_all_at(data, block * self.block_size as u64)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        self.blocks_written.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Vectored read: one positioned syscall for the whole span.
+    fn read_blocks_at(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        let nblocks = self.check_span(block, buf.len())?;
+        if nblocks == 0 {
+            return Ok(());
+        }
+        self.file
+            .read_exact_at(buf, block * self.block_size as u64)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.blocks_read.fetch_add(nblocks, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Vectored write: one positioned syscall for the whole span.
+    fn write_blocks_at(&self, block: u64, data: &[u8]) -> Result<()> {
+        let nblocks = self.check_span(block, data.len())?;
+        if nblocks == 0 {
+            return Ok(());
+        }
+        self.file
+            .write_all_at(data, block * self.block_size as u64)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.blocks_written.fetch_add(nblocks, Ordering::Relaxed);
         Ok(())
     }
 
@@ -128,6 +186,8 @@ impl BlockDevice for FileDisk {
         IoCounters {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
         }
     }
 
@@ -176,6 +236,27 @@ mod tests {
             d.read_block(0, &mut buf).unwrap();
             assert!(buf.iter().all(|&b| b == 0));
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn vectored_span_round_trips_as_one_syscall() {
+        let path = tmp("vectored");
+        let d = FileDisk::create(&path, 16, 64).unwrap();
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        d.write_blocks_at(4, &data).unwrap();
+        let mut back = vec![0u8; 256];
+        d.read_blocks_at(4, &mut back).unwrap();
+        assert_eq!(back, data);
+        let c = d.counters();
+        assert_eq!((c.reads, c.writes), (1, 1));
+        assert_eq!((c.blocks_read, c.blocks_written), (4, 4));
+        // Span running past the end is rejected up front.
+        let mut big = vec![0u8; 64 * 4];
+        assert!(matches!(
+            d.read_blocks_at(14, &mut big),
+            Err(DiskError::OutOfRange { .. })
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -218,9 +218,6 @@ mod tests {
         assert_eq!(g.cylinder_of(per_cyl - 1), 0);
         assert_eq!(g.cylinder_of(per_cyl), 1);
         assert_eq!(g.sector_on_track(0), 0);
-        assert_eq!(
-            g.sector_on_track(u64::from(g.sectors_per_track) + 3),
-            3
-        );
+        assert_eq!(g.sector_on_track(u64::from(g.sectors_per_track) + 3), 3);
     }
 }

@@ -27,6 +27,19 @@ enum Request {
         data: Box<[u8]>,
         reply: Sender<Result<()>>,
     },
+    /// A vectored read of `nblocks` consecutive blocks — one queue entry,
+    /// one unit of service, however long the run is.
+    ReadSpan {
+        block: u64,
+        nblocks: u64,
+        reply: Sender<Result<Box<[u8]>>>,
+    },
+    /// A vectored write of `data.len() / block_size` consecutive blocks.
+    WriteSpan {
+        block: u64,
+        data: Box<[u8]>,
+        reply: Sender<Result<()>>,
+    },
     Flush {
         reply: Sender<Result<()>>,
     },
@@ -82,23 +95,48 @@ impl IoNode {
             .name("pario-ionode".into())
             .spawn(move || {
                 let bs = inner.block_size();
+                // Stats are settled BEFORE the reply is sent, so a client
+                // that observes its request complete also observes it
+                // counted.
+                let complete = |shared: &Shared| {
+                    shared.serviced.fetch_add(1, Ordering::Relaxed);
+                    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                };
                 // Ends when every Sender (node + device handles) is gone.
                 while let Ok(req) = queue_rx.recv() {
                     match req {
                         Request::Read { block, reply } => {
                             let mut buf = vec![0u8; bs].into_boxed_slice();
                             let res = inner.read_block(block, &mut buf).map(|()| buf);
+                            complete(&worker_shared);
                             let _ = reply.send(res);
                         }
                         Request::Write { block, data, reply } => {
-                            let _ = reply.send(inner.write_block(block, &data));
+                            let res = inner.write_block(block, &data);
+                            complete(&worker_shared);
+                            let _ = reply.send(res);
+                        }
+                        Request::ReadSpan {
+                            block,
+                            nblocks,
+                            reply,
+                        } => {
+                            let mut buf = vec![0u8; nblocks as usize * bs].into_boxed_slice();
+                            let res = inner.read_blocks_at(block, &mut buf).map(|()| buf);
+                            complete(&worker_shared);
+                            let _ = reply.send(res);
+                        }
+                        Request::WriteSpan { block, data, reply } => {
+                            let res = inner.write_blocks_at(block, &data);
+                            complete(&worker_shared);
+                            let _ = reply.send(res);
                         }
                         Request::Flush { reply } => {
-                            let _ = reply.send(inner.flush());
+                            let res = inner.flush();
+                            complete(&worker_shared);
+                            let _ = reply.send(res);
                         }
                     }
-                    worker_shared.serviced.fetch_add(1, Ordering::Relaxed);
-                    worker_shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                 }
             })
             .expect("spawn I/O node thread");
@@ -179,6 +217,48 @@ impl BlockDevice for IoNodeDevice {
             .map_err(|_| DiskError::Io("I/O node dropped request".into()))?
     }
 
+    /// One queued request for the whole run, serviced by the wrapped
+    /// device's own vectored path.
+    fn read_blocks_at(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        let bs = self.shared.block_size;
+        assert_eq!(buf.len() % bs, 0, "buffer must be a whole number of blocks");
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let (tx, rx) = bounded(1);
+        self.enqueue(Request::ReadSpan {
+            block,
+            nblocks: (buf.len() / bs) as u64,
+            reply: tx,
+        })?;
+        let data = rx
+            .recv()
+            .map_err(|_| DiskError::Io("I/O node dropped request".into()))??;
+        buf.copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// One queued request for the whole run.
+    fn write_blocks_at(&self, block: u64, data: &[u8]) -> Result<()> {
+        let bs = self.shared.block_size;
+        assert_eq!(
+            data.len() % bs,
+            0,
+            "buffer must be a whole number of blocks"
+        );
+        if data.is_empty() {
+            return Ok(());
+        }
+        let (tx, rx) = bounded(1);
+        self.enqueue(Request::WriteSpan {
+            block,
+            data: data.to_vec().into_boxed_slice(),
+            reply: tx,
+        })?;
+        rx.recv()
+            .map_err(|_| DiskError::Io("I/O node dropped request".into()))?
+    }
+
     fn flush(&self) -> Result<()> {
         let (tx, rx) = bounded(1);
         self.enqueue(Request::Flush { reply: tx })?;
@@ -189,7 +269,7 @@ impl BlockDevice for IoNodeDevice {
     fn counters(&self) -> IoCounters {
         // Detailed read/write counters remain on the wrapped device; the
         // node tracks queue statistics instead.
-        IoCounters { reads: 0, writes: 0 }
+        IoCounters::default()
     }
 
     /// Failure injection belongs to the wrapped device, not the node.
@@ -226,6 +306,30 @@ mod tests {
         assert_eq!(s.serviced, 3);
         assert_eq!(s.in_flight, 0);
         assert!(dev.label().starts_with("ionode("));
+    }
+
+    #[test]
+    fn span_requests_cost_one_unit_of_service() {
+        let mem = Arc::new(MemDisk::new(32, 64));
+        let node = IoNode::spawn(Arc::clone(&mem) as DeviceRef);
+        let dev = node.device();
+        let data: Vec<u8> = (0..64 * 8).map(|i| i as u8).collect();
+        dev.write_blocks_at(4, &data).unwrap();
+        let mut back = vec![0u8; 64 * 8];
+        dev.read_blocks_at(4, &mut back).unwrap();
+        assert_eq!(back, data);
+        // Two span transfers = two serviced requests, not sixteen.
+        assert_eq!(node.stats().serviced, 2);
+        // The wrapped device saw them as vectored requests too.
+        let c = mem.counters();
+        assert_eq!((c.reads, c.writes), (1, 1));
+        assert_eq!((c.blocks_read, c.blocks_written), (8, 8));
+        // Errors round-trip through the span path.
+        let mut big = vec![0u8; 64 * 64];
+        assert!(matches!(
+            dev.read_blocks_at(1, &mut big),
+            Err(DiskError::OutOfRange { .. })
+        ));
     }
 
     #[test]

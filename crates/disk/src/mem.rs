@@ -22,6 +22,8 @@ pub struct MemDisk {
     failed: AtomicBool,
     reads: AtomicU64,
     writes: AtomicU64,
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
     /// Busy-wait added to every block transfer, emulating device service
     /// time in wall-clock experiments. Zero by default.
     delay: Duration,
@@ -47,6 +49,8 @@ impl MemDisk {
             failed: AtomicBool::new(false),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            blocks_read: AtomicU64::new(0),
+            blocks_written: AtomicU64::new(0),
             delay: Duration::ZERO,
             name: name.to_string(),
         }
@@ -102,6 +106,32 @@ impl MemDisk {
         Ok(())
     }
 
+    /// Bounds check for a vectored transfer of `len` bytes at `block`;
+    /// returns the block count. Unlike [`MemDisk::check`] the length may
+    /// be any whole number of blocks.
+    fn check_span(&self, block: u64, len: usize) -> Result<u64> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(DiskError::DeviceFailed {
+                device: self.name.clone(),
+            });
+        }
+        if !len.is_multiple_of(self.block_size) {
+            return Err(DiskError::BadBufferSize {
+                got: len,
+                expected: self.block_size,
+            });
+        }
+        let nblocks = (len / self.block_size) as u64;
+        match block.checked_add(nblocks) {
+            Some(end) if end <= self.num_blocks => Ok(nblocks),
+            // Report the first block outside the device.
+            _ => Err(DiskError::OutOfRange {
+                block: block.max(self.num_blocks),
+                capacity: self.num_blocks,
+            }),
+        }
+    }
+
     fn service_delay(&self) {
         if self.delay.is_zero() {
             return;
@@ -133,6 +163,7 @@ impl BlockDevice for MemDisk {
         let base = block as usize * self.block_size;
         buf.copy_from_slice(&data[base..base + self.block_size]);
         self.reads.fetch_add(1, Ordering::Relaxed);
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -143,6 +174,38 @@ impl BlockDevice for MemDisk {
         let base = block as usize * self.block_size;
         data[base..base + self.block_size].copy_from_slice(data_in);
         self.writes.fetch_add(1, Ordering::Relaxed);
+        self.blocks_written.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Vectored read: one service delay, one lock acquisition, one
+    /// contiguous copy — however many blocks the span covers.
+    fn read_blocks_at(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        let nblocks = self.check_span(block, buf.len())?;
+        if nblocks == 0 {
+            return Ok(());
+        }
+        self.service_delay();
+        let data = self.data.read();
+        let base = block as usize * self.block_size;
+        buf.copy_from_slice(&data[base..base + buf.len()]);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.blocks_read.fetch_add(nblocks, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Vectored write: the mirror of [`MemDisk::read_blocks_at`].
+    fn write_blocks_at(&self, block: u64, data_in: &[u8]) -> Result<()> {
+        let nblocks = self.check_span(block, data_in.len())?;
+        if nblocks == 0 {
+            return Ok(());
+        }
+        self.service_delay();
+        let mut data = self.data.write();
+        let base = block as usize * self.block_size;
+        data[base..base + data_in.len()].copy_from_slice(data_in);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.blocks_written.fetch_add(nblocks, Ordering::Relaxed);
         Ok(())
     }
 
@@ -150,6 +213,8 @@ impl BlockDevice for MemDisk {
         IoCounters {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
         }
     }
 
@@ -207,6 +272,58 @@ mod tests {
         assert!(matches!(
             d.write_block(0, &small),
             Err(DiskError::BadBufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn vectored_round_trip_counts_one_request() {
+        let d = MemDisk::new(8, 32);
+        let data: Vec<u8> = (0..96).map(|i| i as u8).collect();
+        d.write_blocks_at(2, &data).unwrap();
+        let mut back = vec![0u8; 96];
+        d.read_blocks_at(2, &mut back).unwrap();
+        assert_eq!(back, data);
+        let c = d.counters();
+        assert_eq!((c.reads, c.writes), (1, 1));
+        assert_eq!((c.blocks_read, c.blocks_written), (3, 3));
+        // The vectored and per-block views agree on contents.
+        let mut one = vec![0u8; 32];
+        d.read_block(3, &mut one).unwrap();
+        assert_eq!(one, data[32..64]);
+    }
+
+    #[test]
+    fn vectored_bounds_and_size_checks() {
+        let d = MemDisk::new(4, 16);
+        let mut buf = vec![0u8; 32];
+        // Last block of the span out of range.
+        assert!(matches!(
+            d.read_blocks_at(3, &mut buf),
+            Err(DiskError::OutOfRange {
+                block: 4,
+                capacity: 4
+            })
+        ));
+        // Start out of range.
+        assert!(matches!(
+            d.write_blocks_at(5, &buf),
+            Err(DiskError::OutOfRange { block: 5, .. })
+        ));
+        // Ragged length.
+        let mut ragged = vec![0u8; 24];
+        assert!(matches!(
+            d.read_blocks_at(0, &mut ragged),
+            Err(DiskError::BadBufferSize { got: 24, .. })
+        ));
+        // Empty spans are free no-ops.
+        d.read_blocks_at(0, &mut []).unwrap();
+        d.write_blocks_at(0, &[]).unwrap();
+        assert_eq!(d.counters().total(), 0);
+        // Failure still applies to vectored transfers.
+        d.fail();
+        assert!(matches!(
+            d.read_blocks_at(0, &mut buf),
+            Err(DiskError::DeviceFailed { .. })
         ));
     }
 

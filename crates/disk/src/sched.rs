@@ -52,24 +52,21 @@ impl Scheduler {
         }
         let best = |it: &mut dyn Iterator<Item = (usize, (u32, u64))>,
                     key: &dyn Fn((u32, u64)) -> (u64, u64)|
-         -> Option<usize> {
-            it.min_by_key(|&(_, q)| key(q)).map(|(i, _)| i)
-        };
+         -> Option<usize> { it.min_by_key(|&(_, q)| key(q)).map(|(i, _)| i) };
         let idx = match self.policy {
-            SchedPolicy::Fifo => best(
-                &mut queue.iter().copied().enumerate(),
-                &|(_, tag)| (tag, 0),
-            ),
+            SchedPolicy::Fifo => best(&mut queue.iter().copied().enumerate(), &|(_, tag)| (tag, 0)),
             SchedPolicy::Sstf => best(&mut queue.iter().copied().enumerate(), &|(cyl, tag)| {
                 (u64::from(cyl.abs_diff(head)), tag)
             }),
             SchedPolicy::Scan => {
                 let pick_dir = |up: bool| {
-                    let it = queue
-                        .iter()
-                        .copied()
-                        .enumerate()
-                        .filter(|&(_, (cyl, _))| if up { cyl >= head } else { cyl <= head });
+                    let it = queue.iter().copied().enumerate().filter(|&(_, (cyl, _))| {
+                        if up {
+                            cyl >= head
+                        } else {
+                            cyl <= head
+                        }
+                    });
                     if up {
                         it.min_by_key(|&(_, (cyl, tag))| (cyl, tag)).map(|(i, _)| i)
                     } else {

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use pario_disk::{
-    BlockDevice, DiskGeometry, MemDisk, ModeledDisk, SchedPolicy, Scheduler,
-};
+use pario_disk::{BlockDevice, DiskGeometry, MemDisk, ModeledDisk, SchedPolicy, Scheduler};
 use pario_sim::{DeviceModel, DiskReq, PendingReq, SimTime};
 
 const POLICIES: [SchedPolicy; 4] = [

@@ -90,7 +90,9 @@ impl Allocator {
     /// An allocator for `devices` devices of `blocks_per_device` blocks.
     pub fn new(devices: usize, blocks_per_device: u64) -> Allocator {
         Allocator {
-            maps: (0..devices).map(|_| Bitmap::new(blocks_per_device)).collect(),
+            maps: (0..devices)
+                .map(|_| Bitmap::new(blocks_per_device))
+                .collect(),
         }
     }
 

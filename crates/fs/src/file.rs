@@ -14,12 +14,17 @@
 use std::sync::Arc;
 
 use pario_disk::{DeviceRef, DiskError};
-use pario_layout::{Layout, LayoutSpec, ParityPlacement, ParityStriped, PhysBlock};
+use pario_layout::{runs, Layout, LayoutSpec, ParityPlacement, ParityStriped, PhysBlock, Run};
 
 use crate::alloc::resolve;
 use crate::error::{FsError, Result};
 use crate::meta::FileMeta;
 use crate::volume::{FileState, Volume};
+
+/// Spans whose aligned whole-block core covers at least this many blocks
+/// fan their per-device runs out across scoped threads; below it the
+/// spawn cost would dominate the transfer.
+const PARALLEL_SPAN_MIN_BLOCKS: u64 = 8;
 
 /// How the file's layout protects (or doesn't) against device failure.
 #[derive(Clone, Debug)]
@@ -47,6 +52,8 @@ pub struct RawFile {
     records_per_block: usize,
     name: String,
     id: u64,
+    /// Whether big unredundant spans may fan out across device threads.
+    span_parallel: bool,
 }
 
 fn xor_into(dst: &mut [u8], src: &[u8]) {
@@ -54,6 +61,42 @@ fn xor_into(dst: &mut [u8], src: &[u8]) {
     for (d, s) in dst.iter_mut().zip(src) {
         *d ^= s;
     }
+}
+
+/// Layout runs on one device whose device-local blocks are contiguous,
+/// merged into a single transfer. The runs may be scattered through the
+/// logical span (striping interleaves them), so each keeps its own
+/// window (`B`) into the span buffer; multi-part transfers go through a
+/// staging buffer.
+struct MergedRun<B> {
+    device: usize,
+    dblock: u64,
+    count: u64,
+    parts: Vec<(Run, B)>,
+}
+
+/// Group `pieces` by device, merging runs that continue the previous
+/// run's device-local block range. Striped layouts collapse a whole
+/// span into ONE merged run per device; partitioned layouts were one
+/// run already; parity data blocks on one device sit at consecutive
+/// stripe rows and merge the same way.
+fn merge_runs<B>(pieces: Vec<(Run, B)>, ndev: usize) -> Vec<Vec<MergedRun<B>>> {
+    let mut groups: Vec<Vec<MergedRun<B>>> = (0..ndev).map(|_| Vec::new()).collect();
+    for (r, b) in pieces {
+        match groups[r.device].last_mut() {
+            Some(m) if m.dblock + m.count == r.dblock => {
+                m.count += r.count;
+                m.parts.push((r, b));
+            }
+            _ => groups[r.device].push(MergedRun {
+                device: r.device,
+                dblock: r.dblock,
+                count: r.count,
+                parts: vec![(r, b)],
+            }),
+        }
+    }
+    groups
 }
 
 impl RawFile {
@@ -95,7 +138,16 @@ impl RawFile {
             records_per_block,
             name,
             id,
+            span_parallel: true,
         })
+    }
+
+    /// Disable (or re-enable) the per-device thread fan-out on this
+    /// handle, keeping span coalescing. For experiments that isolate
+    /// request-count savings from parallelism.
+    pub fn with_span_parallel(mut self, on: bool) -> RawFile {
+        self.span_parallel = on;
+        self
     }
 
     // ------------------------------------------------------------------
@@ -152,7 +204,9 @@ impl RawFile {
         let meta = self.state.meta.read();
         let by_alloc = meta.nblocks * self.block_size() as u64 / self.record_size as u64;
         match meta.fixed_capacity_records {
-            Some(cap) => cap.min(by_alloc.max(cap)),
+            // A fixed capacity is the hard ceiling even when the eager
+            // allocation rounds up to more whole blocks than it needs.
+            Some(cap) => cap,
             None => by_alloc,
         }
     }
@@ -191,8 +245,7 @@ impl RawFile {
                 });
             }
         }
-        let lblocks =
-            (records * self.record_size as u64).div_ceil(self.block_size() as u64);
+        let lblocks = (records * self.record_size as u64).div_ceil(self.block_size() as u64);
         self.vol.grow_file(&self.state, lblocks)
     }
 
@@ -251,9 +304,9 @@ impl RawFile {
         self.check_lblock(l)?;
         let p = self.layout.map(l);
         match self.try_read_phys(p, buf) {
-            Err(FsError::Disk(
-                DiskError::DeviceFailed { .. } | DiskError::Corruption { .. },
-            )) => self.read_degraded(l, p, buf),
+            Err(FsError::Disk(DiskError::DeviceFailed { .. } | DiskError::Corruption { .. })) => {
+                self.read_degraded(l, p, buf)
+            }
             other => other,
         }
     }
@@ -261,14 +314,26 @@ impl RawFile {
     /// Read the physical block at layout slot `slot`, device-local index
     /// `dblock` — **recovery tooling only**: bypasses redundancy logic.
     pub fn read_device_block(&self, slot: usize, dblock: u64, buf: &mut [u8]) -> Result<()> {
-        self.try_read_phys(PhysBlock { device: slot, block: dblock }, buf)
+        self.try_read_phys(
+            PhysBlock {
+                device: slot,
+                block: dblock,
+            },
+            buf,
+        )
     }
 
     /// Write the physical block at layout slot `slot`, device-local index
     /// `dblock` — **recovery tooling only**: bypasses parity maintenance
     /// and shadow duplication entirely.
     pub fn write_device_block(&self, slot: usize, dblock: u64, data: &[u8]) -> Result<()> {
-        self.try_write_phys(PhysBlock { device: slot, block: dblock }, data)
+        self.try_write_phys(
+            PhysBlock {
+                device: slot,
+                block: dblock,
+            },
+            data,
+        )
     }
 
     /// Blocks allocated on layout slot `slot`.
@@ -325,8 +390,7 @@ impl RawFile {
     pub fn write_lblock(&self, l: u64, data: &[u8]) -> Result<()> {
         debug_assert_eq!(data.len(), self.block_size());
         if l >= self.nblocks() {
-            let records = ((l + 1) * self.block_size() as u64)
-                .div_ceil(self.record_size as u64);
+            let records = ((l + 1) * self.block_size() as u64).div_ceil(self.record_size as u64);
             self.ensure_capacity_records(records)?;
         }
         match &self.redundancy.clone() {
@@ -409,11 +473,288 @@ impl RawFile {
     }
 
     // ------------------------------------------------------------------
+    // Coalesced span machinery
+    // ------------------------------------------------------------------
+
+    /// Split the device-local range `[dblock, dblock + count)` of layout
+    /// slot `slot` at extent boundaries, resolving each piece to an
+    /// absolute block on the backing device.
+    fn run_segments(&self, slot: usize, dblock: u64, count: u64) -> Vec<(DeviceRef, u64, u64)> {
+        let meta = self.state.meta.read();
+        let dev = self.vol.device(meta.device_map[slot]);
+        let mut out = Vec::new();
+        let mut local = dblock;
+        let mut remaining = count;
+        for e in &meta.extents[slot] {
+            if remaining == 0 {
+                break;
+            }
+            if local >= e.len {
+                local -= e.len;
+                continue;
+            }
+            let take = (e.len - local).min(remaining);
+            out.push((Arc::clone(&dev), e.start + local, take));
+            remaining -= take;
+            local = 0;
+        }
+        assert_eq!(remaining, 0, "run extends past allocated extents");
+        out
+    }
+
+    /// One vectored device request per extent segment of the run rooted
+    /// at (`slot`, `dblock`). No redundancy handling.
+    fn read_run_direct(&self, slot: usize, dblock: u64, out: &mut [u8]) -> Result<()> {
+        let bs = self.block_size();
+        let mut pos = 0usize;
+        for (dev, abs, count) in self.run_segments(slot, dblock, (out.len() / bs) as u64) {
+            let bytes = count as usize * bs;
+            dev.read_blocks_at(abs, &mut out[pos..pos + bytes])?;
+            pos += bytes;
+        }
+        Ok(())
+    }
+
+    /// Vectored write counterpart of [`RawFile::read_run_direct`].
+    fn write_run_direct(&self, slot: usize, dblock: u64, data: &[u8]) -> Result<()> {
+        let bs = self.block_size();
+        let mut pos = 0usize;
+        for (dev, abs, count) in self.run_segments(slot, dblock, (data.len() / bs) as u64) {
+            let bytes = count as usize * bs;
+            dev.write_blocks_at(abs, &data[pos..pos + bytes])?;
+            pos += bytes;
+        }
+        Ok(())
+    }
+
+    /// Read one coalesced run. On device failure or detected corruption
+    /// the whole run falls over: shadowed files retry the mirror run
+    /// vectored; anything still failing (parity reconstruction, a
+    /// half-dead mirror pair) degrades to per-block [`RawFile::read_lblock`].
+    fn read_run(&self, run: Run, out: &mut [u8]) -> Result<()> {
+        match self.read_run_direct(run.device, run.dblock, out) {
+            Err(FsError::Disk(DiskError::DeviceFailed { .. } | DiskError::Corruption { .. })) => {
+                if let Redundancy::Shadow { primaries } = &self.redundancy {
+                    if self
+                        .read_run_direct(run.device + primaries, run.dblock, out)
+                        .is_ok()
+                    {
+                        return Ok(());
+                    }
+                }
+                let bs = self.block_size();
+                for (i, chunk) in out.chunks_mut(bs).enumerate() {
+                    self.read_lblock(run.lblock + i as u64, chunk)?;
+                }
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    /// Read one merged run: a single vectored device request, scattered
+    /// from a staging buffer into each part's span window. Failure falls
+    /// back to per-part [`RawFile::read_run`] recovery.
+    fn read_merged(&self, m: MergedRun<&mut [u8]>) -> Result<()> {
+        if m.parts.len() == 1 {
+            let (r, buf) = m.parts.into_iter().next().unwrap();
+            return self.read_run(r, buf);
+        }
+        let bs = self.block_size();
+        let mut staging = vec![0u8; m.count as usize * bs];
+        match self.read_run_direct(m.device, m.dblock, &mut staging) {
+            Ok(()) => {
+                // Parts are in device-block order and contiguous, so the
+                // staging buffer scatters sequentially.
+                let mut pos = 0usize;
+                for (_, buf) in m.parts {
+                    buf.copy_from_slice(&staging[pos..pos + buf.len()]);
+                    pos += buf.len();
+                }
+                Ok(())
+            }
+            Err(FsError::Disk(DiskError::DeviceFailed { .. } | DiskError::Corruption { .. })) => {
+                for (r, buf) in m.parts {
+                    self.read_run(r, buf)?;
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Write one merged run: parts gather into a staging buffer and go
+    /// out as one vectored request. Shadowed files write both copies at
+    /// this granularity — one live copy suffices — and a double failure
+    /// retries per block so the span only fails where *both* copies of a
+    /// block are dead.
+    fn write_merged(&self, m: MergedRun<&[u8]>) -> Result<()> {
+        let staging: Vec<u8>;
+        let data: &[u8] = if m.parts.len() == 1 {
+            m.parts[0].1
+        } else {
+            let mut s = Vec::with_capacity(m.count as usize * self.block_size());
+            for (_, b) in &m.parts {
+                s.extend_from_slice(b);
+            }
+            staging = s;
+            &staging
+        };
+        match &self.redundancy {
+            Redundancy::Shadow { primaries } => {
+                let r1 = self.write_run_direct(m.device, m.dblock, data);
+                let r2 = self.write_run_direct(m.device + primaries, m.dblock, data);
+                match (&r1, &r2) {
+                    (Err(_), Err(_)) => {
+                        let bs = self.block_size();
+                        for (r, part) in &m.parts {
+                            for (i, chunk) in part.chunks(bs).enumerate() {
+                                self.write_lblock(r.lblock + i as u64, chunk)?;
+                            }
+                        }
+                        Ok(())
+                    }
+                    _ => Ok(()),
+                }
+            }
+            _ => self.write_run_direct(m.device, m.dblock, data),
+        }
+    }
+
+    /// Tile `buf` into per-run windows matching `runs(layout, first, n)`.
+    /// Runs come back in logical order, so the windows partition the
+    /// buffer exactly.
+    fn run_windows<'b>(&self, first: u64, buf: &'b mut [u8]) -> Vec<(Run, &'b mut [u8])> {
+        let bs = self.block_size();
+        let count = (buf.len() / bs) as u64;
+        let run_list = runs(&*self.layout, first, count);
+        let mut pieces = Vec::with_capacity(run_list.len());
+        let mut rest = buf;
+        for r in run_list {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(r.count as usize * bs);
+            pieces.push((r, head));
+            rest = tail;
+        }
+        pieces
+    }
+
+    /// Whether a coalesced transfer of `count` blocks touching
+    /// `busy_devices` device groups should fan out across scoped
+    /// threads: only for unredundant layouts, only when more than one
+    /// device is involved, and only when the span is big enough that
+    /// thread spawn cost is noise.
+    fn fan_out_ok(&self, count: u64, busy_devices: usize) -> bool {
+        self.span_parallel
+            && count >= PARALLEL_SPAN_MIN_BLOCKS
+            && busy_devices > 1
+            && matches!(self.redundancy, Redundancy::None)
+    }
+
+    /// Read whole logical blocks `[first, first + buf.len()/bs)` via
+    /// merged per-device runs; independent devices proceed in parallel.
+    fn read_blocks_coalesced(&self, first: u64, buf: &mut [u8]) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let count = (buf.len() / self.block_size()) as u64;
+        let pieces = self.run_windows(first, buf);
+        let groups = merge_runs(pieces, self.layout.devices());
+        let busy = groups.iter().filter(|g| !g.is_empty()).count();
+        if self.fan_out_ok(count, busy) {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .filter(|g| !g.is_empty())
+                    .map(|group| {
+                        scope.spawn(move |_| -> Result<()> {
+                            for m in group {
+                                self.read_merged(m)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("span read worker panicked")?;
+                }
+                Ok(())
+            })
+            .expect("span read scope panicked")
+        } else {
+            for m in groups.into_iter().flatten() {
+                self.read_merged(m)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Write whole logical blocks starting at `first` via merged
+    /// per-device runs. Unredundant layouts fan out across devices;
+    /// shadowed layouts dual-write each merged run sequentially. Parity
+    /// never comes here (its read-modify-write stays per-block).
+    fn write_blocks_coalesced(&self, first: u64, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let bs = self.block_size();
+        let count = (data.len() / bs) as u64;
+        let run_list = runs(&*self.layout, first, count);
+        let mut pieces = Vec::with_capacity(run_list.len());
+        let mut rest = data;
+        for r in run_list {
+            let (head, tail) = rest.split_at(r.count as usize * bs);
+            pieces.push((r, head));
+            rest = tail;
+        }
+        let groups = merge_runs(pieces, self.layout.devices());
+        let busy = groups.iter().filter(|g| !g.is_empty()).count();
+        if self.fan_out_ok(count, busy) {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .filter(|g| !g.is_empty())
+                    .map(|group| {
+                        scope.spawn(move |_| -> Result<()> {
+                            for m in group {
+                                self.write_merged(m)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("span write worker panicked")?;
+                }
+                Ok(())
+            })
+            .expect("span write scope panicked")
+        } else {
+            for m in groups.into_iter().flatten() {
+                self.write_merged(m)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Read-modify-write the sub-block range of logical block `l`
+    /// starting `within` bytes in.
+    fn rmw_partial(&self, l: u64, within: usize, bytes: &[u8]) -> Result<()> {
+        let mut scratch = vec![0u8; self.block_size()];
+        self.read_lblock(l, &mut scratch)?;
+        scratch[within..within + bytes.len()].copy_from_slice(bytes);
+        self.write_lblock(l, &scratch)
+    }
+
+    // ------------------------------------------------------------------
     // Byte spans and records
     // ------------------------------------------------------------------
 
     /// Read `out.len()` bytes of the logical byte stream at `offset`.
     /// The span must lie within the allocated capacity.
+    ///
+    /// Whole-block spans are translated into maximal per-device runs
+    /// (one vectored device request each); partial head/tail blocks go
+    /// through the single-block path.
     pub fn read_span(&self, offset: u64, out: &mut [u8]) -> Result<()> {
         let bs = self.block_size() as u64;
         let end = offset + out.len() as u64;
@@ -424,26 +765,39 @@ impl RawFile {
                 len: nblocks,
             });
         }
-        let mut scratch = vec![0u8; bs as usize];
-        let mut pos = 0usize;
-        while pos < out.len() {
-            let byte = offset + pos as u64;
-            let l = byte / bs;
-            let within = (byte % bs) as usize;
-            let take = ((bs as usize) - within).min(out.len() - pos);
-            if within == 0 && take == bs as usize {
-                self.read_lblock(l, &mut out[pos..pos + take])?;
-            } else {
-                self.read_lblock(l, &mut scratch)?;
-                out[pos..pos + take].copy_from_slice(&scratch[within..within + take]);
-            }
-            pos += take;
+        if out.is_empty() {
+            return Ok(());
+        }
+        let core_start = offset.next_multiple_of(bs).min(end);
+        let core_end = (end / bs * bs).max(core_start);
+        if offset < core_start {
+            let within = (offset % bs) as usize;
+            let take = (core_start - offset) as usize;
+            let mut scratch = vec![0u8; bs as usize];
+            self.read_lblock(offset / bs, &mut scratch)?;
+            out[..take].copy_from_slice(&scratch[within..within + take]);
+        }
+        if core_end > core_start {
+            let head = (core_start - offset) as usize;
+            let core = (core_end - core_start) as usize;
+            self.read_blocks_coalesced(core_start / bs, &mut out[head..head + core])?;
+        }
+        if end > core_end {
+            let take = (end - core_end) as usize;
+            let mut scratch = vec![0u8; bs as usize];
+            self.read_lblock(core_end / bs, &mut scratch)?;
+            let at = out.len() - take;
+            out[at..].copy_from_slice(&scratch[..take]);
         }
         Ok(())
     }
 
     /// Write `data` into the logical byte stream at `offset`, growing the
     /// allocation to cover it. Partial blocks are read-modify-written.
+    ///
+    /// Whole-block spans are translated into maximal per-device runs;
+    /// parity files keep the per-block read-modify-write cycle (the
+    /// stripe lock serializes it anyway, so there is nothing to fan out).
     pub fn write_span(&self, offset: u64, data: &[u8]) -> Result<()> {
         if data.is_empty() {
             return Ok(());
@@ -452,6 +806,32 @@ impl RawFile {
         let end = offset + data.len() as u64;
         let records = end.div_ceil(self.record_size as u64);
         self.ensure_capacity_records(records)?;
+        if matches!(self.redundancy, Redundancy::Parity(_)) {
+            return self.write_span_per_block(offset, data);
+        }
+        let core_start = offset.next_multiple_of(bs).min(end);
+        let core_end = (end / bs * bs).max(core_start);
+        if offset < core_start {
+            let take = (core_start - offset) as usize;
+            self.rmw_partial(offset / bs, (offset % bs) as usize, &data[..take])?;
+        }
+        if core_end > core_start {
+            let head = (core_start - offset) as usize;
+            let core = (core_end - core_start) as usize;
+            self.write_blocks_coalesced(core_start / bs, &data[head..head + core])?;
+        }
+        if end > core_end {
+            let take = (end - core_end) as usize;
+            self.rmw_partial(core_end / bs, 0, &data[data.len() - take..])?;
+        }
+        Ok(())
+    }
+
+    /// The pre-coalescing span write: one logical block at a time.
+    /// Parity files use this so every full-block write runs the
+    /// read-modify-write cycle under the stripe lock unchanged.
+    fn write_span_per_block(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let bs = self.block_size() as u64;
         let mut scratch = vec![0u8; bs as usize];
         let mut pos = 0usize;
         while pos < data.len() {
@@ -756,8 +1136,7 @@ mod tests {
         // one device; rotation (RAID-5) spreads the load.
         let count_writes = |rotated: bool| -> Vec<u64> {
             let v = vol(4);
-            let before: Vec<u64> =
-                (0..4).map(|d| v.device(d).counters().writes).collect();
+            let before: Vec<u64> = (0..4).map(|d| v.device(d).counters().writes).collect();
             let f = v
                 .create_file(FileSpec::new(
                     "p",
@@ -788,10 +1167,7 @@ mod tests {
         let raid5 = count_writes(true);
         let max = *raid5.iter().max().unwrap();
         let min = *raid5.iter().min().unwrap();
-        assert!(
-            max < min * 2,
-            "RAID-5 should balance writes: {raid5:?}"
-        );
+        assert!(max < min * 2, "RAID-5 should balance writes: {raid5:?}");
     }
 
     #[test]
@@ -839,6 +1215,118 @@ mod tests {
         let mut mid = vec![0u8; 10];
         f.read_span(700, &mut mid).unwrap();
         assert_eq!(mid, data[700 - 123..710 - 123]);
+    }
+
+    #[test]
+    fn fixed_capacity_caps_even_when_allocation_rounds_up() {
+        let v = vol(2);
+        // 10 records of 64 bytes = 640 bytes → 3 blocks of 256 → the
+        // allocation could hold 12 records, but the fixed cap is 10.
+        let f = v
+            .create_file(
+                FileSpec::new(
+                    "cap",
+                    64,
+                    4,
+                    LayoutSpec::Striped {
+                        devices: 2,
+                        unit: 1,
+                    },
+                )
+                .fixed_capacity(10),
+            )
+            .unwrap();
+        f.ensure_capacity_records(10).unwrap();
+        assert!(f.nblocks() * BS as u64 / 64 > 10, "allocation rounds up");
+        assert_eq!(f.capacity_records(), 10);
+        assert!(matches!(
+            f.ensure_capacity_records(11),
+            Err(FsError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn whole_block_spans_coalesce_into_per_device_runs() {
+        let v = vol(4);
+        let f = v
+            .create_file(FileSpec::new(
+                "co",
+                BS,
+                1,
+                LayoutSpec::Striped {
+                    devices: 4,
+                    unit: 2,
+                },
+            ))
+            .unwrap();
+        let nblocks = 64u64;
+        f.ensure_capacity_records(nblocks).unwrap();
+        let before: Vec<_> = (0..4).map(|d| v.device(d).counters()).collect();
+        let data: Vec<u8> = (0..nblocks as usize * BS)
+            .map(|i| (i % 241) as u8)
+            .collect();
+        f.write_span(0, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        f.read_span(0, &mut out).unwrap();
+        assert_eq!(out, data);
+        let (mut reqs, mut blocks) = (0u64, 0u64);
+        for (d, b) in before.iter().enumerate() {
+            let c = v.device(d).counters();
+            reqs += (c.reads - b.reads) + (c.writes - b.writes);
+            blocks += (c.blocks_read - b.blocks_read) + (c.blocks_written - b.blocks_written);
+        }
+        assert_eq!(
+            blocks,
+            2 * nblocks,
+            "every block moved exactly once per direction"
+        );
+        // Striped unit-2 keeps each device's share contiguous, so the
+        // whole span is one run per device per direction (modulo extent
+        // splits) — far below the 128 per-block requests it replaced.
+        assert!(reqs <= 16, "expected coalesced requests, got {reqs}");
+    }
+
+    #[test]
+    fn coalesced_span_survives_shadow_primary_failure() {
+        let v = vol(4);
+        let f = v
+            .create_file(FileSpec::new(
+                "shspan",
+                BS,
+                1,
+                LayoutSpec::Shadowed(Box::new(LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                })),
+            ))
+            .unwrap();
+        let data: Vec<u8> = (0..32 * BS).map(|i| (i % 239) as u8).collect();
+        f.write_span(0, &data).unwrap();
+        v.device(0).fail();
+        let mut out = vec![0u8; data.len()];
+        f.read_span(0, &mut out).unwrap();
+        assert_eq!(out, data, "mirror runs serve the whole span");
+        // Writes still land on the surviving copies.
+        let data2: Vec<u8> = data.iter().map(|b| b ^ 0x5A).collect();
+        f.write_span(0, &data2).unwrap();
+        let mut out2 = vec![0u8; data2.len()];
+        f.read_span(0, &mut out2).unwrap();
+        assert_eq!(out2, data2);
+    }
+
+    #[test]
+    fn coalesced_span_reconstructs_through_parity() {
+        let v = vol(4);
+        let f = parity_file(&v, true);
+        let data: Vec<u8> = (0..12 * BS).map(|i| (i % 233) as u8).collect();
+        f.write_span(0, &data).unwrap();
+        for dead in 0..4 {
+            v.device(dead).fail();
+            let mut out = vec![0u8; data.len()];
+            f.read_span(0, &mut out).unwrap();
+            assert_eq!(out, data, "dead={dead}");
+            v.device(dead).heal();
+        }
     }
 
     #[test]

@@ -245,11 +245,10 @@ impl Volume {
             (LayoutSpec::Partitioned { bounds, .. }, Some(_)) => {
                 *bounds.last().expect("validated non-empty")
             }
-            (_, Some(cap)) => {
-                (cap * spec.record_size as u64).div_ceil(self.block_size() as u64)
+            (_, Some(cap)) => (cap * spec.record_size as u64).div_ceil(self.block_size() as u64),
+            (_, None) => {
+                (spec.initial_records * spec.record_size as u64).div_ceil(self.block_size() as u64)
             }
-            (_, None) => (spec.initial_records * spec.record_size as u64)
-                .div_ceil(self.block_size() as u64),
         };
         if lblocks > 0 {
             if let Err(e) = self.grow_file(&state, lblocks) {
@@ -343,8 +342,7 @@ impl Volume {
         if let (LayoutSpec::Partitioned { bounds, .. }, Some(cap)) =
             (&spec.layout, spec.fixed_capacity_records)
         {
-            let cap_blocks =
-                (cap * spec.record_size as u64).div_ceil(self.block_size() as u64);
+            let cap_blocks = (cap * spec.record_size as u64).div_ceil(self.block_size() as u64);
             let total = *bounds.last().expect("validated non-empty");
             if total < cap_blocks {
                 return Err(FsError::BadSpec(format!(
@@ -365,9 +363,7 @@ impl Volume {
         }
         if let Some(cap) = meta.fixed_capacity_records {
             let cap_blocks = match &meta.layout {
-                LayoutSpec::Partitioned { bounds, .. } => {
-                    *bounds.last().expect("non-empty bounds")
-                }
+                LayoutSpec::Partitioned { bounds, .. } => *bounds.last().expect("non-empty bounds"),
                 _ => (cap * meta.record_size as u64).div_ceil(self.block_size() as u64),
             };
             if total_lblocks > cap_blocks {
@@ -379,7 +375,7 @@ impl Volume {
         }
         let layout = meta.layout.build();
         let mut added: Vec<(usize, Extent)> = Vec::new();
-        let zero = vec![0u8; self.block_size()];
+        let zero = vec![0u8; self.block_size() * 32];
         for slot in 0..layout.devices() {
             let need = layout.blocks_on_device(total_lblocks, slot);
             let have = extents_len(&meta.extents[slot]);
@@ -401,11 +397,25 @@ impl Volume {
             };
             for &e in &new_extents {
                 added.push((dev, e));
-                for b in e.start..e.end() {
-                    self.inner.devices[dev].write_block(b, &zero)?;
+                // Zero-fill vectored, a whole extent (chunked) per request.
+                let mut b = e.start;
+                while b < e.end() {
+                    let n = (e.end() - b).min((zero.len() / self.block_size()) as u64);
+                    self.inner.devices[dev]
+                        .write_blocks_at(b, &zero[..n as usize * self.block_size()])?;
+                    b += n;
                 }
             }
-            meta.extents[slot].extend(new_extents);
+            // Merge extents that continue the previous one, so span I/O
+            // sees maximal contiguous device runs even after the file
+            // grew one block at a time.
+            let slot_extents = &mut meta.extents[slot];
+            for e in new_extents {
+                match slot_extents.last_mut() {
+                    Some(prev) if prev.start + prev.len == e.start => prev.len += e.len,
+                    _ => slot_extents.push(e),
+                }
+            }
         }
         meta.nblocks = total_lblocks;
         Ok(())
@@ -572,10 +582,7 @@ mod tests {
             },
         )
         .initial_records(10_000);
-        assert!(matches!(
-            v.create_file(spec),
-            Err(FsError::NoSpace { .. })
-        ));
+        assert!(matches!(v.create_file(spec), Err(FsError::NoSpace { .. })));
         assert_eq!(v.free_blocks(), free_before);
         assert!(v.list().is_empty(), "failed create must not leave a file");
     }

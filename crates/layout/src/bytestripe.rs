@@ -122,9 +122,33 @@ mod tests {
         let runs = s.map_range(4, 16);
         // Bytes 4..8 on dev0, 8..16 on dev1, 16..20 on dev0 at offset 8.
         assert_eq!(runs.len(), 3);
-        assert_eq!(runs[0], ByteRun { device: 0, offset: 4, len: 4, logical: 4 });
-        assert_eq!(runs[1], ByteRun { device: 1, offset: 0, len: 8, logical: 8 });
-        assert_eq!(runs[2], ByteRun { device: 0, offset: 8, len: 4, logical: 16 });
+        assert_eq!(
+            runs[0],
+            ByteRun {
+                device: 0,
+                offset: 4,
+                len: 4,
+                logical: 4
+            }
+        );
+        assert_eq!(
+            runs[1],
+            ByteRun {
+                device: 1,
+                offset: 0,
+                len: 8,
+                logical: 8
+            }
+        );
+        assert_eq!(
+            runs[2],
+            ByteRun {
+                device: 0,
+                offset: 8,
+                len: 4,
+                logical: 16
+            }
+        );
     }
 
     #[test]

@@ -157,8 +157,20 @@ mod tests {
         for s in 0..10 {
             assert_eq!(l.parity_device(s), 3);
         }
-        assert_eq!(l.map(0), PhysBlock { device: 0, block: 0 });
-        assert_eq!(l.map(3), PhysBlock { device: 0, block: 1 });
+        assert_eq!(
+            l.map(0),
+            PhysBlock {
+                device: 0,
+                block: 0
+            }
+        );
+        assert_eq!(
+            l.map(3),
+            PhysBlock {
+                device: 0,
+                block: 1
+            }
+        );
         assert_eq!(l.invert(3, 0), None);
     }
 
@@ -168,9 +180,27 @@ mod tests {
         let pdevs: Vec<usize> = (0..8).map(|s| l.parity_device(s)).collect();
         assert_eq!(pdevs, vec![3, 2, 1, 0, 3, 2, 1, 0]);
         // Stripe 1: parity on device 2, data positions 0,1,2 on 0,1,3.
-        assert_eq!(l.map(3), PhysBlock { device: 0, block: 1 });
-        assert_eq!(l.map(4), PhysBlock { device: 1, block: 1 });
-        assert_eq!(l.map(5), PhysBlock { device: 3, block: 1 });
+        assert_eq!(
+            l.map(3),
+            PhysBlock {
+                device: 0,
+                block: 1
+            }
+        );
+        assert_eq!(
+            l.map(4),
+            PhysBlock {
+                device: 1,
+                block: 1
+            }
+        );
+        assert_eq!(
+            l.map(5),
+            PhysBlock {
+                device: 3,
+                block: 1
+            }
+        );
         assert_eq!(l.invert(2, 1), None);
         assert_eq!(l.invert(3, 1), Some(5));
     }

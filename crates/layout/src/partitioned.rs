@@ -184,11 +184,35 @@ mod tests {
     fn stacked_partitions_share_device() {
         // 4 partitions of 3 blocks over 2 devices: partitions 0,2 on dev 0.
         let l = Partitioned::uniform(12, 4, 2);
-        assert_eq!(l.map(0), PhysBlock { device: 0, block: 0 });
+        assert_eq!(
+            l.map(0),
+            PhysBlock {
+                device: 0,
+                block: 0
+            }
+        );
         // Partition 2 (blocks 6..9) stacks after partition 0 on device 0.
-        assert_eq!(l.map(6), PhysBlock { device: 0, block: 3 });
-        assert_eq!(l.map(3), PhysBlock { device: 1, block: 0 });
-        assert_eq!(l.map(9), PhysBlock { device: 1, block: 3 });
+        assert_eq!(
+            l.map(6),
+            PhysBlock {
+                device: 0,
+                block: 3
+            }
+        );
+        assert_eq!(
+            l.map(3),
+            PhysBlock {
+                device: 1,
+                block: 0
+            }
+        );
+        assert_eq!(
+            l.map(9),
+            PhysBlock {
+                device: 1,
+                block: 3
+            }
+        );
         assert_eq!(l.blocks_on_device(12, 0), 6);
         assert_eq!(l.blocks_on_device(12, 1), 6);
     }

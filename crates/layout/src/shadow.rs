@@ -64,7 +64,9 @@ impl Shadowed {
 
 impl fmt::Debug for Shadowed {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Shadowed").field("inner", &self.inner).finish()
+        f.debug_struct("Shadowed")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -114,9 +116,21 @@ mod tests {
         assert_eq!(l.devices(), 4);
         assert_eq!(l.primaries(), 2);
         let p = l.map(3);
-        assert_eq!(p, PhysBlock { device: 1, block: 1 });
+        assert_eq!(
+            p,
+            PhysBlock {
+                device: 1,
+                block: 1
+            }
+        );
         let m = l.mirror(p);
-        assert_eq!(m, PhysBlock { device: 3, block: 1 });
+        assert_eq!(
+            m,
+            PhysBlock {
+                device: 3,
+                block: 1
+            }
+        );
         assert_eq!(l.primary(m), p);
         assert_eq!(l.primary(p), p);
     }
@@ -149,6 +163,9 @@ mod tests {
     #[should_panic(expected = "primary-device location")]
     fn mirror_of_shadow_panics() {
         let l = shadowed();
-        l.mirror(PhysBlock { device: 3, block: 0 });
+        l.mirror(PhysBlock {
+            device: 3,
+            block: 0,
+        });
     }
 }

@@ -114,11 +114,41 @@ mod tests {
     #[test]
     fn unit_one_round_robin() {
         let l = Striped::declustered(3);
-        assert_eq!(l.map(0), PhysBlock { device: 0, block: 0 });
-        assert_eq!(l.map(1), PhysBlock { device: 1, block: 0 });
-        assert_eq!(l.map(2), PhysBlock { device: 2, block: 0 });
-        assert_eq!(l.map(3), PhysBlock { device: 0, block: 1 });
-        assert_eq!(l.map(7), PhysBlock { device: 1, block: 2 });
+        assert_eq!(
+            l.map(0),
+            PhysBlock {
+                device: 0,
+                block: 0
+            }
+        );
+        assert_eq!(
+            l.map(1),
+            PhysBlock {
+                device: 1,
+                block: 0
+            }
+        );
+        assert_eq!(
+            l.map(2),
+            PhysBlock {
+                device: 2,
+                block: 0
+            }
+        );
+        assert_eq!(
+            l.map(3),
+            PhysBlock {
+                device: 0,
+                block: 1
+            }
+        );
+        assert_eq!(
+            l.map(7),
+            PhysBlock {
+                device: 1,
+                block: 2
+            }
+        );
     }
 
     #[test]
@@ -145,7 +175,13 @@ mod tests {
             );
         }
         // Unit 2 back on device 0 at 4..8.
-        assert_eq!(l.map(8), PhysBlock { device: 0, block: 4 });
+        assert_eq!(
+            l.map(8),
+            PhysBlock {
+                device: 0,
+                block: 4
+            }
+        );
     }
 
     #[test]

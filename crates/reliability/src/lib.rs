@@ -35,8 +35,8 @@ mod scrub;
 pub use checksum::{fnv1a, ChecksumDevice};
 pub use inject::{apply_failures, failure_schedule, FailureEvent};
 pub use mtbf::{
-    expected_failures, monte_carlo_mttf, paper_table, system_mtbf_hours, MtbfRow,
-    HOURS_PER_YEAR, PAPER_DEVICE_MTBF_HOURS,
+    expected_failures, monte_carlo_mttf, paper_table, system_mtbf_hours, MtbfRow, HOURS_PER_YEAR,
+    PAPER_DEVICE_MTBF_HOURS,
 };
 pub use rebuild::{rebuild_device, rebuild_parity_slot, resync_shadow, RebuildReport};
 pub use scrub::{repair, restore_device, scrub, snapshot_device};

@@ -32,12 +32,7 @@ pub fn expected_failures(device_mtbf_hours: f64, devices: u32, period_hours: f64
 /// Monte-Carlo estimate of the mean time to *first* failure: draw each
 /// device's exponential lifetime, take the minimum, average over
 /// `trials`. Cross-checks [`system_mtbf_hours`].
-pub fn monte_carlo_mttf(
-    device_mtbf_hours: f64,
-    devices: u32,
-    trials: u32,
-    seed: u64,
-) -> f64 {
+pub fn monte_carlo_mttf(device_mtbf_hours: f64, devices: u32, trials: u32, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut total = 0.0;
     for _ in 0..trials {

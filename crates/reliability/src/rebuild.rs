@@ -56,8 +56,8 @@ pub fn rebuild_parity_slot(raw: &RawFile, failed_slot: usize) -> Result<u64> {
     for s in 0..ps.stripes(total) {
         let pdev = ps.parity_device(s);
         let members = ps.stripe_data(s, total);
-        let lost_here = pdev == failed_slot
-            || members.iter().any(|(_, loc)| loc.device == failed_slot);
+        let lost_here =
+            pdev == failed_slot || members.iter().any(|(_, loc)| loc.device == failed_slot);
         if !lost_here {
             continue;
         }
@@ -226,12 +226,10 @@ mod tests {
                 "sh",
                 BS,
                 1,
-                pario_layout::LayoutSpec::Shadowed(Box::new(
-                    pario_layout::LayoutSpec::Striped {
-                        devices: 2,
-                        unit: 1,
-                    },
-                )),
+                pario_layout::LayoutSpec::Shadowed(Box::new(pario_layout::LayoutSpec::Striped {
+                    devices: 2,
+                    unit: 1,
+                })),
             ))
             .unwrap();
         for r in 0..16u64 {

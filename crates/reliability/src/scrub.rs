@@ -75,8 +75,11 @@ pub fn repair(raw: &RawFile) -> Result<u64> {
     let mut repaired = 0;
     for s in 0..ps.stripes(total) {
         // Locations participating in this stripe: data members + parity.
-        let mut locs: Vec<pario_layout::PhysBlock> =
-            ps.stripe_data(s, total).into_iter().map(|(_, l)| l).collect();
+        let mut locs: Vec<pario_layout::PhysBlock> = ps
+            .stripe_data(s, total)
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect();
         locs.push(ps.parity_location(s));
         let mut bad: Option<pario_layout::PhysBlock> = None;
         for &loc in &locs {
@@ -195,10 +198,7 @@ mod tests {
         // Restore ONLY device 2 from backup — the paper's mistake.
         restore_device(&v.device(2), &backups[2]).unwrap();
         let bad = scrub(&f).unwrap();
-        assert!(
-            !bad.is_empty(),
-            "single-device restore must tear stripes"
-        );
+        assert!(!bad.is_empty(), "single-device restore must tear stripes");
         // Rolling back the REMAINING devices to the same point restores
         // consistency — "all of the disks will have to be rolled back".
         for d in [0usize, 1, 3] {

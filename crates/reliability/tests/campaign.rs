@@ -6,9 +6,7 @@
 
 use pario_fs::{FileSpec, Volume, VolumeConfig};
 use pario_layout::LayoutSpec;
-use pario_reliability::{
-    failure_schedule, rebuild_parity_slot, scrub, PAPER_DEVICE_MTBF_HOURS,
-};
+use pario_reliability::{failure_schedule, rebuild_parity_slot, scrub, PAPER_DEVICE_MTBF_HOURS};
 
 const BS: usize = 512;
 
@@ -41,9 +39,7 @@ fn survive_a_decade_of_failures() {
     // Each year draws a fresh schedule (replaced drives can fail again);
     // expectation is 5 * 8,760 / 30,000 ≈ 1.5 events per year.
     let events: Vec<_> = (0..10)
-        .flat_map(|year| {
-            failure_schedule(devices, PAPER_DEVICE_MTBF_HOURS, 8_760.0, 100 + year)
-        })
+        .flat_map(|year| failure_schedule(devices, PAPER_DEVICE_MTBF_HOURS, 8_760.0, 100 + year))
         .collect();
     assert!(
         events.len() >= 8,
@@ -63,11 +59,8 @@ fn survive_a_decade_of_failures() {
             f.read_record(r, &mut buf).unwrap();
         }
         generation += 1;
-        f.write_record(
-            generation % n,
-            &vec![(generation % 250) as u8 + 1; BS],
-        )
-        .unwrap();
+        f.write_record(generation % n, &vec![(generation % 250) as u8 + 1; BS])
+            .unwrap();
 
         // Replacement arrives blank; rebuild and scrub.
         v.device(ev.device).heal();

@@ -452,12 +452,7 @@ mod tests {
         // Proc 0 never reaches a barrier but finishes; proc 1's barrier must
         // still release once proc 0 is done.
         sim.add_proc(Script::new().compute(SimTime::from_us(30)).build());
-        sim.add_proc(
-            Script::new()
-                .barrier()
-                .compute(SimTime::from_us(1))
-                .build(),
-        );
+        sim.add_proc(Script::new().barrier().compute(SimTime::from_us(1)).build());
         let r = sim.run();
         assert_eq!(r.makespan, SimTime::from_us(31));
     }
@@ -529,7 +524,11 @@ mod tests {
     #[test]
     fn empty_io_does_not_block() {
         let mut sim = Simulation::new();
-        sim.add_proc(vec![Op::Io(vec![]), Op::WaitAll, Op::Compute(SimTime::from_us(1))]);
+        sim.add_proc(vec![
+            Op::Io(vec![]),
+            Op::WaitAll,
+            Op::Compute(SimTime::from_us(1)),
+        ]);
         let r = sim.run();
         assert_eq!(r.makespan, SimTime::from_us(1));
     }

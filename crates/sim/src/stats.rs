@@ -21,7 +21,11 @@ impl Histogram {
     /// Record one latency sample.
     pub fn record(&mut self, t: SimTime) {
         let us = t.as_ns() / 1_000;
-        let idx = if us <= 1 { 0 } else { 63 - us.leading_zeros() as usize };
+        let idx = if us <= 1 {
+            0
+        } else {
+            63 - us.leading_zeros() as usize
+        };
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }

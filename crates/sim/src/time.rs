@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// arithmetic, and overflow panics in debug builds like any other integer
 /// overflow. A nanosecond tick gives ~584 years of simulated range, far more
 /// than any experiment here needs.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 impl SimTime {

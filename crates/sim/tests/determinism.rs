@@ -14,12 +14,8 @@ struct Recipe {
 
 fn recipe_strategy() -> impl Strategy<Value = Recipe> {
     (1usize..5, 1usize..6).prop_flat_map(|(devices, nprocs)| {
-        let ops = proptest::collection::vec(
-            (0u8..4, 0u64..1000, proptest::num::u8::ANY),
-            1..20,
-        );
-        proptest::collection::vec(ops, nprocs)
-            .prop_map(move |procs| Recipe { devices, procs })
+        let ops = proptest::collection::vec((0u8..4, 0u64..1000, proptest::num::u8::ANY), 1..20);
+        proptest::collection::vec(ops, nprocs).prop_map(move |procs| Recipe { devices, procs })
     })
 }
 

@@ -126,8 +126,7 @@ impl Stencil2D {
         assert!(record_size >= self.cols * 8);
         let mut rec = vec![0u8; record_size];
         for c in 0..self.cols {
-            rec[c * 8..(c + 1) * 8]
-                .copy_from_slice(&self.cells[r * self.cols + c].to_le_bytes());
+            rec[c * 8..(c + 1) * 8].copy_from_slice(&self.cells[r * self.cols + c].to_le_bytes());
         }
         rec
     }
@@ -183,7 +182,7 @@ mod tests {
         let t = s.step();
         assert!((t.cells[4] - 1.0).abs() < 1e-12); // centre: 5/5
         assert!((t.cells[1] - 1.0).abs() < 1e-12); // edge neighbour
-        // Corner (0,0): clamped — (0 + 0 + 0 + 0 + 0)/5 = 0.
+                                                   // Corner (0,0): clamped — (0 + 0 + 0 + 0 + 0)/5 = 0.
         assert_eq!(t.cells[0], 0.0);
         let rec = t.row_record(1, 64);
         assert_eq!(Stencil2D::parse_row(&rec, 3), t.cells[3..6].to_vec());

@@ -74,9 +74,21 @@ mod tests {
     fn per_process_partitions() {
         let t = Trace {
             accesses: vec![
-                Access { proc: 0, index: 5, kind: AccessKind::Read },
-                Access { proc: 1, index: 6, kind: AccessKind::Write },
-                Access { proc: 0, index: 5, kind: AccessKind::Read },
+                Access {
+                    proc: 0,
+                    index: 5,
+                    kind: AccessKind::Read,
+                },
+                Access {
+                    proc: 1,
+                    index: 6,
+                    kind: AccessKind::Write,
+                },
+                Access {
+                    proc: 0,
+                    index: 5,
+                    kind: AccessKind::Read,
+                },
             ],
         };
         let per = t.per_process(2);

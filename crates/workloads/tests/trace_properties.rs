@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use pario_workloads::{
-    AccessKind, OutOfCore, SkewedBlocks, TaskQueue, WrappedMatrix, Zipf,
-};
+use pario_workloads::{AccessKind, OutOfCore, SkewedBlocks, TaskQueue, WrappedMatrix, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

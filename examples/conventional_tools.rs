@@ -72,7 +72,10 @@ fn main() {
         }
     })
     .expect("threads");
-    println!("4 workers wrote {} records (IS organization)", pf.len_records());
+    println!(
+        "4 workers wrote {} records (IS organization)",
+        pf.len_records()
+    );
 
     // Conventional tool #1: checksum the whole "file" via std::io.
     let sum = fletcher32(ByteReader::new(pf.raw().clone()));

@@ -61,12 +61,7 @@ fn main() {
     };
 
     crossbeam::thread::scope(|s| {
-        for (p, accesses) in pattern
-            .trace()
-            .per_process(PARTS)
-            .into_iter()
-            .enumerate()
-        {
+        for (p, accesses) in pattern.trace().per_process(PARTS).into_iter().enumerate() {
             let h = pf.partition_handle(p as u32).expect("handle");
             s.spawn(move |_| {
                 let mut rec = vec![0u8; RECORD];

@@ -43,14 +43,8 @@ fn main() {
 
     // The master publishes the task file (task id + work units).
     let q = TaskQueue::generate(TASKS, 1, 2026);
-    let input = ParallelFile::create(
-        &volume,
-        "tasks",
-        Organization::SelfScheduledSeq,
-        RECORD,
-        64,
-    )
-    .expect("create tasks");
+    let input = ParallelFile::create(&volume, "tasks", Organization::SelfScheduledSeq, RECORD, 64)
+        .expect("create tasks");
     {
         let mut w = input.global_writer();
         for (id, &work) in q.work.iter().enumerate() {
@@ -95,9 +89,16 @@ fn main() {
     })
     .expect("workers");
     let self_sched_time = t0.elapsed();
-    results.self_sched_writer().unwrap().finish().expect("finish");
+    results
+        .self_sched_writer()
+        .unwrap()
+        .finish()
+        .expect("finish");
 
-    let loads: Vec<u64> = per_worker.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let loads: Vec<u64> = per_worker
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
     println!("self-scheduled: {self_sched_time:?}, per-worker work units {loads:?}");
 
     // Every task appears in the results exactly once (order immaterial).

@@ -9,3 +9,4 @@ for exp in e1_figure1 e2_striping e3_selfsched e4_device_per_process \
            e12_is_blocksize; do
     cargo run --release -q -p pario-bench --bin "exp_$exp"
 done
+cargo run --release -q -p pario-bench --bin exp_span_coalesce

@@ -6,7 +6,14 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match pario::cli::run(&args) {
-        Ok(out) => print!("{out}{}", if out.ends_with('\n') || out.is_empty() { "" } else { "\n" }),
+        Ok(out) => print!(
+            "{out}{}",
+            if out.ends_with('\n') || out.is_empty() {
+                ""
+            } else {
+                "\n"
+            }
+        ),
         Err(e) => {
             eprintln!("pario: {e}");
             std::process::exit(1);

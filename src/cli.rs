@@ -223,12 +223,7 @@ pub fn ls(dir: &Path) -> CliResult {
         let _ = writeln!(
             out,
             "{:<20} {:>5} {:>10} {:>8} {:>8}  {:?}",
-            meta.name,
-            meta.org,
-            meta.len_records,
-            meta.record_size,
-            meta.nblocks,
-            meta.layout
+            meta.name, meta.org, meta.len_records, meta.record_size, meta.nblocks, meta.layout
         );
     }
     let free = vol.free_blocks();

@@ -60,7 +60,11 @@ fn full_cli_workflow() {
     let v = cli::open_volume(&dir).unwrap();
     assert_eq!(
         v.list(),
-        vec!["grid".to_string(), "grid.is".to_string(), "stream".to_string()]
+        vec![
+            "grid".to_string(),
+            "grid.is".to_string(),
+            "stream".to_string()
+        ]
     );
 
     cleanup(&dir);
@@ -116,14 +120,7 @@ fn run_dispatch_and_errors() {
     assert!(cli::run(&s(&["mkvol", dir.to_str().unwrap(), "x", "y", "z"])).is_err());
 
     // Happy path through run().
-    cli::run(&s(&[
-        "mkvol",
-        dir.to_str().unwrap(),
-        "2",
-        "256",
-        "512",
-    ]))
-    .unwrap();
+    cli::run(&s(&["mkvol", dir.to_str().unwrap(), "2", "256", "512"])).unwrap();
     cli::run(&s(&[
         "create",
         dir.to_str().unwrap(),

@@ -2,9 +2,7 @@
 //! preserve content — adapters, global views, and conversion utilities —
 //! across every pair of organizations.
 
-use pario::core::{
-    convert, convert_parallel, views, Organization, ParallelFile,
-};
+use pario::core::{convert, convert_parallel, views, Organization, ParallelFile};
 use pario::fs::{Volume, VolumeConfig};
 use pario::workloads::record_payload;
 
@@ -56,7 +54,11 @@ fn convert_every_pair() {
             let mut buf = vec![0u8; RECORD];
             let mut k = 0u64;
             while r.read_record(&mut buf).unwrap() {
-                assert_eq!(buf, record_payload(k, RECORD), "{src_org}->{dst_org} rec {k}");
+                assert_eq!(
+                    buf,
+                    record_payload(k, RECORD),
+                    "{src_org}->{dst_org} rec {k}"
+                );
                 k += 1;
             }
             assert_eq!(k, TOTAL);

@@ -111,7 +111,10 @@ fn e7_shape_declustering_balances_hotspots() {
     };
     let (wb_time, wb_imb) = run(false);
     let (dc_time, dc_imb) = run(true);
-    assert!(wb_imb > 3.0, "whole-block hot spot expected, got {wb_imb:.2}");
+    assert!(
+        wb_imb > 3.0,
+        "whole-block hot spot expected, got {wb_imb:.2}"
+    );
     assert!(dc_imb < 1.2, "declustering should balance, got {dc_imb:.2}");
     assert!(
         wb_time > dc_time * 1.5,

@@ -52,8 +52,7 @@ fn figure1a_sequential_single_process() {
 fn figure1b_partitioned_contiguous_thirds() {
     let v = volume();
     let org = Organization::PartitionedSeq { partitions: PROCS };
-    let pf =
-        ParallelFile::create_sized(&v, "ps", org, RECORD, RPB, BLOCKS * RPB as u64).unwrap();
+    let pf = ParallelFile::create_sized(&v, "ps", org, RECORD, RPB, BLOCKS * RPB as u64).unwrap();
     let owners = ownership(|fb| {
         let rec = fb * RPB as u64;
         (0..PROCS)
@@ -86,8 +85,7 @@ fn figure1c_interleaved_stride_three() {
 #[test]
 fn figure1d_self_scheduled_exhaustive_any_order() {
     let v = volume();
-    let pf =
-        ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, RPB).unwrap();
+    let pf = ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, RPB).unwrap();
     let mut w = pf.global_writer();
     for i in 0..BLOCKS * RPB as u64 {
         w.write_record(&[i as u8; RECORD]).unwrap();
@@ -95,7 +93,9 @@ fn figure1d_self_scheduled_exhaustive_any_order() {
     w.finish().unwrap();
     // Whatever interleaving of claimers occurs, coverage is exhaustive
     // and exactly-once, and each claim returns the next record.
-    let readers: Vec<_> = (0..PROCS).map(|_| pf.self_sched_reader().unwrap()).collect();
+    let readers: Vec<_> = (0..PROCS)
+        .map(|_| pf.self_sched_reader().unwrap())
+        .collect();
     let mut buf = vec![0u8; RECORD];
     let mut next_expected = 0u64;
     let order = [2usize, 0, 1, 1, 2, 0, 0];

@@ -102,8 +102,7 @@ fn interleaved_concurrent_writers() {
 #[test]
 fn self_scheduled_pipeline() {
     let v = vol();
-    let pf =
-        ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, RPB).unwrap();
+    let pf = ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, RPB).unwrap();
     // Producers race; consumers then drain exactly once.
     crossbeam::thread::scope(|s| {
         for _ in 0..3 {
@@ -125,7 +124,9 @@ fn self_scheduled_pipeline() {
     // Overwrite each slot with payload(slot) via GDA-style raw access so
     // readers can verify content deterministically.
     for i in 0..120u64 {
-        pf.raw().write_record(i, &record_payload(i, RECORD)).unwrap();
+        pf.raw()
+            .write_record(i, &record_payload(i, RECORD))
+            .unwrap();
     }
     let served = std::sync::Mutex::new(std::collections::HashSet::new());
     crossbeam::thread::scope(|s| {

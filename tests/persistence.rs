@@ -60,14 +60,8 @@ fn full_lifecycle_across_mounts() {
                 h.write_next(&record_payload(g, RECORD)).unwrap();
             }
         }
-        let ss = ParallelFile::create(
-            &v,
-            "log.ss",
-            Organization::SelfScheduledSeq,
-            RECORD,
-            4,
-        )
-        .unwrap();
+        let ss =
+            ParallelFile::create(&v, "log.ss", Organization::SelfScheduledSeq, RECORD, 4).unwrap();
         let w = ss.self_sched_writer().unwrap();
         for i in 0..20u64 {
             w.write_next(&record_payload(1000 + i, RECORD)).unwrap();

@@ -9,9 +9,7 @@ use pario::core::{Organization, ParallelFile};
 use pario::disk::{DeviceRef, MemDisk};
 use pario::fs::{FileSpec, Volume, VolumeConfig};
 use pario::layout::LayoutSpec;
-use pario::reliability::{
-    rebuild_device, rebuild_parity_slot, scrub, ChecksumDevice,
-};
+use pario::reliability::{rebuild_device, rebuild_parity_slot, scrub, ChecksumDevice};
 use pario::workloads::record_payload;
 
 const BS: usize = 512;
@@ -55,12 +53,18 @@ fn volume_wide_failure_and_rebuild() {
     let plain = ParallelFile::create(&v, "plain.dat", Organization::Sequential, BS, 1).unwrap();
 
     for i in 0..30u64 {
-        parity.raw().write_record(i, &record_payload(i, BS)).unwrap();
+        parity
+            .raw()
+            .write_record(i, &record_payload(i, BS))
+            .unwrap();
         shadowed
             .raw()
             .write_record(i, &record_payload(100 + i, BS))
             .unwrap();
-        plain.raw().write_record(i, &record_payload(200 + i, BS)).unwrap();
+        plain
+            .raw()
+            .write_record(i, &record_payload(200 + i, BS))
+            .unwrap();
     }
 
     // Device 1 dies. Parity + shadowed files keep serving; plain loses

@@ -50,9 +50,14 @@ fn all_organizations_concurrently_on_one_volume() {
             64,
         )
         .unwrap();
-        let is =
-            ParallelFile::create(&v, "is", Organization::InterleavedSeq { processes: 4 }, RECORD, RPB)
-                .unwrap();
+        let is = ParallelFile::create(
+            &v,
+            "is",
+            Organization::InterleavedSeq { processes: 4 },
+            RECORD,
+            RPB,
+        )
+        .unwrap();
         let ss =
             ParallelFile::create(&v, "ss", Organization::SelfScheduledSeq, RECORD, RPB).unwrap();
         let gda = ParallelFile::create(&v, "gda", Organization::GlobalDirect, RECORD, RPB).unwrap();
@@ -92,7 +97,8 @@ fn all_organizations_concurrently_on_one_volume() {
                 scope.spawn(move |_| {
                     for i in (0..h.len()).rev() {
                         let (lo, _) = h.range();
-                        h.write_at(i, &record_payload(2000 + lo + i, RECORD)).unwrap();
+                        h.write_at(i, &record_payload(2000 + lo + i, RECORD))
+                            .unwrap();
                     }
                 });
             }
@@ -109,7 +115,8 @@ fn all_organizations_concurrently_on_one_volume() {
                 scope.spawn(move |_| {
                     for k in 0..16u64 {
                         let i = t * 16 + k;
-                        h.write_record(i, &record_payload(3000 + i, RECORD)).unwrap();
+                        h.write_record(i, &record_payload(3000 + i, RECORD))
+                            .unwrap();
                     }
                 });
             }

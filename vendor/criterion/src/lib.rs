@@ -1,0 +1,272 @@
+//! Offline shim for `criterion`: a small wall-clock benchmark harness
+//! with the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!`
+//! / `criterion_main!` macros.
+//!
+//! Each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a short measurement window; the mean ns/iter (and
+//! derived throughput, when declared) is printed to stdout. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Declared work per iteration, used to derive throughput rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (grouped benches already carry the group name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly, over warmup + measurement windows.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters_done = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (MEASURE.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = batch;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters_done.max(1) as f64
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mean = b.mean_ns();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibs = n as f64 / (mean * 1e-9) / (1024.0 * 1024.0);
+            format!("  {mibs:.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (mean * 1e-9);
+            format!("  {eps:.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<40} {mean:>12.1} ns/iter{rate}");
+}
+
+/// The benchmark context handed to `criterion_group!` functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test --benches` runs the binary with `--test`; run each
+        // payload once so the benches stay cheap under the test suite.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Criterion {
+        let id = name.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        report(&id.id, &b, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its own windows.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Close the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($f(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("skewed").id, "skewed");
+    }
+
+    #[test]
+    fn bencher_runs_payload_in_test_mode() {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            test_mode: true,
+        };
+        let mut hits = 0u32;
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 1);
+        assert_eq!(b.iters_done, 1);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function(BenchmarkId::from_parameter(1), |b| b.iter(|| 2 + 2));
+        g.bench_with_input(BenchmarkId::new("w", 2), &3u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        c.bench_function("solo", |b| b.iter(|| 1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline shim for the `crossbeam` API surface this workspace uses:
+//! `channel::{bounded, unbounded, Sender, Receiver}` over `std::sync::mpsc`
+//! and `thread::scope` over `std::thread::scope` (std scoped threads join
+//! automatically, so the crossbeam guarantees hold).
+
+/// MPSC channels with crossbeam's unified `Sender`/`Receiver` types.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, TryRecvError};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// Sending half of a channel (clonable).
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                tx: match &self.tx {
+                    Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                    Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                },
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel. The std receiver sits behind a mutex
+    /// so this handle is `Sync`, like crossbeam's MPMC receiver; competing
+    /// receivers serialize, which preserves each-message-delivered-once.
+    pub struct Receiver<T> {
+        rx: std::sync::Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value or channel closure.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.lock().unwrap_or_else(|e| e.into_inner()).recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                tx: Tx::Unbounded(tx),
+            },
+            Receiver {
+                rx: std::sync::Mutex::new(rx),
+            },
+        )
+    }
+
+    /// A bounded FIFO channel of capacity `cap` (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                tx: Tx::Bounded(tx),
+            },
+            Receiver {
+                rx: std::sync::Mutex::new(rx),
+            },
+        )
+    }
+}
+
+/// Scoped threads with crossbeam's closure signature (`|scope| ...`).
+pub mod thread {
+    /// A scope handle; [`Scope::spawn`] closures receive a reference to it
+    /// so spawned threads can spawn further siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+
+        /// Whether the thread has finished running.
+        pub fn is_finished(&self) -> bool {
+            self.inner.is_finished()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread guaranteed to join before the scope returns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before
+    /// return. Panics from spawned threads propagate as a panic (so the
+    /// conventional `.unwrap()` on the result behaves as with crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channels_round_trip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert!(rx.try_recv().is_err());
+        drop((tx, tx2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_at_capacity() {
+        let (tx, rx) = super::channel::bounded(1);
+        tx.send(7u8).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        drop(rx);
+        assert!(tx.send(8).is_err());
+    }
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let mut data = vec![0u64; 4];
+        super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in data.iter_mut().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                    i
+                }));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                assert_eq!(h.join().unwrap(), i);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

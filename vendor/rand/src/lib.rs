@@ -1,0 +1,279 @@
+//! Offline shim for the `rand` 0.10 API surface this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng`, and `RngExt`
+//! (`random`, `random_range`). The generator is xoshiro256++ seeded via
+//! SplitMix64 — deterministic, high-quality, and dependency-free.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random bits.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types samplable uniformly from an [`Rng`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`]. The output is a type
+/// *parameter* (not an associated type), and the impls below are blanket
+/// impls over [`SampleUniform`], so integer-literal inference flows from
+/// the call site exactly as with the real `rand`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniformly samplable from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `hi - lo` as a width (assumes `lo <= hi`).
+    fn span(lo: Self, hi: Self) -> u64;
+    /// `lo + off` (assumes the result stays in range).
+    fn offset(lo: Self, off: u64) -> Self;
+}
+
+/// Uniform integer in `[0, bound)` via Lemire-style rejection (simple
+/// modulo with 64-bit head-room is unbiased enough for `bound << 2^64`,
+/// but do the rejection properly anyway).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "empty range");
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span(lo: $t, hi: $t) -> u64 {
+                (hi - lo) as u64
+            }
+            fn offset(lo: $t, off: u64) -> $t {
+                lo + off as $t
+            }
+        }
+    )*};
+}
+
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span(lo: $t, hi: $t) -> u64 {
+                (hi as i64).wrapping_sub(lo as i64) as u64
+            }
+            fn offset(lo: $t, off: u64) -> $t {
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        let span = T::span(self.start, self.end);
+        T::offset(self.start, uniform_below(rng, span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range");
+        let span = T::span(lo, hi);
+        if span == u64::MAX {
+            return T::offset(lo, rng.next_u64());
+        }
+        T::offset(lo, uniform_below(rng, span + 1))
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draw a uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A biased coin: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (expanded internally).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.random_range(0usize..8);
+            assert!(v < 8);
+            let w = r.random_range(0usize..=3);
+            assert!(w <= 3);
+            seen_lo |= w == 0;
+            seen_hi |= w == 3;
+        }
+        assert!(seen_lo && seen_hi, "inclusive endpoints reachable");
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| r.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

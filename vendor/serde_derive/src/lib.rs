@@ -1,0 +1,347 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented with a hand-rolled token parser
+//! (no `syn`/`quote`). Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * newtype tuple structs (one field),
+//! * enums whose variants are unit, named-field, or newtype,
+//! * no generics, no `#[serde(...)]` attributes.
+//!
+//! Serialization model (matches `serde_json`'s externally-tagged default):
+//! named structs become objects, newtypes become their inner value, unit
+//! variants become `"Name"`, and data-carrying variants become
+//! `{"Name": ...}`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Fields {
+    Named(Vec<String>),
+    Newtype,
+    Unit,
+}
+
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn skip_attrs(it: &mut Iter) {
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("malformed attribute near {other:?}"),
+        }
+    }
+}
+
+fn skip_vis(it: &mut Iter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consume one type (field type or discriminant) up to and including the
+/// next top-level `,`. Only `<`/`>` need depth tracking; parens/brackets
+/// arrive as atomic groups.
+fn skip_type(it: &mut Iter) {
+    let mut depth = 0i32;
+    while let Some(tt) = it.peek() {
+        if let TokenTree::Punct(p) = tt {
+            let c = p.as_char();
+            if c == ',' && depth == 0 {
+                it.next();
+                return;
+            }
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            }
+        }
+        it.next();
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let mut it = g.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut it);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut it = g.stream().into_iter().peekable();
+    let mut n = 0;
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        n += 1;
+        skip_type(&mut it);
+    }
+    n
+}
+
+fn parse_variants(g: &Group) -> Vec<(String, Fields)> {
+    let mut it = g.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let peeked = it.peek().cloned();
+        let fields = match peeked {
+            Some(TokenTree::Group(g2)) if g2.delimiter() == Delimiter::Brace => {
+                it.next();
+                Fields::Named(parse_named_fields(&g2))
+            }
+            Some(TokenTree::Group(g2)) if g2.delimiter() == Delimiter::Parenthesis => {
+                it.next();
+                assert_eq!(
+                    count_tuple_fields(&g2),
+                    1,
+                    "variant `{name}`: only newtype tuple variants are supported"
+                );
+                Fields::Newtype
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        assert!(
+            p.as_char() != '<',
+            "generic type `{name}`: not supported by the vendored derive"
+        );
+    }
+    match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(name, Fields::Named(parse_named_fields(&g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                assert_eq!(
+                    count_tuple_fields(&g),
+                    1,
+                    "struct `{name}`: only newtype tuple structs are supported"
+                );
+                Item::Struct(name, Fields::Newtype)
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(&g))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("derive supports only structs and enums, got `{other}`"),
+    }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::Struct(name, Fields::Named(fields)) => {
+            s.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        let mut __m = ::serde::Map::new();\n"
+            ));
+            for f in fields {
+                s.push_str(&format!(
+                    "        __m.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("        ::serde::Value::Object(__m)\n    }\n}\n");
+        }
+        Item::Struct(name, Fields::Newtype) => {
+            s.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        ::serde::Serialize::to_value(&self.0)\n    }}\n}}\n"
+            ));
+        }
+        Item::Struct(name, Fields::Unit) => {
+            s.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        ::serde::Value::Null\n    }}\n}}\n"
+            ));
+        }
+        Item::Enum(name, variants) => {
+            s.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "            {name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Newtype => s.push_str(&format!(
+                        "            {name}::{vname}(__inner) => {{\n                let mut __m = ::serde::Map::new();\n                __m.insert(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(__inner));\n                ::serde::Value::Object(__m)\n            }}\n"
+                    )),
+                    Fields::Named(fnames) => {
+                        let pat = fnames.join(", ");
+                        s.push_str(&format!(
+                            "            {name}::{vname} {{ {pat} }} => {{\n                let mut __fm = ::serde::Map::new();\n"
+                        ));
+                        for f in fnames {
+                            s.push_str(&format!(
+                                "                __fm.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "                let mut __m = ::serde::Map::new();\n                __m.insert(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(__fm));\n                ::serde::Value::Object(__m)\n            }}\n"
+                        ));
+                    }
+                }
+            }
+            s.push_str("        }\n    }\n}\n");
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::Struct(name, Fields::Named(fields)) => {
+            s.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        let __m = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n        ::std::result::Result::Ok({name} {{\n"
+            ));
+            for f in fields {
+                s.push_str(&format!(
+                    "            {f}: ::serde::Deserialize::from_value(__m.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("        })\n    }\n}\n");
+        }
+        Item::Struct(name, Fields::Newtype) => {
+            s.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n    }}\n}}\n"
+            ));
+        }
+        Item::Struct(name, Fields::Unit) => {
+            s.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        ::std::result::Result::Ok({name})\n    }}\n}}\n"
+            ));
+        }
+        Item::Enum(name, variants) => {
+            s.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        match __v {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            s.push_str("            ::serde::Value::String(__s) => match __s.as_str() {\n");
+            for (vname, fields) in variants {
+                if matches!(fields, Fields::Unit) {
+                    s.push_str(&format!(
+                        "                \"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "                __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n            }},\n"
+            ));
+            // Data-carrying variants arrive as single-key objects.
+            let data: Vec<&(String, Fields)> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .collect();
+            if !data.is_empty() {
+                s.push_str("            ::serde::Value::Object(__m) => {\n");
+                for (vname, fields) in data {
+                    match fields {
+                        Fields::Newtype => s.push_str(&format!(
+                            "                if let ::std::option::Option::Some(__inner) = __m.get(\"{vname}\") {{\n                    return ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?));\n                }}\n"
+                        )),
+                        Fields::Named(fnames) => {
+                            s.push_str(&format!(
+                                "                if let ::std::option::Option::Some(__inner) = __m.get(\"{vname}\") {{\n                    let __fm = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload for {name}::{vname}\"))?;\n                    return ::std::result::Result::Ok({name}::{vname} {{\n"
+                            ));
+                            for f in fnames {
+                                s.push_str(&format!(
+                                    "                        {f}: ::serde::Deserialize::from_value(__fm.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                                ));
+                            }
+                            s.push_str("                    });\n                }\n");
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                }
+                s.push_str(&format!(
+                    "                ::std::result::Result::Err(::serde::Error::custom(\"unknown variant object for {name}\"))\n            }}\n"
+                ));
+            }
+            s.push_str(&format!(
+                "            _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or object for enum {name}\")),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    s
+}
