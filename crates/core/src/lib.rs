@@ -65,5 +65,5 @@ pub use interleaved::InterleavedHandle;
 pub use organization::Organization;
 pub use partitioned::{BlockCursor, PartitionHandle};
 pub use pfile::ParallelFile;
-pub use selfsched::{SelfSchedReader, SelfSchedWriter};
+pub use selfsched::{SelfSchedReader, SelfSchedWriter, SharedCursor};
 pub use seq::{StripedReader, StripedWriter};

@@ -1,7 +1,6 @@
 //! `ParallelFile`: a file plus its organization, and the factory for
 //! internal-view handles.
 
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -14,13 +13,13 @@ use crate::error::{CoreError, Result};
 use crate::interleaved::InterleavedHandle;
 use crate::organization::Organization;
 use crate::partitioned::PartitionHandle;
-use crate::selfsched::{SelfSchedReader, SelfSchedWriter};
+use crate::selfsched::{SelfSchedReader, SelfSchedWriter, SharedCursor};
 
 /// Shared self-scheduling state: one read cursor, one write cursor, and
 /// the big lock used by the naive baseline.
 pub(crate) struct SsState {
-    pub(crate) read_cursor: AtomicU64,
-    pub(crate) write_cursor: AtomicU64,
+    pub(crate) read_cursor: SharedCursor,
+    pub(crate) write_cursor: SharedCursor,
     pub(crate) big_lock: Mutex<()>,
 }
 
@@ -71,12 +70,12 @@ pub(crate) fn uniform_bounds(total: u64, parts: u32) -> Vec<u64> {
 
 impl ParallelFile {
     fn wrap(raw: RawFile, org: Organization) -> ParallelFile {
-        let write_cursor = AtomicU64::new(raw.len_records());
+        let write_cursor = SharedCursor::new(raw.len_records());
         ParallelFile {
             raw,
             org,
             ss: Arc::new(SsState {
-                read_cursor: AtomicU64::new(0),
+                read_cursor: SharedCursor::new(0),
                 write_cursor,
                 big_lock: Mutex::new(()),
             }),

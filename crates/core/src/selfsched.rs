@@ -13,12 +13,98 @@
 //!   call, serialising transfers. Exists so experiment E3 can measure what
 //!   two-phase buys.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pario_fs::RawFile;
 
 use crate::error::Result;
 use crate::pfile::ParallelFile;
+
+/// The shared self-scheduling cursor: the paper's §3 "file pointer"
+/// that hands each request the globally next index, extracted as a
+/// standalone primitive so other layers (in-process readers here, the
+/// `pario-server` service layer across client sessions) reuse the same
+/// two-phase reservation protocol.
+///
+/// Phase 1 is the atomic claim (`claim*`); phase 2 — the data transfer —
+/// happens entirely outside the cursor, so claims from other parties
+/// proceed concurrently with transfers.
+pub struct SharedCursor {
+    pos: AtomicU64,
+}
+
+impl SharedCursor {
+    /// A cursor starting at `start`.
+    pub fn new(start: u64) -> SharedCursor {
+        SharedCursor {
+            pos: AtomicU64::new(start),
+        }
+    }
+
+    /// Indices claimed so far.
+    pub fn position(&self) -> u64 {
+        self.pos.load(Ordering::Acquire)
+    }
+
+    /// Two-phase reservation: claim the next index, provided it is below
+    /// `limit`. CAS (not `fetch_add`) so the cursor never runs past the
+    /// end of file. `None` once exhausted.
+    pub fn claim(&self, limit: u64) -> Option<u64> {
+        loop {
+            let cur = self.pos.load(Ordering::Acquire);
+            if cur >= limit {
+                return None;
+            }
+            if self
+                .pos
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(cur);
+            }
+        }
+    }
+
+    /// Claim every index from the current position to the end of its
+    /// `stride`-aligned block (capped at `limit`) in one reservation —
+    /// the paper's "self-scheduling by block". Returns the first index
+    /// claimed and the count (`1..=stride`), or `None` once exhausted.
+    /// Claims stay block-aligned even after single-index claims.
+    pub fn claim_through_block(&self, stride: u64, limit: u64) -> Option<(u64, u64)> {
+        assert!(stride > 0, "stride must be positive");
+        loop {
+            let cur = self.pos.load(Ordering::Acquire);
+            if cur >= limit {
+                return None;
+            }
+            let next = (((cur / stride) + 1) * stride).min(limit);
+            if self
+                .pos
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((cur, next - cur));
+            }
+        }
+    }
+
+    /// Claim the next index unconditionally (writers can always extend).
+    pub fn claim_unbounded(&self) -> u64 {
+        self.pos.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Read the position without ordering (for use under an external
+    /// lock — the big-lock baseline).
+    pub fn peek_relaxed(&self) -> u64 {
+        self.pos.load(Ordering::Relaxed)
+    }
+
+    /// Set the position without ordering (for use under an external
+    /// lock — the big-lock baseline).
+    pub fn set_relaxed(&self, v: u64) {
+        self.pos.store(v, Ordering::Relaxed);
+    }
+}
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Mode {
@@ -57,32 +143,23 @@ impl SelfSchedReader {
     pub fn read_next(&self, out: &mut [u8]) -> Result<Option<u64>> {
         let ss = self.owner.ss_state();
         match self.mode {
-            Mode::TwoPhase => loop {
-                // Phase 1: reserve the record index. CAS (not fetch_add)
-                // so the cursor never runs past the end of file.
-                let cur = ss.read_cursor.load(Ordering::Acquire);
-                if cur >= self.raw.len_records() {
+            Mode::TwoPhase => {
+                // Phase 1: reserve the record index.
+                let Some(cur) = ss.read_cursor.claim(self.raw.len_records()) else {
                     return Ok(None);
-                }
-                if ss
-                    .read_cursor
-                    .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
-                    .is_err()
-                {
-                    continue;
-                }
+                };
                 // Phase 2: transfer, concurrently with other readers.
                 self.raw.read_record(cur, out)?;
-                return Ok(Some(cur));
-            },
+                Ok(Some(cur))
+            }
             Mode::BigLock => {
                 let _g = ss.big_lock.lock();
-                let cur = ss.read_cursor.load(Ordering::Relaxed);
+                let cur = ss.read_cursor.peek_relaxed();
                 if cur >= self.raw.len_records() {
                     return Ok(None);
                 }
                 self.raw.read_record(cur, out)?;
-                ss.read_cursor.store(cur + 1, Ordering::Relaxed);
+                ss.read_cursor.set_relaxed(cur + 1);
                 Ok(Some(cur))
             }
         }
@@ -102,32 +179,22 @@ impl SelfSchedReader {
         let rpb = self.raw.records_per_block() as u64;
         assert_eq!(out.len(), rs * rpb as usize, "block buffer size");
         let ss = self.owner.ss_state();
-        loop {
-            let cur = ss.read_cursor.load(Ordering::Acquire);
-            let len = self.raw.len_records();
-            if cur >= len {
-                return Ok(None);
-            }
-            // Claim to the end of the current file block (keeps block
-            // claims aligned even after single-record claims).
-            let block_end = ((cur / rpb) + 1) * rpb;
-            let next = block_end.min(len);
-            if ss
-                .read_cursor
-                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-                .is_err()
-            {
-                continue;
-            }
-            let n = (next - cur) as usize;
-            self.raw.read_span(cur * rs as u64, &mut out[..n * rs])?;
-            return Ok(Some((cur, n)));
-        }
+        // Claim to the end of the current file block (keeps block claims
+        // aligned even after single-record claims).
+        let Some((cur, n)) = ss
+            .read_cursor
+            .claim_through_block(rpb, self.raw.len_records())
+        else {
+            return Ok(None);
+        };
+        let n = n as usize;
+        self.raw.read_span(cur * rs as u64, &mut out[..n * rs])?;
+        Ok(Some((cur, n)))
     }
 
     /// Records already claimed.
     pub fn claimed(&self) -> u64 {
-        self.owner.ss_state().read_cursor.load(Ordering::Acquire)
+        self.owner.ss_state().read_cursor.position()
     }
 }
 
@@ -164,7 +231,7 @@ impl SelfSchedWriter {
         match self.mode {
             Mode::TwoPhase => {
                 // Phase 1: reserve the slot (writers can always extend).
-                let idx = ss.write_cursor.fetch_add(1, Ordering::AcqRel);
+                let idx = ss.write_cursor.claim_unbounded();
                 // Phase 2: transfer outside any lock. write_record extends
                 // the published length to cover the slot.
                 self.raw.write_record(idx, data)?;
@@ -172,9 +239,9 @@ impl SelfSchedWriter {
             }
             Mode::BigLock => {
                 let _g = ss.big_lock.lock();
-                let idx = ss.write_cursor.load(Ordering::Relaxed);
+                let idx = ss.write_cursor.peek_relaxed();
                 self.raw.write_record(idx, data)?;
-                ss.write_cursor.store(idx + 1, Ordering::Relaxed);
+                ss.write_cursor.set_relaxed(idx + 1);
                 Ok(idx)
             }
         }
@@ -182,7 +249,7 @@ impl SelfSchedWriter {
 
     /// Slots claimed so far (the file length once all writers finish).
     pub fn claimed(&self) -> u64 {
-        self.owner.ss_state().write_cursor.load(Ordering::Acquire)
+        self.owner.ss_state().write_cursor.position()
     }
 
     /// Publish the final length (all claimed slots) — call after every

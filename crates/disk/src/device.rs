@@ -122,6 +122,15 @@ pub trait BlockDevice: Send + Sync {
     fn label(&self) -> String {
         "device".to_string()
     }
+
+    /// Queue statistics when this handle routes through a dedicated I/O
+    /// processor ([`IoNode`](crate::IoNode)); `None` for plain devices.
+    /// Lets layers that only hold `DeviceRef`s (the volume, the service
+    /// layer) aggregate queue-wait and service-time attribution without
+    /// keeping the nodes themselves around.
+    fn ionode_stats(&self) -> Option<crate::IoNodeStats> {
+        None
+    }
 }
 
 /// A shared handle to any block device.

@@ -1,0 +1,121 @@
+//! Error type for the service layer.
+
+use std::fmt;
+
+use pario_core::CoreError;
+use pario_fs::FsError;
+
+/// Errors surfaced to service-layer clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The admission queue is saturated and the server is configured to
+    /// reject rather than queue (see
+    /// [`Saturation::Reject`](crate::Saturation::Reject)).
+    Busy,
+    /// A type-S file is already open exclusively by another session.
+    Exclusive {
+        /// File name.
+        name: String,
+        /// Session currently holding the file.
+        by: u64,
+    },
+    /// The requested partition (PS/PDA) or interleaved slot (IS) is
+    /// already claimed by another session.
+    Claimed {
+        /// File name.
+        name: String,
+        /// Partition / process index.
+        index: u32,
+        /// Session currently holding the claim.
+        by: u64,
+    },
+    /// A PS/PDA access addressed a record outside the session's
+    /// partition — an error, never a silent corruption of a
+    /// neighbour's blocks.
+    OutsidePartition {
+        /// The offending global record index.
+        record: u64,
+        /// The session's partition.
+        partition: u32,
+        /// First record owned by the partition.
+        start: u64,
+        /// One past the last record owned by the partition.
+        end: u64,
+    },
+    /// An error from the parallel-file layer.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Busy => write!(f, "server busy: admission queue saturated"),
+            ServerError::Exclusive { name, by } => {
+                write!(f, "file '{name}' is held exclusively by session {by}")
+            }
+            ServerError::Claimed { name, index, by } => {
+                write!(
+                    f,
+                    "partition {index} of '{name}' is claimed by session {by}"
+                )
+            }
+            ServerError::OutsidePartition {
+                record,
+                partition,
+                start,
+                end,
+            } => write!(
+                f,
+                "record {record} lies outside partition {partition} [{start}, {end})"
+            ),
+            ServerError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> ServerError {
+        ServerError::Core(e)
+    }
+}
+
+impl From<FsError> for ServerError {
+    fn from(e: FsError) -> ServerError {
+        ServerError::Core(CoreError::Fs(e))
+    }
+}
+
+/// Result alias for service-layer operations.
+pub type Result<T> = std::result::Result<T, ServerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServerError::Busy.to_string().contains("saturated"));
+        let e = ServerError::OutsidePartition {
+            record: 60,
+            partition: 0,
+            start: 0,
+            end: 56,
+        };
+        assert!(e.to_string().contains("outside partition 0"));
+        let e = ServerError::Exclusive {
+            name: "f".into(),
+            by: 3,
+        };
+        assert!(e.to_string().contains("session 3"));
+        let e = ServerError::Claimed {
+            name: "f".into(),
+            index: 2,
+            by: 1,
+        };
+        assert!(e.to_string().contains("partition 2"));
+        let e: ServerError = FsError::NotFound("x".into()).into();
+        assert!(matches!(e, ServerError::Core(_)));
+    }
+}

@@ -1,0 +1,600 @@
+//! The server proper: sessions, the shared-file registry, and the typed
+//! per-organization client handles.
+//!
+//! The registry is the load-bearing piece: every session that opens the
+//! same file gets a clone of *one* [`ParallelFile`], so SS cursors are
+//! shared across sessions (clones share `SsState`) and the sharing
+//! ledger — exclusive holder, partition claims, interleave slots — and
+//! the GDA byte-range locks live next to the file they protect.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use pario_core::{
+    CoreError, DirectHandle, InterleavedHandle, Organization, ParallelFile, PartitionHandle,
+    SelfSchedReader, SelfSchedWriter,
+};
+use pario_fs::{FsError, GlobalReader, GlobalWriter, Volume};
+
+use crate::admission::{Admission, Saturation};
+use crate::error::{Result, ServerError};
+use crate::locks::RangeLocks;
+use crate::stats::{LatencyHistogram, ServerStats, SessionCounters, SessionStats};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Copy, Clone, Debug)]
+pub struct ServerConfig {
+    /// Most operations in flight at once across all sessions. Size this
+    /// to the volume's device parallelism; the default of 8 suits a
+    /// 4-device volume with some pipelining slack.
+    pub max_in_flight: usize,
+    /// What to do with requests that arrive past the limit.
+    pub saturation: Saturation,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_in_flight: 8,
+            saturation: Saturation::Block,
+        }
+    }
+}
+
+/// Cross-session sharing ledger of one file.
+#[derive(Default)]
+struct Sharing {
+    /// Session holding a type-S file exclusively.
+    exclusive: Option<u64>,
+    /// PS/PDA partition index -> owning session.
+    partitions: HashMap<u32, u64>,
+    /// IS process slot -> owning session.
+    slots: HashMap<u32, u64>,
+}
+
+/// One registered file: the single `ParallelFile` all sessions share
+/// (hence one SS cursor), its sharing ledger, and its GDA range locks.
+struct FileEntry {
+    pfile: ParallelFile,
+    sharing: Mutex<Sharing>,
+    ranges: RangeLocks,
+}
+
+struct Inner {
+    volume: Volume,
+    admission: Admission,
+    latency: LatencyHistogram,
+    files: Mutex<HashMap<String, Arc<FileEntry>>>,
+    sessions: Mutex<Vec<(u64, Arc<SessionCounters>)>>,
+    next_session: AtomicU64,
+}
+
+impl Inner {
+    /// Open-or-get the shared entry for `name`.
+    fn entry(&self, name: &str) -> Result<Arc<FileEntry>> {
+        let mut files = self.files.lock();
+        if let Some(e) = files.get(name) {
+            return Ok(Arc::clone(e));
+        }
+        let pfile = ParallelFile::open(&self.volume, name)?;
+        let e = Arc::new(FileEntry {
+            pfile,
+            sharing: Mutex::new(Sharing::default()),
+            ranges: RangeLocks::default(),
+        });
+        files.insert(name.to_string(), Arc::clone(&e));
+        Ok(e)
+    }
+}
+
+/// A thread-safe file service in front of a [`Volume`]. Cheap to clone;
+/// clones share everything.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Put a server in front of `volume`.
+    pub fn new(volume: Volume, config: ServerConfig) -> Server {
+        Server {
+            inner: Arc::new(Inner {
+                volume,
+                admission: Admission::new(config.max_in_flight, config.saturation),
+                latency: LatencyHistogram::default(),
+                files: Mutex::new(HashMap::new()),
+                sessions: Mutex::new(Vec::new()),
+                next_session: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The volume behind the server (for file creation and experiments).
+    pub fn volume(&self) -> &Volume {
+        &self.inner.volume
+    }
+
+    /// The configured in-flight limit.
+    pub fn admission_limit(&self) -> usize {
+        self.inner.admission.limit()
+    }
+
+    /// Connect a new client session.
+    pub fn connect(&self) -> Session {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let counters = Arc::new(SessionCounters::default());
+        self.inner.sessions.lock().push((id, Arc::clone(&counters)));
+        Session {
+            inner: Arc::clone(&self.inner),
+            id,
+            counters,
+        }
+    }
+
+    /// Snapshot server-wide statistics.
+    pub fn stats(&self) -> ServerStats {
+        let sessions = self
+            .inner
+            .sessions
+            .lock()
+            .iter()
+            .map(|(id, c)| SessionStats {
+                id: *id,
+                reads: c.reads.load(Ordering::Relaxed),
+                writes: c.writes.load(Ordering::Relaxed),
+            })
+            .collect();
+        ServerStats::from_parts(
+            sessions,
+            self.inner.admission.stats(),
+            self.inner.latency.snapshot(),
+            self.inner.volume.io_node_stats(),
+        )
+    }
+}
+
+/// One client's connection to a [`Server`]. Sessions are independent —
+/// hand them to separate threads — and open typed per-organization
+/// clients. Clones share the session identity (id and counters).
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<Inner>,
+    id: u64,
+    counters: Arc<SessionCounters>,
+}
+
+impl Session {
+    /// This session's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Run one data operation: admission permit, the transfer, then
+    /// latency and per-session accounting. Latency includes admission
+    /// wait — that is the latency the client observes.
+    fn run<T>(&self, write: bool, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let t0 = Instant::now();
+        let permit = self.inner.admission.acquire(self.id)?;
+        let r = f();
+        drop(permit);
+        self.inner.latency.record(t0.elapsed());
+        if r.is_ok() {
+            let c = if write {
+                &self.counters.writes
+            } else {
+                &self.counters.reads
+            };
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Open a type-S file exclusively. Fails with
+    /// [`ServerError::Exclusive`] while any other client holds it.
+    pub fn open_sequential(&self, name: &str) -> Result<SeqClient> {
+        let entry = self.inner.entry(name)?;
+        let org = entry.pfile.organization();
+        if org != Organization::Sequential {
+            return Err(CoreError::WrongOrganization {
+                expected: "S",
+                actual: org,
+            }
+            .into());
+        }
+        {
+            let mut sh = entry.sharing.lock();
+            if let Some(by) = sh.exclusive {
+                return Err(ServerError::Exclusive {
+                    name: name.to_string(),
+                    by,
+                });
+            }
+            sh.exclusive = Some(self.id);
+        }
+        let reader = entry.pfile.global_reader();
+        Ok(SeqClient {
+            sess: self.clone(),
+            entry,
+            reader,
+            writer: None,
+        })
+    }
+
+    /// Open an SS file. Every session's client shares one server-side
+    /// cursor: across all of them, each record is delivered exactly once.
+    pub fn open_self_sched(&self, name: &str) -> Result<SsClient> {
+        let entry = self.inner.entry(name)?;
+        Ok(SsClient {
+            sess: self.clone(),
+            reader: entry.pfile.self_sched_reader()?,
+            writer: entry.pfile.self_sched_writer()?,
+        })
+    }
+
+    /// The big-lock SS baseline (experiment E3 / E14 comparisons): same
+    /// shared cursor, transfers serialised under one lock.
+    pub fn open_self_sched_naive(&self, name: &str) -> Result<SsClient> {
+        let entry = self.inner.entry(name)?;
+        Ok(SsClient {
+            sess: self.clone(),
+            reader: entry.pfile.self_sched_reader_naive()?,
+            writer: entry.pfile.self_sched_writer_naive()?,
+        })
+    }
+
+    /// Claim partition `p` of a PS or PDA file. Fails with
+    /// [`ServerError::Claimed`] while another client owns the partition;
+    /// the claim releases when the returned client drops.
+    pub fn open_partition(&self, name: &str, p: u32) -> Result<PartitionClient> {
+        let entry = self.inner.entry(name)?;
+        let handle = entry.pfile.partition_handle(p)?;
+        {
+            let mut sh = entry.sharing.lock();
+            if let Some(&by) = sh.partitions.get(&p) {
+                return Err(ServerError::Claimed {
+                    name: name.to_string(),
+                    index: p,
+                    by,
+                });
+            }
+            sh.partitions.insert(p, self.id);
+        }
+        let (start, end) = handle.range();
+        Ok(PartitionClient {
+            sess: self.clone(),
+            entry,
+            handle,
+            partition: p,
+            start,
+            end,
+        })
+    }
+
+    /// Claim interleave slot `p` of an IS file (released on drop).
+    pub fn open_interleaved(&self, name: &str, p: u32) -> Result<InterleavedClient> {
+        let entry = self.inner.entry(name)?;
+        let handle = entry.pfile.interleaved_handle(p)?;
+        {
+            let mut sh = entry.sharing.lock();
+            if let Some(&by) = sh.slots.get(&p) {
+                return Err(ServerError::Claimed {
+                    name: name.to_string(),
+                    index: p,
+                    by,
+                });
+            }
+            sh.slots.insert(p, self.id);
+        }
+        Ok(InterleavedClient {
+            sess: self.clone(),
+            entry,
+            handle,
+            process: p,
+        })
+    }
+
+    /// Open a GDA file: any record, any order; writes take byte-range
+    /// locks so overlapping writers are serialised, and
+    /// [`DirectClient::update`] gives a locked read-modify-write.
+    pub fn open_direct(&self, name: &str) -> Result<DirectClient> {
+        let entry = self.inner.entry(name)?;
+        let handle = entry.pfile.direct_handle()?;
+        let record_size = entry.pfile.record_size();
+        Ok(DirectClient {
+            sess: self.clone(),
+            entry,
+            handle,
+            record_size,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed clients
+// ---------------------------------------------------------------------
+
+/// Exclusive sequential access to a type-S file.
+pub struct SeqClient {
+    sess: Session,
+    entry: Arc<FileEntry>,
+    reader: GlobalReader,
+    writer: Option<GlobalWriter>,
+}
+
+impl SeqClient {
+    /// Read the next record; `false` at end of file.
+    pub fn read_next(&mut self, out: &mut [u8]) -> Result<bool> {
+        let (sess, reader) = (&self.sess, &mut self.reader);
+        sess.run(false, || Ok(reader.read_record(out)?))
+    }
+
+    /// Append the next record. Appends are buffered a block at a time;
+    /// call [`finish`](SeqClient::finish) to publish the final length
+    /// (dropping the client also flushes, best-effort).
+    pub fn write_next(&mut self, data: &[u8]) -> Result<()> {
+        let raw = self.entry.pfile.raw().clone();
+        let (sess, writer) = (&self.sess, &mut self.writer);
+        sess.run(true, || {
+            Ok(writer
+                .get_or_insert_with(|| GlobalWriter::append(raw))
+                .write_record(data)?)
+        })
+    }
+
+    /// Flush buffered appends and publish the length.
+    pub fn finish(&mut self) -> Result<u64> {
+        match self.writer.take() {
+            Some(w) => Ok(w.finish()?),
+            None => Ok(self.entry.pfile.len_records()),
+        }
+    }
+
+    /// Rewind the read cursor.
+    pub fn rewind(&mut self) {
+        self.reader.seek_record(0);
+    }
+}
+
+impl Drop for SeqClient {
+    fn drop(&mut self) {
+        if let Some(w) = self.writer.take() {
+            let _ = w.finish();
+        }
+        self.entry.sharing.lock().exclusive = None;
+    }
+}
+
+/// A self-scheduled client: reads claim the globally next record across
+/// *all* sessions of the file.
+pub struct SsClient {
+    sess: Session,
+    reader: SelfSchedReader,
+    writer: SelfSchedWriter,
+}
+
+impl SsClient {
+    /// Claim and read the next unclaimed record anywhere in the server.
+    /// Returns the index served, or `None` once the file is drained.
+    pub fn read_next(&self, out: &mut [u8]) -> Result<Option<u64>> {
+        self.sess.run(false, || Ok(self.reader.read_next(out)?))
+    }
+
+    /// Claim and read the next whole file block (the paper's
+    /// self-scheduling by block); `out` must hold one file block.
+    pub fn read_next_block(&self, out: &mut [u8]) -> Result<Option<(u64, usize)>> {
+        self.sess
+            .run(false, || Ok(self.reader.read_next_block(out)?))
+    }
+
+    /// Claim the next free slot and write `data` there.
+    pub fn write_next(&self, data: &[u8]) -> Result<u64> {
+        self.sess.run(true, || Ok(self.writer.write_next(data)?))
+    }
+
+    /// Publish the final length once all sessions' writers are done.
+    pub fn finish_writes(&self) -> Result<u64> {
+        Ok(self.writer.finish()?)
+    }
+
+    /// Records claimed so far across all sessions.
+    pub fn claimed(&self) -> u64 {
+        self.reader.claimed()
+    }
+}
+
+/// A claimed partition of a PS/PDA file. Addresses records by their
+/// *global* index; anything outside the claimed range fails with
+/// [`ServerError::OutsidePartition`]. The claim releases on drop.
+pub struct PartitionClient {
+    sess: Session,
+    entry: Arc<FileEntry>,
+    handle: PartitionHandle,
+    partition: u32,
+    start: u64,
+    end: u64,
+}
+
+impl PartitionClient {
+    /// The claimed partition index.
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    /// The global record range `[start, end)` this client may touch.
+    pub fn range(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+
+    /// Map a global record index into the partition, or refuse it.
+    fn local(&self, r: u64) -> Result<u64> {
+        if r < self.start || r >= self.end {
+            return Err(ServerError::OutsidePartition {
+                record: r,
+                partition: self.partition,
+                start: self.start,
+                end: self.end,
+            });
+        }
+        Ok(r - self.start)
+    }
+
+    /// The error for running the sequential cursor off the partition end.
+    fn exhausted(&self) -> ServerError {
+        ServerError::OutsidePartition {
+            record: self.end,
+            partition: self.partition,
+            start: self.start,
+            end: self.end,
+        }
+    }
+
+    /// Read the record at *global* index `r` (PDA direct access).
+    pub fn read_record(&self, r: u64, out: &mut [u8]) -> Result<()> {
+        let local = self.local(r)?;
+        self.sess
+            .run(false, || Ok(self.handle.read_at(local, out)?))
+    }
+
+    /// Write the record at *global* index `r` (PDA direct access).
+    pub fn write_record(&self, r: u64, data: &[u8]) -> Result<()> {
+        let local = self.local(r)?;
+        self.sess
+            .run(true, || Ok(self.handle.write_at(local, data)?))
+    }
+
+    /// Read the partition's next record (PS); `false` at partition end.
+    pub fn read_next(&mut self, out: &mut [u8]) -> Result<bool> {
+        let (sess, handle) = (&self.sess, &mut self.handle);
+        sess.run(false, || Ok(handle.read_next(out)?))
+    }
+
+    /// Write the partition's next record (PS). A full partition fails
+    /// with [`ServerError::OutsidePartition`] — never a spill into the
+    /// neighbour's blocks.
+    pub fn write_next(&mut self, data: &[u8]) -> Result<()> {
+        let exhausted = self.exhausted();
+        let (sess, handle) = (&self.sess, &mut self.handle);
+        sess.run(true, || {
+            handle.write_next(data).map_err(|e| match e {
+                CoreError::Fs(FsError::OutOfBounds { .. }) => exhausted,
+                e => e.into(),
+            })
+        })
+    }
+
+    /// Rewind the sequential cursor.
+    pub fn rewind(&mut self) {
+        self.handle.rewind();
+    }
+}
+
+impl Drop for PartitionClient {
+    fn drop(&mut self) {
+        self.entry.sharing.lock().partitions.remove(&self.partition);
+    }
+}
+
+/// A claimed interleave slot of an IS file (released on drop).
+pub struct InterleavedClient {
+    sess: Session,
+    entry: Arc<FileEntry>,
+    handle: InterleavedHandle,
+    process: u32,
+}
+
+impl InterleavedClient {
+    /// The claimed process slot.
+    pub fn process(&self) -> u32 {
+        self.process
+    }
+
+    /// Read this slot's next strided record; `false` past end of file.
+    pub fn read_next(&mut self, out: &mut [u8]) -> Result<bool> {
+        let (sess, handle) = (&self.sess, &mut self.handle);
+        sess.run(false, || Ok(handle.read_next(out)?))
+    }
+
+    /// Write this slot's next strided record; returns the global index.
+    pub fn write_next(&mut self, data: &[u8]) -> Result<u64> {
+        let (sess, handle) = (&self.sess, &mut self.handle);
+        sess.run(true, || Ok(handle.write_next(data)?))
+    }
+
+    /// Read this slot's next whole file block; `None` past end of file.
+    pub fn read_next_block(&mut self, out: &mut [u8]) -> Result<Option<u64>> {
+        let (sess, handle) = (&self.sess, &mut self.handle);
+        sess.run(false, || Ok(handle.read_next_block(out)?))
+    }
+
+    /// Write this slot's next whole file block.
+    pub fn write_next_block(&mut self, data: &[u8]) -> Result<u64> {
+        let (sess, handle) = (&self.sess, &mut self.handle);
+        sess.run(true, || Ok(handle.write_next_block(data)?))
+    }
+}
+
+impl Drop for InterleavedClient {
+    fn drop(&mut self) {
+        self.entry.sharing.lock().slots.remove(&self.process);
+    }
+}
+
+/// Global direct access to a GDA file through the server. Reads are
+/// unsynchronised (the paper's GDA view offers no read consistency);
+/// writes take a byte-range lock so overlapping writers serialise, and
+/// [`update`](DirectClient::update) is a locked read-modify-write.
+pub struct DirectClient {
+    sess: Session,
+    entry: Arc<FileEntry>,
+    handle: DirectHandle,
+    record_size: usize,
+}
+
+impl DirectClient {
+    /// Records currently in the file.
+    pub fn len_records(&self) -> u64 {
+        self.handle.len_records()
+    }
+
+    /// Byte range of record `r`.
+    fn byte_range(&self, r: u64) -> (u64, u64) {
+        let rs = self.record_size as u64;
+        (r * rs, (r + 1) * rs)
+    }
+
+    /// Read record `r`.
+    pub fn read_record(&self, r: u64, out: &mut [u8]) -> Result<()> {
+        self.sess
+            .run(false, || Ok(self.handle.read_record(r, out)?))
+    }
+
+    /// Write record `r` under a byte-range lock (extends the file).
+    pub fn write_record(&self, r: u64, data: &[u8]) -> Result<()> {
+        let (lo, hi) = self.byte_range(r);
+        self.sess.run(true, || {
+            let _g = self.entry.ranges.acquire(lo, hi);
+            Ok(self.handle.write_record(r, data)?)
+        })
+    }
+
+    /// Atomically read-modify-write record `r`: the byte-range lock is
+    /// held across the read, `f`, and the write-back, so concurrent
+    /// updates of the same record never lose increments. Extends the
+    /// file with a zeroed record when `r` is past the end.
+    pub fn update(&self, r: u64, f: impl FnOnce(&mut [u8])) -> Result<()> {
+        let (lo, hi) = self.byte_range(r);
+        self.sess.run(true, || {
+            let _g = self.entry.ranges.acquire(lo, hi);
+            let mut buf = vec![0u8; self.record_size];
+            if r < self.handle.len_records() {
+                self.handle.read_record(r, &mut buf)?;
+            }
+            f(&mut buf);
+            Ok(self.handle.write_record(r, &buf)?)
+        })
+    }
+}

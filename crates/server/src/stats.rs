@@ -1,0 +1,209 @@
+//! Observability for load experiments: per-session operation counts,
+//! admission-queue water marks, and a log₂-bucketed latency histogram
+//! that device-level statistics ([`IoNodeStats`]) can be laid against to
+//! attribute time to device queues vs. transfers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use pario_disk::IoNodeStats;
+
+use crate::admission::AdmissionStats;
+
+/// Number of histogram buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` nanoseconds; the last bucket absorbs the tail
+/// (≈ 34 s and beyond).
+pub const LATENCY_BUCKETS: usize = 36;
+
+/// A concurrent log₂ latency histogram.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one operation latency.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().max(1) as u64;
+        let idx = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every non-empty bucket as `(le_nanos, count)` where
+    /// `le_nanos` is the bucket's exclusive upper bound.
+    pub fn snapshot(&self) -> Vec<LatencyBucket> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then_some(LatencyBucket {
+                    le_nanos: 1u64 << (i + 1),
+                    count,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One non-empty histogram bucket.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LatencyBucket {
+    /// Exclusive upper bound of the bucket, in nanoseconds.
+    pub le_nanos: u64,
+    /// Operations that landed in the bucket.
+    pub count: u64,
+}
+
+/// Approximate quantile over a bucket snapshot (upper bound of the
+/// bucket containing the q-th operation).
+pub fn quantile_nanos(buckets: &[LatencyBucket], q: f64) -> Option<u64> {
+    let total: u64 = buckets.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return None;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for b in buckets {
+        seen += b.count;
+        if seen >= target {
+            return Some(b.le_nanos);
+        }
+    }
+    buckets.last().map(|b| b.le_nanos)
+}
+
+/// Live operation counters for one session.
+#[derive(Default)]
+pub(crate) struct SessionCounters {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+}
+
+/// A snapshot of one session's activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Session id (as returned at connect time).
+    pub id: u64,
+    /// Read operations completed.
+    pub reads: u64,
+    /// Write operations completed.
+    pub writes: u64,
+}
+
+impl SessionStats {
+    /// Total operations.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A point-in-time snapshot of the whole server.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Per-session activity, in session-id order.
+    pub sessions: Vec<SessionStats>,
+    /// Operations in flight right now.
+    pub in_flight: usize,
+    /// Queue-depth high water: the most operations ever admitted at
+    /// once. Bounded by the configured admission limit.
+    pub queue_depth_high_water: usize,
+    /// The most requests ever waiting for admission at once.
+    pub wait_high_water: usize,
+    /// Requests rejected with `Busy`.
+    pub rejected: u64,
+    /// End-to-end operation latency histogram (admission wait included).
+    pub latency: Vec<LatencyBucket>,
+    /// Aggregate device-side queue statistics, when the volume's devices
+    /// run behind I/O nodes: lets callers split end-to-end latency into
+    /// device queue wait vs. transfer time.
+    pub io: Option<IoNodeStats>,
+}
+
+impl ServerStats {
+    /// Total operations across all sessions.
+    pub fn total_ops(&self) -> u64 {
+        self.sessions.iter().map(|s| s.ops()).sum()
+    }
+
+    /// Fairness as min/max per-session ops (1.0 = perfectly fair).
+    /// `None` with fewer than two sessions or an idle server.
+    pub fn fairness(&self) -> Option<f64> {
+        if self.sessions.len() < 2 {
+            return None;
+        }
+        let min = self.sessions.iter().map(|s| s.ops()).min()?;
+        let max = self.sessions.iter().map(|s| s.ops()).max()?;
+        (max > 0).then(|| min as f64 / max as f64)
+    }
+
+    pub(crate) fn from_parts(
+        sessions: Vec<SessionStats>,
+        adm: AdmissionStats,
+        latency: Vec<LatencyBucket>,
+        io: Option<IoNodeStats>,
+    ) -> ServerStats {
+        ServerStats {
+            sessions,
+            in_flight: adm.in_flight,
+            queue_depth_high_water: adm.admitted_high_water,
+            wait_high_water: adm.wait_high_water,
+            rejected: adm.rejected,
+            latency,
+            io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(3)); // bucket [2,4)
+        h.record(Duration::from_nanos(3));
+        h.record(Duration::from_micros(5)); // [4096, 8192)
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap[0],
+            LatencyBucket {
+                le_nanos: 4,
+                count: 2
+            }
+        );
+        assert_eq!(snap[1].le_nanos, 8192);
+        assert_eq!(quantile_nanos(&snap, 0.5), Some(4));
+        assert_eq!(quantile_nanos(&snap, 1.0), Some(8192));
+        assert_eq!(quantile_nanos(&[], 0.5), None);
+    }
+
+    #[test]
+    fn fairness_ratio() {
+        let mut s = ServerStats::default();
+        assert_eq!(s.fairness(), None);
+        s.sessions = vec![
+            SessionStats {
+                id: 0,
+                reads: 50,
+                writes: 0,
+            },
+            SessionStats {
+                id: 1,
+                reads: 90,
+                writes: 10,
+            },
+        ];
+        assert!((s.fairness().unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(s.total_ops(), 150);
+    }
+}

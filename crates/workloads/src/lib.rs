@@ -30,7 +30,9 @@ mod stencil;
 mod trace;
 mod zipf;
 
-pub use generators::{record_payload, OutOfCore, SkewedBlocks, TaskQueue, WrappedMatrix};
+pub use generators::{
+    record_payload, ClosedLoop, OutOfCore, SkewedBlocks, TaskQueue, WrappedMatrix,
+};
 pub use stencil::{Stencil1D, Stencil2D};
 pub use trace::{Access, AccessKind, Trace};
 pub use zipf::Zipf;

@@ -10,3 +10,24 @@ for exp in e1_figure1 e2_striping e3_selfsched e4_device_per_process \
     cargo run --release -q -p pario-bench --bin "exp_$exp"
 done
 cargo run --release -q -p pario-bench --bin exp_span_coalesce
+cargo run --release -q -p pario-bench --bin exp_e14_server
+
+# Every experiment must have left its JSON behind; a silent skip (an
+# early exit, a renamed table) should fail the run, not go unnoticed.
+missing=0
+for f in e2_striping_devices e2_striping_unit e3_selfsched \
+         e4_device_per_process e5_global_view e6_seek_degradation \
+         e7_declustering e8_readahead e8_writebehind e9_crossover \
+         e9_view_mismatch e10_boundary e11_campaign e11_mtbf \
+         e12_is_blocksize span_coalesce span_coalesce_global \
+         e14_server e14_server_sweep; do
+    if [ ! -f "results/$f.json" ]; then
+        echo "MISSING: results/$f.json" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "run_experiments.sh: one or more result files missing" >&2
+    exit 1
+fi
+echo "All expected result files present."

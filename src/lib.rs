@@ -16,6 +16,8 @@
 //!   read-ahead and write-behind.
 //! * [`sim`] — the deterministic discrete-event engine timing experiments
 //!   run on.
+//! * [`server`] — the concurrent multi-client service layer: sessions,
+//!   per-organization sharing semantics, bounded admission, statistics.
 //! * [`reliability`] — MTBF analytics, parity reconstruction, shadowing,
 //!   failure injection, consistency checking.
 //! * [`workloads`] — seeded workload generators used by the experiments.
@@ -63,5 +65,6 @@ pub use pario_disk as disk;
 pub use pario_fs as fs;
 pub use pario_layout as layout;
 pub use pario_reliability as reliability;
+pub use pario_server as server;
 pub use pario_sim as sim;
 pub use pario_workloads as workloads;
