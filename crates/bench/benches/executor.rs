@@ -1,0 +1,65 @@
+//! The I/O executor's submit/wait path vs spawn-per-request fan-out:
+//! one scoped thread per device run (the pre-executor strategy) against
+//! enqueueing on persistent per-device workers, at a small span (where
+//! spawn cost rivals service time) and a large one (where it amortises).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pario_disk::{DeviceRef, IoNode, MemDisk, Ticket};
+
+const BS: usize = 4096;
+const DEVICES: usize = 4;
+const DELAY: Duration = Duration::from_micros(5);
+
+fn device_bank() -> Vec<DeviceRef> {
+    (0..DEVICES)
+        .map(|i| {
+            Arc::new(MemDisk::named(&format!("m{i}"), 4096, BS).with_delay(DELAY)) as DeviceRef
+        })
+        .collect()
+}
+
+fn fan_out(c: &mut Criterion, label: &str, per_dev_blocks: usize) {
+    let devs = device_bank();
+    let (_nodes, handles) = IoNode::spawn_bank(devs.clone());
+    let mut g = c.benchmark_group(format!("executor/{label}"));
+    g.sample_size(30);
+    let mut bufs: Vec<Vec<u8>> = (0..DEVICES)
+        .map(|_| vec![0u8; per_dev_blocks * BS])
+        .collect();
+    g.bench_function("spawn_per_call", |b| {
+        b.iter(|| {
+            crossbeam::thread::scope(|s| {
+                for (d, buf) in devs.iter().zip(bufs.iter_mut()) {
+                    s.spawn(move |_| d.read_blocks_at(0, buf).unwrap());
+                }
+            })
+            .unwrap()
+        })
+    });
+    let mut boxed: Vec<Box<[u8]>> = (0..DEVICES)
+        .map(|_| vec![0u8; per_dev_blocks * BS].into_boxed_slice())
+        .collect();
+    g.bench_function("persistent_executor", |b| {
+        b.iter(|| {
+            let tickets: Vec<Ticket<Box<[u8]>>> = handles
+                .iter()
+                .zip(boxed.drain(..))
+                .map(|(h, buf)| h.submit_read_blocks(0, buf))
+                .collect();
+            boxed = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        })
+    });
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    fan_out(c, "small_span_4blk", 1);
+    fan_out(c, "large_span_256blk", 64);
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

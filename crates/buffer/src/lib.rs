@@ -9,10 +9,10 @@
 //! * [`BlockCache`] — an LRU `(device, block)` cache with write-through and
 //!   write-back policies, for direct-access organizations with locality
 //!   (the paper's PDA case).
-//! * [`ReadAhead`] / [`WriteBehind`] — multiple-buffering pipelines on
-//!   dedicated I/O threads that overlap predictable sequential I/O with
-//!   computation; the buffer count is the single/double/multi-buffering
-//!   knob experiment E8 sweeps.
+//! * [`ReadAhead`] / [`WriteBehind`] — multiple-buffering pipelines
+//!   submitting to per-device I/O-executor workers, overlapping
+//!   predictable sequential I/O with computation; the buffer count is
+//!   the single/double/multi-buffering knob experiment E8 sweeps.
 //!
 //! ```
 //! use pario_buffer::ReadAhead;

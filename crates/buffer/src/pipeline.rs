@@ -1,25 +1,44 @@
-//! Read-ahead and write-behind pipelines on dedicated I/O threads.
+//! Read-ahead and write-behind pipelines over the I/O executor.
 //!
 //! For the sequential organizations "the order of accesses is predictable,
 //! [so] reading ahead and deferred writing can be used to overlap I/O
-//! operations with computation" (§4). Each pipeline owns a dedicated I/O
-//! thread (the paper's "dedicated I/O processors") and a fixed ring of
-//! `nbufs` buffers; `nbufs == 1` degenerates to strictly synchronous
-//! single buffering, `nbufs == 2` is classic double buffering, and larger
-//! values absorb burstier compute phases — exactly the knob experiment E8
-//! sweeps.
+//! operations with computation" (§4). Each pipeline keeps a fixed ring of
+//! `nbufs` buffers in flight as asynchronous submissions to the device's
+//! [`IoNode`] worker (the paper's "dedicated I/O processors"); `nbufs == 1`
+//! degenerates to strictly synchronous single buffering, `nbufs == 2` is
+//! classic double buffering, and larger values absorb burstier compute
+//! phases — exactly the knob experiment E8 sweeps.
+//!
+//! A device already fronted by an I/O node (e.g. a volume's executor
+//! handle) is used as-is, so pipelines share the volume's worker and its
+//! scheduling policy; a plain device is wrapped in a private node.
 
-use std::thread::JoinHandle;
+use std::collections::VecDeque;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 
-use pario_disk::{DeviceRef, DiskError, Result};
+use pario_disk::{DeviceRef, DiskError, IoNode, Result, Ticket};
+
+/// Route `device` through an I/O node: reuse an existing executor handle,
+/// or front a plain device with a private worker.
+fn executor(device: DeviceRef) -> DeviceRef {
+    if device.ionode_stats().is_some() {
+        device
+    } else {
+        IoNode::spawn(device).device()
+    }
+}
 
 /// Prefetches a fixed sequence of blocks from one device.
 pub struct ReadAhead {
-    full_rx: Receiver<Result<(u64, Box<[u8]>)>>,
-    empty_tx: Option<Sender<Box<[u8]>>>,
-    io_thread: Option<JoinHandle<()>>,
+    dev: DeviceRef,
+    /// Blocks not yet submitted, in delivery order.
+    blocks: VecDeque<u64>,
+    /// Submitted but not yet delivered, in delivery order.
+    window: VecDeque<(u64, Ticket<Box<[u8]>>)>,
+    /// Idle buffers, each one volume block.
+    free: Mutex<Vec<Box<[u8]>>>,
+    failed: bool,
 }
 
 impl ReadAhead {
@@ -28,68 +47,97 @@ impl ReadAhead {
     pub fn new(device: DeviceRef, blocks: Vec<u64>, nbufs: usize) -> ReadAhead {
         assert!(nbufs >= 1, "need at least one buffer");
         let bs = device.block_size();
-        let (empty_tx, empty_rx) = bounded::<Box<[u8]>>(nbufs);
-        let (full_tx, full_rx) = bounded::<Result<(u64, Box<[u8]>)>>(nbufs);
-        for _ in 0..nbufs {
-            empty_tx.send(vec![0u8; bs].into_boxed_slice()).unwrap();
+        let mut ra = ReadAhead {
+            dev: executor(device),
+            blocks: blocks.into(),
+            window: VecDeque::with_capacity(nbufs),
+            free: Mutex::new(
+                (0..nbufs)
+                    .map(|_| vec![0u8; bs].into_boxed_slice())
+                    .collect(),
+            ),
+            failed: false,
+        };
+        ra.fill();
+        ra
+    }
+
+    /// Submit reads for as many upcoming blocks as there are idle buffers.
+    fn fill(&mut self) {
+        if self.failed {
+            return;
         }
-        let io_thread = std::thread::Builder::new()
-            .name("pario-readahead".into())
-            .spawn(move || {
-                for b in blocks {
-                    // Stop if the consumer hung up.
-                    let Ok(mut buf) = empty_rx.recv() else { return };
-                    let res = device.read_block(b, &mut buf).map(|()| (b, buf));
-                    let failed = res.is_err();
-                    if full_tx.send(res).is_err() || failed {
-                        return;
-                    }
-                }
-            })
-            .expect("spawn read-ahead thread");
-        ReadAhead {
-            full_rx,
-            empty_tx: Some(empty_tx),
-            io_thread: Some(io_thread),
+        let mut free = self.free.lock();
+        while let Some(&b) = self.blocks.front() {
+            let Some(buf) = free.pop() else { break };
+            self.blocks.pop_front();
+            self.window
+                .push_back((b, self.dev.submit_read_blocks(b, buf)));
         }
     }
 
     /// The next prefetched block, in sequence order: `(block, data)`.
     ///
-    /// Returns `None` when the sequence is exhausted. The caller must hand
-    /// the buffer back via [`recycle`](ReadAhead::recycle) (or drop the
-    /// whole pipeline) — the pipeline stalls once all buffers are held.
+    /// Returns `None` when the sequence is exhausted, or after an error has
+    /// been delivered. The caller must hand the buffer back via
+    /// [`recycle`](ReadAhead::recycle) (or drop the whole pipeline) — the
+    /// pipeline stalls once all buffers are held.
     #[allow(clippy::should_implement_trait)] // deliberate: fallible, non-Iterator
     pub fn next(&mut self) -> Option<Result<(u64, Box<[u8]>)>> {
-        self.full_rx.recv().ok()
+        // Top up the window first so the worker stays busy while the
+        // caller computes on the block we are about to deliver.
+        self.fill();
+        let (b, t) = self.window.pop_front()?;
+        match t.wait() {
+            Ok(buf) => Some(Ok((b, buf))),
+            Err(e) => {
+                // Abandon the rest of the sequence; in-flight tickets are
+                // dropped and the worker completes them unobserved.
+                self.failed = true;
+                self.blocks.clear();
+                self.window.clear();
+                Some(Err(e))
+            }
+        }
     }
 
     /// Return a consumed buffer to the prefetcher.
     pub fn recycle(&self, buf: Box<[u8]>) {
-        if let Some(tx) = &self.empty_tx {
-            // Ignore a hung-up I/O thread (sequence finished).
-            let _ = tx.send(buf);
+        self.free.lock().push(buf);
+    }
+}
+
+struct WbState {
+    /// Idle buffers, each one volume block.
+    free: Vec<Box<[u8]>>,
+    /// Submitted writes not yet confirmed, oldest first.
+    inflight: VecDeque<Ticket<Box<[u8]>>>,
+    written: u64,
+    first_err: Option<DiskError>,
+}
+
+impl WbState {
+    fn reap(&mut self, t: Ticket<Box<[u8]>>) -> Option<Box<[u8]>> {
+        match t.wait() {
+            Ok(buf) => {
+                self.written += 1;
+                Some(buf)
+            }
+            Err(e) => {
+                if self.first_err.is_none() {
+                    self.first_err = Some(e);
+                }
+                None
+            }
         }
     }
 }
 
-impl Drop for ReadAhead {
-    fn drop(&mut self) {
-        // Unblock the I/O thread waiting for empty buffers, then join.
-        self.empty_tx.take();
-        if let Some(h) = self.io_thread.take() {
-            // Drain anything in flight so the thread's sends don't block.
-            while self.full_rx.try_recv().is_ok() {}
-            let _ = h.join();
-        }
-    }
-}
-
-/// Defers writes to a dedicated flusher thread.
+/// Defers writes as asynchronous submissions to the device's I/O node.
 pub struct WriteBehind {
-    submit_tx: Option<Sender<(u64, Box<[u8]>)>>,
-    empty_rx: Receiver<Box<[u8]>>,
-    io_thread: Option<JoinHandle<Result<u64>>>,
+    dev: DeviceRef,
+    block_size: usize,
+    state: Mutex<WbState>,
 }
 
 impl WriteBehind {
@@ -97,66 +145,53 @@ impl WriteBehind {
     pub fn new(device: DeviceRef, nbufs: usize) -> WriteBehind {
         assert!(nbufs >= 1, "need at least one buffer");
         let bs = device.block_size();
-        let (empty_tx, empty_rx) = bounded::<Box<[u8]>>(nbufs);
-        let (submit_tx, submit_rx) = bounded::<(u64, Box<[u8]>)>(nbufs);
-        for _ in 0..nbufs {
-            empty_tx.send(vec![0u8; bs].into_boxed_slice()).unwrap();
-        }
-        let io_thread = std::thread::Builder::new()
-            .name("pario-writebehind".into())
-            .spawn(move || -> Result<u64> {
-                let mut written = 0;
-                while let Ok((block, buf)) = submit_rx.recv() {
-                    device.write_block(block, &buf)?;
-                    written += 1;
-                    // Consumer may have hung up; recycling is best-effort.
-                    let _ = empty_tx.send(buf);
-                }
-                Ok(written)
-            })
-            .expect("spawn write-behind thread");
         WriteBehind {
-            submit_tx: Some(submit_tx),
-            empty_rx,
-            io_thread: Some(io_thread),
+            dev: executor(device),
+            block_size: bs,
+            state: Mutex::new(WbState {
+                free: (0..nbufs)
+                    .map(|_| vec![0u8; bs].into_boxed_slice())
+                    .collect(),
+                inflight: VecDeque::with_capacity(nbufs),
+                written: 0,
+                first_err: None,
+            }),
         }
     }
 
-    /// Take an empty buffer to fill (blocks while all buffers are in
-    /// flight — the producer is throttled to the device's pace).
+    /// Take an empty buffer to fill (waits for the oldest in-flight write
+    /// while all buffers are busy — the producer is throttled to the
+    /// device's pace).
     pub fn buffer(&self) -> Box<[u8]> {
-        self.empty_rx
-            .recv()
-            .expect("write-behind thread alive while handle held")
+        let mut st = self.state.lock();
+        if let Some(buf) = st.free.pop() {
+            return buf;
+        }
+        let t = st
+            .inflight
+            .pop_front()
+            .expect("no idle buffers and nothing in flight — submit before requesting another");
+        // A failed write surrenders its buffer to the error path; mint a
+        // replacement so the ring keeps its size.
+        st.reap(t)
+            .unwrap_or_else(|| vec![0u8; self.block_size].into_boxed_slice())
     }
 
     /// Queue `buf` for writing at `block`.
     pub fn submit(&self, block: u64, buf: Box<[u8]>) {
-        self.submit_tx
-            .as_ref()
-            .expect("not finished")
-            .send((block, buf))
-            .expect("write-behind thread alive while handle held");
+        let t = self.dev.submit_write_blocks(block, buf);
+        self.state.lock().inflight.push_back(t);
     }
 
     /// Wait for all deferred writes to hit the device; returns the count.
     pub fn finish(mut self) -> Result<u64> {
-        self.submit_tx.take();
-        // Unblock the flusher's buffer recycling before joining.
-        while self.empty_rx.try_recv().is_ok() {}
-        let handle = self.io_thread.take().expect("finish called once");
-        handle
-            .join()
-            .map_err(|_| DiskError::Io("write-behind thread panicked".into()))?
-    }
-}
-
-impl Drop for WriteBehind {
-    fn drop(&mut self) {
-        self.submit_tx.take();
-        if let Some(h) = self.io_thread.take() {
-            while self.empty_rx.try_recv().is_ok() {}
-            let _ = h.join();
+        let st = self.state.get_mut();
+        while let Some(t) = st.inflight.pop_front() {
+            st.reap(t);
+        }
+        match st.first_err.take() {
+            Some(e) => Err(e),
+            None => Ok(st.written),
         }
     }
 }
@@ -201,7 +236,7 @@ mod tests {
         let mut ra = ReadAhead::new(devs[0].clone(), (0..64).collect(), 2);
         let (_, buf) = ra.next().unwrap().unwrap();
         ra.recycle(buf);
-        drop(ra); // must join cleanly with 62 blocks unread
+        drop(ra); // the worker completes in-flight reads unobserved
     }
 
     #[test]
@@ -232,12 +267,26 @@ mod tests {
     }
 
     #[test]
+    fn writebehind_throttles_but_keeps_ring_size_after_error() {
+        // Every write fails; the producer must still be able to obtain a
+        // buffer per iteration, and finish reports the first error.
+        let mem = Arc::new(MemDisk::new(8, 32));
+        mem.fail();
+        let wb = WriteBehind::new(mem.clone() as DeviceRef, 2);
+        for b in 0..6u64 {
+            let buf = wb.buffer();
+            wb.submit(b, buf);
+        }
+        assert!(wb.finish().is_err());
+    }
+
+    #[test]
     fn double_buffering_overlaps_io_with_compute() {
-        // Device service 2ms/block (slept — the I/O thread yields, as a
+        // Device service 2ms/block (slept — the I/O worker yields, as a
         // thread blocked on a real device would), compute 2ms/block
         // (spun), 12 blocks. Single buffering serialises (~48ms); double
         // buffering overlaps (~26ms). Works even on one core because the
-        // sleeping I/O thread does not occupy the CPU.
+        // sleeping I/O worker does not occupy the CPU.
         let compute = Duration::from_millis(2);
         let run = |nbufs: usize| {
             let dev =

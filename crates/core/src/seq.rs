@@ -46,7 +46,9 @@ impl StripedReader {
         let pipelines = per_slot
             .into_iter()
             .enumerate()
-            .map(|(slot, blocks)| ReadAhead::new(vol.device(meta.device_map[slot]), blocks, nbufs))
+            .map(|(slot, blocks)| {
+                ReadAhead::new(vol.io_device(meta.device_map[slot]), blocks, nbufs)
+            })
             .collect();
         Ok(StripedReader {
             pipelines,
@@ -124,7 +126,7 @@ impl StripedWriter {
         let meta = raw.meta_snapshot();
         let vol = raw.volume();
         let pipelines = (0..raw.layout().devices())
-            .map(|slot| WriteBehind::new(vol.device(meta.device_map[slot]), nbufs))
+            .map(|slot| WriteBehind::new(vol.io_device(meta.device_map[slot]), nbufs))
             .collect();
         Ok(StripedWriter {
             cap_blocks: raw.nblocks(),

@@ -97,6 +97,32 @@ pub trait BlockDevice: Send + Sync {
         Ok(())
     }
 
+    /// Submit an asynchronous read of `buf.len() / block_size` blocks at
+    /// `block`, returning a [`Ticket`](crate::Ticket) that yields the
+    /// filled buffer on [`wait`](crate::Ticket::wait).
+    ///
+    /// The default services the request inline and returns a completed
+    /// ticket, so every device supports the submission API; handles that
+    /// route through a dedicated I/O processor
+    /// ([`IoNode`](crate::IoNode)) override it with true queued
+    /// submission — that is what lets span I/O enqueue every per-device
+    /// run before blocking on any of them.
+    fn submit_read_blocks(&self, block: u64, mut buf: Box<[u8]>) -> crate::Ticket<Box<[u8]>> {
+        let res = self.read_blocks_at(block, &mut buf).map(|()| buf);
+        crate::Ticket::ready(res)
+    }
+
+    /// Submit an asynchronous write of `data` (a whole number of blocks)
+    /// at `block`. The ticket yields the buffer back on success so
+    /// callers can recycle it.
+    ///
+    /// Default is inline-synchronous; see
+    /// [`submit_read_blocks`](BlockDevice::submit_read_blocks).
+    fn submit_write_blocks(&self, block: u64, data: Box<[u8]>) -> crate::Ticket<Box<[u8]>> {
+        let res = self.write_blocks_at(block, &data).map(|()| data);
+        crate::Ticket::ready(res)
+    }
+
     /// Durably flush any device write-behind (no-op for RAM devices).
     fn flush(&self) -> Result<()> {
         Ok(())

@@ -1,14 +1,34 @@
-//! Dedicated I/O processors.
+//! Dedicated I/O processors with asynchronous submission.
 //!
 //! The paper's §4 prescribes "multiple buffering and dedicated I/O
 //! processors" — in a 1989 multiprocessor, processors set aside to do
 //! nothing but move data between compute nodes and drives. [`IoNode`] is
 //! that component: it owns one device, services requests from a queue on
-//! its own thread, and reports queue statistics. [`IoNode::device`]
-//! yields a [`BlockDevice`] handle that transparently routes through the
-//! node, so an entire volume can be put behind I/O processors without
-//! any layer above noticing.
+//! its own persistent worker thread, and reports queue statistics.
+//! [`IoNode::device`] yields a [`BlockDevice`] handle that transparently
+//! routes through the node, so an entire volume can be put behind I/O
+//! processors without any layer above noticing.
+//!
+//! Two things make the node an *executor* rather than a proxy:
+//!
+//! * **Asynchronous submission.** [`BlockDevice::submit_read_blocks`] /
+//!   [`BlockDevice::submit_write_blocks`] on a node handle enqueue the
+//!   transfer and return a [`Ticket`] immediately; the caller collects
+//!   the result with [`Ticket::wait`]. Span I/O submits every per-device
+//!   run up front and blocks only on completion — no thread is ever
+//!   spawned per request.
+//! * **Scheduled dispatch.** The worker drains its channel into a pending
+//!   set and picks the next request with a [`Scheduler`]
+//!   ([`SchedPolicy`]: FIFO / SSTF / SCAN / C-SCAN), mapping block
+//!   addresses onto cylinders with [`block_cylinder`]. Concurrent
+//!   sessions sharing a device get seek-aware reordering for free.
+//!
+//! Reordering is safe because every completion is individually awaited:
+//! a caller that must order two transfers orders them by waiting the
+//! first ticket before submitting the second, and callers on different
+//! threads never had an ordering guarantee to lose.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -17,36 +37,85 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use crate::device::{BlockDevice, DeviceRef, IoCounters};
 use crate::error::{DiskError, Result};
+use crate::sched::{block_cylinder, SchedPolicy, Scheduler};
 
-/// A request plus the instant it entered the queue, so the worker can
-/// attribute elapsed time to queueing vs. device service.
+/// A pending asynchronous I/O completion.
+///
+/// Returned by [`BlockDevice::submit_read_blocks`] and
+/// [`BlockDevice::submit_write_blocks`]. Dropping a ticket abandons the
+/// result but not the operation: a transfer already queued on an
+/// [`IoNode`] still executes.
+#[must_use = "a ticket does nothing until waited on"]
+pub struct Ticket<T> {
+    inner: TicketInner<T>,
+}
+
+enum TicketInner<T> {
+    Ready(Result<T>),
+    Pending(Receiver<Result<T>>),
+}
+
+impl<T> Ticket<T> {
+    /// A ticket that is already complete — what synchronous devices
+    /// return from the submit API.
+    pub fn ready(res: Result<T>) -> Ticket<T> {
+        Ticket {
+            inner: TicketInner::Ready(res),
+        }
+    }
+
+    fn pending(rx: Receiver<Result<T>>) -> Ticket<T> {
+        Ticket {
+            inner: TicketInner::Pending(rx),
+        }
+    }
+
+    /// Block until the operation completes and take its result.
+    pub fn wait(self) -> Result<T> {
+        match self.inner {
+            TicketInner::Ready(res) => res,
+            TicketInner::Pending(rx) => rx
+                .recv()
+                .map_err(|_| DiskError::Io("I/O node dropped request".into()))?,
+        }
+    }
+}
+
+/// A request plus its arrival order and the instant it entered the
+/// queue, so the worker can schedule deterministically and attribute
+/// elapsed time to queueing vs. device service.
 struct Queued {
     enqueued: Instant,
+    tag: u64,
     req: Request,
 }
 
+impl Queued {
+    /// The cylinder the disk arm must reach to start this request.
+    /// Flushes have no position; they are serviced at the current head.
+    fn cylinder(&self, head: u32, num_blocks: u64) -> u32 {
+        match &self.req {
+            Request::Read { block, .. } | Request::Write { block, .. } => {
+                block_cylinder(*block, num_blocks)
+            }
+            Request::Flush { .. } => head,
+        }
+    }
+}
+
+/// Every transfer is vectored: single-block operations are one-block
+/// spans (the wrapped device's vectored path charges them identically).
+/// Replies carry the buffer back so callers can reuse it.
 enum Request {
     Read {
         block: u64,
+        buf: Box<[u8]>,
         reply: Sender<Result<Box<[u8]>>>,
     },
     Write {
         block: u64,
         data: Box<[u8]>,
-        reply: Sender<Result<()>>,
-    },
-    /// A vectored read of `nblocks` consecutive blocks — one queue entry,
-    /// one unit of service, however long the run is.
-    ReadSpan {
-        block: u64,
-        nblocks: u64,
         reply: Sender<Result<Box<[u8]>>>,
-    },
-    /// A vectored write of `data.len() / block_size` consecutive blocks.
-    WriteSpan {
-        block: u64,
-        data: Box<[u8]>,
-        reply: Sender<Result<()>>,
     },
     Flush {
         reply: Sender<Result<()>>,
@@ -55,16 +124,18 @@ enum Request {
 
 /// Stats and geometry shared between the node, its worker thread, and
 /// every device handle. Deliberately does NOT hold the request sender:
-/// the channel closes (and the worker exits) when the node and all
-/// handles are gone.
+/// the channel closes (and the worker exits, after draining everything
+/// already queued) when the node and all handles are gone.
 struct Shared {
     in_flight: AtomicU64,
     max_in_flight: AtomicU64,
     serviced: AtomicU64,
     queue_wait_nanos: AtomicU64,
     service_nanos: AtomicU64,
+    next_tag: AtomicU64,
     block_size: usize,
     num_blocks: u64,
+    policy: SchedPolicy,
     label: String,
 }
 
@@ -83,7 +154,8 @@ impl Shared {
 /// A dedicated I/O processor serving one device.
 ///
 /// The worker thread runs until the node and every handle from
-/// [`IoNode::device`] have been dropped.
+/// [`IoNode::device`] have been dropped, then drains whatever is still
+/// queued before exiting — shutdown never abandons an accepted request.
 pub struct IoNode {
     shared: Arc<Shared>,
     queue_tx: Sender<Queued>,
@@ -118,8 +190,16 @@ impl IoNodeStats {
 }
 
 impl IoNode {
-    /// Spawn an I/O processor thread owning `inner`.
+    /// Spawn an I/O processor thread owning `inner`, dispatching its
+    /// queue in arrival order.
     pub fn spawn(inner: DeviceRef) -> IoNode {
+        IoNode::spawn_with_policy(inner, SchedPolicy::Fifo)
+    }
+
+    /// Spawn an I/O processor thread owning `inner`, dispatching its
+    /// queue per `policy` (SSTF and the elevator policies reorder a
+    /// backlog to cut arm travel; see [`Scheduler`]).
+    pub fn spawn_with_policy(inner: DeviceRef, policy: SchedPolicy) -> IoNode {
         let (queue_tx, queue_rx): (Sender<Queued>, Receiver<Queued>) = unbounded();
         let shared = Arc::new(Shared {
             in_flight: AtomicU64::new(0),
@@ -127,63 +207,16 @@ impl IoNode {
             serviced: AtomicU64::new(0),
             queue_wait_nanos: AtomicU64::new(0),
             service_nanos: AtomicU64::new(0),
+            next_tag: AtomicU64::new(0),
             block_size: inner.block_size(),
             num_blocks: inner.num_blocks(),
+            policy,
             label: format!("ionode({})", inner.label()),
         });
         let worker_shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("pario-ionode".into())
-            .spawn(move || {
-                let bs = inner.block_size();
-                // Stats are settled BEFORE the reply is sent, so a client
-                // that observes its request complete also observes it
-                // counted.
-                let complete = |shared: &Shared, wait: u64, service: u64| {
-                    shared.serviced.fetch_add(1, Ordering::Relaxed);
-                    shared.queue_wait_nanos.fetch_add(wait, Ordering::Relaxed);
-                    shared.service_nanos.fetch_add(service, Ordering::Relaxed);
-                    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-                };
-                // Ends when every Sender (node + device handles) is gone.
-                while let Ok(Queued { enqueued, req }) = queue_rx.recv() {
-                    let started = Instant::now();
-                    let wait = (started - enqueued).as_nanos() as u64;
-                    match req {
-                        Request::Read { block, reply } => {
-                            let mut buf = vec![0u8; bs].into_boxed_slice();
-                            let res = inner.read_block(block, &mut buf).map(|()| buf);
-                            complete(&worker_shared, wait, started.elapsed().as_nanos() as u64);
-                            let _ = reply.send(res);
-                        }
-                        Request::Write { block, data, reply } => {
-                            let res = inner.write_block(block, &data);
-                            complete(&worker_shared, wait, started.elapsed().as_nanos() as u64);
-                            let _ = reply.send(res);
-                        }
-                        Request::ReadSpan {
-                            block,
-                            nblocks,
-                            reply,
-                        } => {
-                            let mut buf = vec![0u8; nblocks as usize * bs].into_boxed_slice();
-                            let res = inner.read_blocks_at(block, &mut buf).map(|()| buf);
-                            complete(&worker_shared, wait, started.elapsed().as_nanos() as u64);
-                            let _ = reply.send(res);
-                        }
-                        Request::WriteSpan { block, data, reply } => {
-                            let res = inner.write_blocks_at(block, &data);
-                            complete(&worker_shared, wait, started.elapsed().as_nanos() as u64);
-                            let _ = reply.send(res);
-                        }
-                        Request::Flush { reply } => {
-                            let res = inner.flush();
-                            complete(&worker_shared, wait, started.elapsed().as_nanos() as u64);
-                            let _ = reply.send(res);
-                        }
-                    }
-                }
-            })
+            .spawn(move || worker(inner, policy, &worker_shared, &queue_rx))
             .expect("spawn I/O node thread");
         IoNode { shared, queue_tx }
     }
@@ -191,7 +224,19 @@ impl IoNode {
     /// Wrap a whole device bank: one I/O processor per device. Returns
     /// the nodes (for statistics) and the transparent device handles.
     pub fn spawn_bank(devices: Vec<DeviceRef>) -> (Vec<IoNode>, Vec<DeviceRef>) {
-        let nodes: Vec<IoNode> = devices.into_iter().map(IoNode::spawn).collect();
+        IoNode::spawn_bank_with_policy(devices, SchedPolicy::Fifo)
+    }
+
+    /// [`IoNode::spawn_bank`] with a dispatch policy shared by every
+    /// worker.
+    pub fn spawn_bank_with_policy(
+        devices: Vec<DeviceRef>,
+        policy: SchedPolicy,
+    ) -> (Vec<IoNode>, Vec<DeviceRef>) {
+        let nodes: Vec<IoNode> = devices
+            .into_iter()
+            .map(|d| IoNode::spawn_with_policy(d, policy))
+            .collect();
         let handles = nodes.iter().map(|n| n.device()).collect();
         (nodes, handles)
     }
@@ -204,10 +249,99 @@ impl IoNode {
         })
     }
 
+    /// The dispatch policy the worker runs.
+    pub fn policy(&self) -> SchedPolicy {
+        self.shared.policy
+    }
+
     /// Current queue statistics.
     pub fn stats(&self) -> IoNodeStats {
         self.shared.snapshot()
     }
+}
+
+/// The worker loop: block for one request, opportunistically drain the
+/// rest of the channel into a pending set, and service the set in
+/// scheduler order until node and handles are gone AND the set is empty.
+fn worker(inner: DeviceRef, policy: SchedPolicy, shared: &Shared, queue_rx: &Receiver<Queued>) {
+    let num_blocks = inner.num_blocks();
+    let mut sched = Scheduler::new(policy);
+    let mut head: u32 = 0;
+    let mut pending: Vec<Queued> = Vec::new();
+    // Stats are settled BEFORE the reply is sent, so a client that
+    // observes its request complete also observes it counted.
+    let complete = |wait: u64, service: u64| {
+        shared.serviced.fetch_add(1, Ordering::Relaxed);
+        shared.queue_wait_nanos.fetch_add(wait, Ordering::Relaxed);
+        shared.service_nanos.fetch_add(service, Ordering::Relaxed);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    };
+    loop {
+        if pending.is_empty() {
+            // recv() keeps yielding queued requests after every sender is
+            // gone, so shutdown naturally drains the backlog.
+            match queue_rx.recv() {
+                Ok(q) => pending.push(q),
+                Err(_) => return,
+            }
+        }
+        while let Ok(q) = queue_rx.try_recv() {
+            pending.push(q);
+        }
+        let keyed: Vec<(u32, u64)> = pending
+            .iter()
+            .map(|q| (q.cylinder(head, num_blocks), q.tag))
+            .collect();
+        let idx = sched.pick(&keyed, head).expect("pending set is non-empty");
+        let Queued { enqueued, req, .. } = pending.swap_remove(idx);
+        let started = Instant::now();
+        let wait = (started - enqueued).as_nanos() as u64;
+        // A panicking device op fails its ticket, not the node: the
+        // worker reports the panic as an I/O error and keeps serving.
+        let panicked = || DiskError::Io(format!("device operation panicked in {}", shared.label));
+        match req {
+            Request::Read {
+                block,
+                mut buf,
+                reply,
+            } => {
+                head = end_cylinder(block, buf.len() / shared.block_size, num_blocks);
+                let res = match catch_unwind(AssertUnwindSafe(|| {
+                    inner.read_blocks_at(block, &mut buf)
+                })) {
+                    Ok(Ok(())) => Ok(buf),
+                    Ok(Err(e)) => Err(e),
+                    Err(_) => Err(panicked()),
+                };
+                complete(wait, started.elapsed().as_nanos() as u64);
+                let _ = reply.send(res);
+            }
+            Request::Write { block, data, reply } => {
+                head = end_cylinder(block, data.len() / shared.block_size, num_blocks);
+                let res =
+                    match catch_unwind(AssertUnwindSafe(|| inner.write_blocks_at(block, &data))) {
+                        Ok(Ok(())) => Ok(data),
+                        Ok(Err(e)) => Err(e),
+                        Err(_) => Err(panicked()),
+                    };
+                complete(wait, started.elapsed().as_nanos() as u64);
+                let _ = reply.send(res);
+            }
+            Request::Flush { reply } => {
+                let res = match catch_unwind(AssertUnwindSafe(|| inner.flush())) {
+                    Ok(r) => r,
+                    Err(_) => Err(panicked()),
+                };
+                complete(wait, started.elapsed().as_nanos() as u64);
+                let _ = reply.send(res);
+            }
+        }
+    }
+}
+
+/// Cylinder of the last block of a transfer — where the arm rests after.
+fn end_cylinder(block: u64, nblocks: usize, num_blocks: u64) -> u32 {
+    block_cylinder(block + (nblocks as u64).saturating_sub(1), num_blocks)
 }
 
 struct IoNodeDevice {
@@ -224,12 +358,21 @@ impl IoNodeDevice {
         self.queue_tx
             .send(Queued {
                 enqueued: Instant::now(),
+                tag: self.shared.next_tag.fetch_add(1, Ordering::Relaxed),
                 req,
             })
             .map_err(|_| {
                 self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                 DiskError::Io("I/O node stopped".into())
             })
+    }
+
+    fn whole_blocks(&self, len: usize) {
+        assert_eq!(
+            len % self.shared.block_size,
+            0,
+            "buffer must be a whole number of blocks"
+        );
     }
 }
 
@@ -243,66 +386,74 @@ impl BlockDevice for IoNodeDevice {
     }
 
     fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
-        let (tx, rx) = bounded(1);
-        self.enqueue(Request::Read { block, reply: tx })?;
-        let data = rx
-            .recv()
-            .map_err(|_| DiskError::Io("I/O node dropped request".into()))??;
+        let data = self
+            .submit_read_blocks(block, vec![0u8; self.shared.block_size].into_boxed_slice())
+            .wait()?;
         buf.copy_from_slice(&data);
         Ok(())
     }
 
     fn write_block(&self, block: u64, data: &[u8]) -> Result<()> {
-        let (tx, rx) = bounded(1);
-        self.enqueue(Request::Write {
-            block,
-            data: data.to_vec().into_boxed_slice(),
-            reply: tx,
-        })?;
-        rx.recv()
-            .map_err(|_| DiskError::Io("I/O node dropped request".into()))?
+        self.submit_write_blocks(block, data.to_vec().into_boxed_slice())
+            .wait()
+            .map(|_| ())
     }
 
     /// One queued request for the whole run, serviced by the wrapped
     /// device's own vectored path.
     fn read_blocks_at(&self, block: u64, buf: &mut [u8]) -> Result<()> {
-        let bs = self.shared.block_size;
-        assert_eq!(buf.len() % bs, 0, "buffer must be a whole number of blocks");
         if buf.is_empty() {
             return Ok(());
         }
-        let (tx, rx) = bounded(1);
-        self.enqueue(Request::ReadSpan {
-            block,
-            nblocks: (buf.len() / bs) as u64,
-            reply: tx,
-        })?;
-        let data = rx
-            .recv()
-            .map_err(|_| DiskError::Io("I/O node dropped request".into()))??;
+        let data = self
+            .submit_read_blocks(block, vec![0u8; buf.len()].into_boxed_slice())
+            .wait()?;
         buf.copy_from_slice(&data);
         Ok(())
     }
 
     /// One queued request for the whole run.
     fn write_blocks_at(&self, block: u64, data: &[u8]) -> Result<()> {
-        let bs = self.shared.block_size;
-        assert_eq!(
-            data.len() % bs,
-            0,
-            "buffer must be a whole number of blocks"
-        );
         if data.is_empty() {
             return Ok(());
         }
+        self.submit_write_blocks(block, data.to_vec().into_boxed_slice())
+            .wait()
+            .map(|_| ())
+    }
+
+    /// True asynchronous submission: the request is queued and the
+    /// ticket completes when the worker services it.
+    fn submit_read_blocks(&self, block: u64, buf: Box<[u8]>) -> Ticket<Box<[u8]>> {
+        self.whole_blocks(buf.len());
+        if buf.is_empty() {
+            return Ticket::ready(Ok(buf));
+        }
         let (tx, rx) = bounded(1);
-        self.enqueue(Request::WriteSpan {
+        match self.enqueue(Request::Read {
             block,
-            data: data.to_vec().into_boxed_slice(),
+            buf,
             reply: tx,
-        })?;
-        rx.recv()
-            .map_err(|_| DiskError::Io("I/O node dropped request".into()))?
+        }) {
+            Ok(()) => Ticket::pending(rx),
+            Err(e) => Ticket::ready(Err(e)),
+        }
+    }
+
+    fn submit_write_blocks(&self, block: u64, data: Box<[u8]>) -> Ticket<Box<[u8]>> {
+        self.whole_blocks(data.len());
+        if data.is_empty() {
+            return Ticket::ready(Ok(data));
+        }
+        let (tx, rx) = bounded(1);
+        match self.enqueue(Request::Write {
+            block,
+            data,
+            reply: tx,
+        }) {
+            Ok(()) => Ticket::pending(rx),
+            Err(e) => Ticket::ready(Err(e)),
+        }
     }
 
     fn flush(&self) -> Result<()> {
@@ -356,6 +507,7 @@ mod tests {
         assert_eq!(s.serviced, 3);
         assert_eq!(s.in_flight, 0);
         assert!(dev.label().starts_with("ionode("));
+        assert_eq!(node.policy(), SchedPolicy::Fifo);
     }
 
     #[test]
@@ -383,6 +535,104 @@ mod tests {
     }
 
     #[test]
+    fn submitted_tickets_complete_out_of_band() {
+        let node = IoNode::spawn(Arc::new(MemDisk::new(32, 64)));
+        let dev = node.device();
+        // Submit a batch of writes before waiting on any of them.
+        let tickets: Vec<Ticket<Box<[u8]>>> = (0..8u64)
+            .map(|b| dev.submit_write_blocks(b, vec![b as u8 + 1; 64].into_boxed_slice()))
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        // Reads the same way; buffers come back filled.
+        let tickets: Vec<(u64, Ticket<Box<[u8]>>)> = (0..8u64)
+            .map(|b| {
+                (
+                    b,
+                    dev.submit_read_blocks(b, vec![0u8; 64].into_boxed_slice()),
+                )
+            })
+            .collect();
+        for (b, t) in tickets {
+            let buf = t.wait().unwrap();
+            assert!(buf.iter().all(|&x| x == b as u8 + 1), "block {b}");
+        }
+        assert_eq!(node.stats().serviced, 16);
+        assert_eq!(node.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_tickets() {
+        // Drop the node and every handle while writes are still queued:
+        // the worker must drain and complete them all, not abandon them.
+        use std::time::Duration;
+        let mem = Arc::new(MemDisk::new(64, 64).with_delay(Duration::from_micros(100)));
+        let node = IoNode::spawn(Arc::clone(&mem) as DeviceRef);
+        let dev = node.device();
+        let tickets: Vec<Ticket<Box<[u8]>>> = (0..32u64)
+            .map(|b| dev.submit_write_blocks(b, vec![b as u8; 64].into_boxed_slice()))
+            .collect();
+        drop(dev);
+        drop(node); // all senders gone; the backlog must still be served
+        for (b, t) in tickets.into_iter().enumerate() {
+            t.wait().unwrap_or_else(|e| panic!("ticket {b}: {e}"));
+        }
+        let mut buf = vec![0u8; 64];
+        for b in 0..32u64 {
+            mem.read_block(b, &mut buf).unwrap();
+            assert!(buf.iter().all(|&x| x == b as u8), "block {b}");
+        }
+    }
+
+    #[test]
+    fn panicking_device_op_fails_its_ticket_not_the_node() {
+        /// A device that panics on a chosen block.
+        struct Landmine(MemDisk, u64);
+        impl BlockDevice for Landmine {
+            fn block_size(&self) -> usize {
+                self.0.block_size()
+            }
+            fn num_blocks(&self) -> u64 {
+                self.0.num_blocks()
+            }
+            fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+                assert!(block != self.1, "landmine");
+                self.0.read_block(block, buf)
+            }
+            fn write_block(&self, block: u64, data: &[u8]) -> Result<()> {
+                self.0.write_block(block, data)
+            }
+            fn counters(&self) -> IoCounters {
+                self.0.counters()
+            }
+            fn fail(&self) {
+                self.0.fail()
+            }
+            fn heal(&self) {
+                self.0.heal()
+            }
+            fn is_failed(&self) -> bool {
+                self.0.is_failed()
+            }
+        }
+        let node = IoNode::spawn(Arc::new(Landmine(MemDisk::new(16, 64), 5)));
+        let dev = node.device();
+        dev.write_block(5, &[1u8; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        let err = dev.read_block(5, &mut buf).unwrap_err();
+        assert!(
+            matches!(&err, DiskError::Io(m) if m.contains("panicked")),
+            "unexpected error: {err}"
+        );
+        // The worker survived the panic and keeps serving.
+        dev.write_block(6, &[2u8; 64]).unwrap();
+        dev.read_block(6, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 2));
+        assert_eq!(node.stats().in_flight, 0);
+    }
+
+    #[test]
     fn concurrent_clients_share_the_node() {
         let node = IoNode::spawn(Arc::new(MemDisk::new(64, 64)));
         crossbeam::thread::scope(|s| {
@@ -407,6 +657,36 @@ mod tests {
         }
         assert_eq!(node.stats().serviced, 128);
         assert!(node.stats().max_in_flight >= 1);
+    }
+
+    #[test]
+    fn sstf_node_round_trips_under_load() {
+        // Correctness is order-independent: a seek-optimising node must
+        // still complete every submitted request exactly once.
+        let node = IoNode::spawn_with_policy(Arc::new(MemDisk::new(256, 64)), SchedPolicy::Sstf);
+        assert_eq!(node.policy(), SchedPolicy::Sstf);
+        let dev = node.device();
+        let blocks: Vec<u64> = (0..64u64).map(|i| (i * 97) % 256).collect();
+        let writes: Vec<Ticket<Box<[u8]>>> = blocks
+            .iter()
+            .map(|&b| dev.submit_write_blocks(b, vec![b as u8; 64].into_boxed_slice()))
+            .collect();
+        for t in writes {
+            t.wait().unwrap();
+        }
+        let reads: Vec<(u64, Ticket<Box<[u8]>>)> = blocks
+            .iter()
+            .map(|&b| {
+                (
+                    b,
+                    dev.submit_read_blocks(b, vec![0u8; 64].into_boxed_slice()),
+                )
+            })
+            .collect();
+        for (b, t) in reads {
+            assert!(t.wait().unwrap().iter().all(|&x| x == b as u8));
+        }
+        assert_eq!(node.stats().serviced, 128);
     }
 
     #[test]

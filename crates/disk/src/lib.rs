@@ -42,10 +42,10 @@ pub use device::{read_blocks, write_blocks, BlockDevice, DeviceRef, IoCounters};
 pub use error::{DiskError, Result};
 pub use file::FileDisk;
 pub use geometry::DiskGeometry;
-pub use ionode::{IoNode, IoNodeStats};
+pub use ionode::{IoNode, IoNodeStats, Ticket};
 pub use mem::MemDisk;
 pub use modeled::ModeledDisk;
-pub use sched::{SchedPolicy, Scheduler};
+pub use sched::{block_cylinder, SchedPolicy, Scheduler, CYLINDERS};
 
 use std::sync::Arc;
 

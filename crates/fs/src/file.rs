@@ -13,18 +13,13 @@
 
 use std::sync::Arc;
 
-use pario_disk::{DeviceRef, DiskError};
+use pario_disk::{DeviceRef, DiskError, Ticket};
 use pario_layout::{runs, Layout, LayoutSpec, ParityPlacement, ParityStriped, PhysBlock, Run};
 
 use crate::alloc::resolve;
 use crate::error::{FsError, Result};
 use crate::meta::FileMeta;
 use crate::volume::{FileState, Volume};
-
-/// Spans whose aligned whole-block core covers at least this many blocks
-/// fan their per-device runs out across scoped threads; below it the
-/// spawn cost would dominate the transfer.
-const PARALLEL_SPAN_MIN_BLOCKS: u64 = 8;
 
 /// How the file's layout protects (or doesn't) against device failure.
 #[derive(Clone, Debug)]
@@ -52,7 +47,9 @@ pub struct RawFile {
     records_per_block: usize,
     name: String,
     id: u64,
-    /// Whether big unredundant spans may fan out across device threads.
+    /// Whether span transfers submit to the volume's I/O executor
+    /// asynchronously (`true`) or wait out each request at submission
+    /// (`false`, the serial reference path for experiments).
     span_parallel: bool,
 }
 
@@ -142,9 +139,11 @@ impl RawFile {
         })
     }
 
-    /// Disable (or re-enable) the per-device thread fan-out on this
-    /// handle, keeping span coalescing. For experiments that isolate
-    /// request-count savings from parallelism.
+    /// Disable (or re-enable) asynchronous submission on this handle,
+    /// keeping span coalescing: with it off, every executor request is
+    /// waited out before the next is submitted, so devices are serviced
+    /// one at a time. For experiments that isolate request-count savings
+    /// from parallelism, and as the reference path in equivalence tests.
     pub fn with_span_parallel(mut self, on: bool) -> RawFile {
         self.span_parallel = on;
         self
@@ -272,7 +271,7 @@ impl RawFile {
         let meta = self.state.meta.read();
         let dev = meta.device_map[p.device];
         let abs = resolve(&meta.extents[p.device], p.block);
-        (self.vol.device(dev), abs)
+        (self.vol.io_device(dev), abs)
     }
 
     fn try_read_phys(&self, p: PhysBlock, buf: &mut [u8]) -> Result<()> {
@@ -478,10 +477,11 @@ impl RawFile {
 
     /// Split the device-local range `[dblock, dblock + count)` of layout
     /// slot `slot` at extent boundaries, resolving each piece to an
-    /// absolute block on the backing device.
+    /// absolute block on the device's I/O-executor handle (so segment
+    /// transfers can be submitted asynchronously).
     fn run_segments(&self, slot: usize, dblock: u64, count: u64) -> Vec<(DeviceRef, u64, u64)> {
         let meta = self.state.meta.read();
-        let dev = self.vol.device(meta.device_map[slot]);
+        let dev = self.vol.io_device(meta.device_map[slot]);
         let mut out = Vec::new();
         let mut local = dblock;
         let mut remaining = count;
@@ -502,123 +502,133 @@ impl RawFile {
         out
     }
 
-    /// One vectored device request per extent segment of the run rooted
-    /// at (`slot`, `dblock`). No redundancy handling.
-    fn read_run_direct(&self, slot: usize, dblock: u64, out: &mut [u8]) -> Result<()> {
+    /// Submit the read of one merged run to the I/O executor: one ticket
+    /// per extent segment, all enqueued before returning. With
+    /// `span_parallel` off, each request is waited out at submission —
+    /// the serial reference path.
+    fn submit_read_run(&self, slot: usize, dblock: u64, count: u64) -> Vec<Ticket<Box<[u8]>>> {
         let bs = self.block_size();
+        let segs = self.run_segments(slot, dblock, count);
+        let mut out = Vec::with_capacity(segs.len());
+        for (dev, abs, n) in segs {
+            let t = dev.submit_read_blocks(abs, vec![0u8; n as usize * bs].into_boxed_slice());
+            out.push(if self.span_parallel {
+                t
+            } else {
+                Ticket::ready(t.wait())
+            });
+        }
+        out
+    }
+
+    /// Submit the write of one merged run (`data` is the run's gathered
+    /// bytes), one ticket per extent segment. Serial when
+    /// `span_parallel` is off, as in [`RawFile::submit_read_run`].
+    fn submit_write_run(&self, slot: usize, dblock: u64, data: Vec<u8>) -> Vec<Ticket<Box<[u8]>>> {
+        let bs = self.block_size();
+        let segs = self.run_segments(slot, dblock, (data.len() / bs) as u64);
+        let mut out = Vec::with_capacity(segs.len());
+        let mut segs = segs.into_iter();
         let mut pos = 0usize;
-        for (dev, abs, count) in self.run_segments(slot, dblock, (out.len() / bs) as u64) {
-            let bytes = count as usize * bs;
-            dev.read_blocks_at(abs, &mut out[pos..pos + bytes])?;
+        // The common case is one segment per run (extents merge at grow
+        // time); hand the gathered buffer over without another copy.
+        if segs.len() == 1 {
+            let (dev, abs, _) = segs.next().unwrap();
+            let t = dev.submit_write_blocks(abs, data.into_boxed_slice());
+            out.push(if self.span_parallel {
+                t
+            } else {
+                Ticket::ready(t.wait())
+            });
+            return out;
+        }
+        for (dev, abs, n) in segs {
+            let bytes = n as usize * bs;
+            let t =
+                dev.submit_write_blocks(abs, data[pos..pos + bytes].to_vec().into_boxed_slice());
             pos += bytes;
+            out.push(if self.span_parallel {
+                t
+            } else {
+                Ticket::ready(t.wait())
+            });
         }
-        Ok(())
+        out
     }
 
-    /// Vectored write counterpart of [`RawFile::read_run_direct`].
-    fn write_run_direct(&self, slot: usize, dblock: u64, data: &[u8]) -> Result<()> {
-        let bs = self.block_size();
-        let mut pos = 0usize;
-        for (dev, abs, count) in self.run_segments(slot, dblock, (data.len() / bs) as u64) {
-            let bytes = count as usize * bs;
-            dev.write_blocks_at(abs, &data[pos..pos + bytes])?;
-            pos += bytes;
-        }
-        Ok(())
-    }
-
-    /// Read one coalesced run. On device failure or detected corruption
-    /// the whole run falls over: shadowed files retry the mirror run
-    /// vectored; anything still failing (parity reconstruction, a
-    /// half-dead mirror pair) degrades to per-block [`RawFile::read_lblock`].
-    fn read_run(&self, run: Run, out: &mut [u8]) -> Result<()> {
-        match self.read_run_direct(run.device, run.dblock, out) {
-            Err(FsError::Disk(DiskError::DeviceFailed { .. } | DiskError::Corruption { .. })) => {
-                if let Redundancy::Shadow { primaries } = &self.redundancy {
-                    if self
-                        .read_run_direct(run.device + primaries, run.dblock, out)
-                        .is_ok()
-                    {
-                        return Ok(());
-                    }
+    /// Wait out one run's read tickets. Segment buffers come back in
+    /// device order; a device failure or detected corruption anywhere in
+    /// the run reports the run as degraded (recoverable); any other
+    /// error is final.
+    fn wait_read_run(tickets: Vec<Ticket<Box<[u8]>>>) -> Result<Option<Vec<Box<[u8]>>>> {
+        let mut bufs = Vec::with_capacity(tickets.len());
+        let mut degraded = false;
+        let mut hard: Option<DiskError> = None;
+        // Always wait every ticket so nothing completes behind our back.
+        for t in tickets {
+            match t.wait() {
+                Ok(b) => bufs.push(b),
+                Err(DiskError::DeviceFailed { .. } | DiskError::Corruption { .. }) => {
+                    degraded = true;
                 }
-                let bs = self.block_size();
-                for (i, chunk) in out.chunks_mut(bs).enumerate() {
-                    self.read_lblock(run.lblock + i as u64, chunk)?;
+                Err(e) => {
+                    hard.get_or_insert(e);
                 }
-                Ok(())
             }
-            other => other,
+        }
+        match (hard, degraded) {
+            (Some(e), _) => Err(e.into()),
+            (None, true) => Ok(None),
+            (None, false) => Ok(Some(bufs)),
         }
     }
 
-    /// Read one merged run: a single vectored device request, scattered
-    /// from a staging buffer into each part's span window. Failure falls
-    /// back to per-part [`RawFile::read_run`] recovery.
-    fn read_merged(&self, m: MergedRun<&mut [u8]>) -> Result<()> {
-        if m.parts.len() == 1 {
-            let (r, buf) = m.parts.into_iter().next().unwrap();
-            return self.read_run(r, buf);
+    /// Wait out one run's write tickets, reporting the first error.
+    fn wait_write_run(tickets: Vec<Ticket<Box<[u8]>>>) -> Result<()> {
+        let mut first: Option<DiskError> = None;
+        for t in tickets {
+            if let Err(e) = t.wait() {
+                first.get_or_insert(e);
+            }
         }
-        let bs = self.block_size();
-        let mut staging = vec![0u8; m.count as usize * bs];
-        match self.read_run_direct(m.device, m.dblock, &mut staging) {
-            Ok(()) => {
-                // Parts are in device-block order and contiguous, so the
-                // staging buffer scatters sequentially.
-                let mut pos = 0usize;
-                for (_, buf) in m.parts {
-                    buf.copy_from_slice(&staging[pos..pos + buf.len()]);
-                    pos += buf.len();
-                }
-                Ok(())
-            }
-            Err(FsError::Disk(DiskError::DeviceFailed { .. } | DiskError::Corruption { .. })) => {
-                for (r, buf) in m.parts {
-                    self.read_run(r, buf)?;
-                }
-                Ok(())
-            }
-            Err(e) => Err(e),
+        match first {
+            None => Ok(()),
+            Some(e) => Err(e.into()),
         }
     }
 
-    /// Write one merged run: parts gather into a staging buffer and go
-    /// out as one vectored request. Shadowed files write both copies at
-    /// this granularity — one live copy suffices — and a double failure
-    /// retries per block so the span only fails where *both* copies of a
-    /// block are dead.
-    fn write_merged(&self, m: MergedRun<&[u8]>) -> Result<()> {
-        let staging: Vec<u8>;
-        let data: &[u8] = if m.parts.len() == 1 {
-            m.parts[0].1
+    /// Scatter a completed run's segment buffers into its span windows.
+    /// Parts are in device-block order and contiguous, so the segments
+    /// concatenate exactly onto the parts.
+    fn scatter_run(m: MergedRun<&mut [u8]>, bufs: Vec<Box<[u8]>>) {
+        let staging: Box<[u8]> = if bufs.len() == 1 {
+            bufs.into_iter().next().expect("one segment")
         } else {
-            let mut s = Vec::with_capacity(m.count as usize * self.block_size());
-            for (_, b) in &m.parts {
-                s.extend_from_slice(b);
+            let mut s: Vec<u8> = Vec::with_capacity(bufs.iter().map(|b| b.len()).sum());
+            for b in bufs {
+                s.extend_from_slice(&b);
             }
-            staging = s;
-            &staging
+            s.into_boxed_slice()
         };
-        match &self.redundancy {
-            Redundancy::Shadow { primaries } => {
-                let r1 = self.write_run_direct(m.device, m.dblock, data);
-                let r2 = self.write_run_direct(m.device + primaries, m.dblock, data);
-                match (&r1, &r2) {
-                    (Err(_), Err(_)) => {
-                        let bs = self.block_size();
-                        for (r, part) in &m.parts {
-                            for (i, chunk) in part.chunks(bs).enumerate() {
-                                self.write_lblock(r.lblock + i as u64, chunk)?;
-                            }
-                        }
-                        Ok(())
-                    }
-                    _ => Ok(()),
-                }
-            }
-            _ => self.write_run_direct(m.device, m.dblock, data),
+        let mut pos = 0usize;
+        for (_, win) in m.parts {
+            win.copy_from_slice(&staging[pos..pos + win.len()]);
+            pos += win.len();
         }
+    }
+
+    /// Per-block last-resort read of a degraded run: parity
+    /// reconstruction and half-dead mirror pairs go through
+    /// [`RawFile::read_lblock`], which fails only where no copy of a
+    /// block survives.
+    fn read_run_per_block(&self, m: MergedRun<&mut [u8]>) -> Result<()> {
+        let bs = self.block_size();
+        for (r, win) in m.parts {
+            for (i, chunk) in win.chunks_mut(bs).enumerate() {
+                self.read_lblock(r.lblock + i as u64, chunk)?;
+            }
+        }
+        Ok(())
     }
 
     /// Tile `buf` into per-run windows matching `runs(layout, first, n)`.
@@ -638,60 +648,67 @@ impl RawFile {
         pieces
     }
 
-    /// Whether a coalesced transfer of `count` blocks touching
-    /// `busy_devices` device groups should fan out across scoped
-    /// threads: only for unredundant layouts, only when more than one
-    /// device is involved, and only when the span is big enough that
-    /// thread spawn cost is noise.
-    fn fan_out_ok(&self, count: u64, busy_devices: usize) -> bool {
-        self.span_parallel
-            && count >= PARALLEL_SPAN_MIN_BLOCKS
-            && busy_devices > 1
-            && matches!(self.redundancy, Redundancy::None)
-    }
-
     /// Read whole logical blocks `[first, first + buf.len()/bs)` via
-    /// merged per-device runs; independent devices proceed in parallel.
+    /// merged per-device runs, all submitted to the I/O executor before
+    /// any is waited on — every device works concurrently and no thread
+    /// is spawned, whatever the span size or layout.
+    ///
+    /// Degraded runs recover in waves: shadowed layouts race *all*
+    /// failed runs' mirror transfers concurrently, then anything still
+    /// failing (parity reconstruction, half-dead mirror pairs) goes
+    /// per-block.
     fn read_blocks_coalesced(&self, first: u64, buf: &mut [u8]) -> Result<()> {
         if buf.is_empty() {
             return Ok(());
         }
-        let count = (buf.len() / self.block_size()) as u64;
         let pieces = self.run_windows(first, buf);
         let groups = merge_runs(pieces, self.layout.devices());
-        let busy = groups.iter().filter(|g| !g.is_empty()).count();
-        if self.fan_out_ok(count, busy) {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = groups
-                    .into_iter()
-                    .filter(|g| !g.is_empty())
-                    .map(|group| {
-                        scope.spawn(move |_| -> Result<()> {
-                            for m in group {
-                                self.read_merged(m)?;
-                            }
-                            Ok(())
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().expect("span read worker panicked")?;
-                }
-                Ok(())
-            })
-            .expect("span read scope panicked")
-        } else {
-            for m in groups.into_iter().flatten() {
-                self.read_merged(m)?;
-            }
-            Ok(())
+        // Phase 1: submit every run's segment transfers.
+        let mut inflight = Vec::new();
+        for m in groups.into_iter().flatten() {
+            let tickets = self.submit_read_run(m.device, m.dblock, m.count);
+            inflight.push((m, tickets));
         }
+        // Phase 2: complete; collect degraded runs for recovery.
+        let mut failed: Vec<MergedRun<&mut [u8]>> = Vec::new();
+        for (m, tickets) in inflight {
+            match Self::wait_read_run(tickets)? {
+                Some(bufs) => Self::scatter_run(m, bufs),
+                None => failed.push(m),
+            }
+        }
+        if failed.is_empty() {
+            return Ok(());
+        }
+        // Recovery wave: every failed run races its mirror concurrently.
+        if let Redundancy::Shadow { primaries } = &self.redundancy {
+            let resubmitted: Vec<_> = failed
+                .drain(..)
+                .map(|m| {
+                    let t = self.submit_read_run(m.device + primaries, m.dblock, m.count);
+                    (m, t)
+                })
+                .collect();
+            for (m, tickets) in resubmitted {
+                match Self::wait_read_run(tickets)? {
+                    Some(bufs) => Self::scatter_run(m, bufs),
+                    None => failed.push(m),
+                }
+            }
+        }
+        for m in failed {
+            self.read_run_per_block(m)?;
+        }
+        Ok(())
     }
 
     /// Write whole logical blocks starting at `first` via merged
-    /// per-device runs. Unredundant layouts fan out across devices;
-    /// shadowed layouts dual-write each merged run sequentially. Parity
-    /// never comes here (its read-modify-write stays per-block).
+    /// per-device runs, all submitted to the I/O executor before any is
+    /// waited on. Shadowed layouts submit each run to BOTH mirrors
+    /// concurrently — one live copy suffices, and a run whose two copies
+    /// both fail retries per block so the span only fails where both
+    /// copies of a block are dead. Parity never comes here (its
+    /// read-modify-write stays per-block under the stripe lock).
     fn write_blocks_coalesced(&self, first: u64, data: &[u8]) -> Result<()> {
         if data.is_empty() {
             return Ok(());
@@ -707,38 +724,50 @@ impl RawFile {
             rest = tail;
         }
         let groups = merge_runs(pieces, self.layout.devices());
-        let busy = groups.iter().filter(|g| !g.is_empty()).count();
-        if self.fan_out_ok(count, busy) {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = groups
-                    .into_iter()
-                    .filter(|g| !g.is_empty())
-                    .map(|group| {
-                        scope.spawn(move |_| -> Result<()> {
-                            for m in group {
-                                self.write_merged(m)?;
-                            }
-                            Ok(())
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().expect("span write worker panicked")?;
-                }
-                Ok(())
-            })
-            .expect("span write scope panicked")
-        } else {
-            for m in groups.into_iter().flatten() {
-                self.write_merged(m)?;
+        let mirror = match &self.redundancy {
+            Redundancy::Shadow { primaries } => Some(*primaries),
+            _ => None,
+        };
+        // Phase 1: gather each run and submit (primary and, for
+        // shadowed layouts, the mirror — concurrently).
+        let mut inflight = Vec::new();
+        for m in groups.into_iter().flatten() {
+            let mut gathered: Vec<u8> = Vec::with_capacity(m.count as usize * bs);
+            for (_, b) in &m.parts {
+                gathered.extend_from_slice(b);
             }
-            Ok(())
+            let second =
+                mirror.map(|p| self.submit_write_run(m.device + p, m.dblock, gathered.clone()));
+            let primary = self.submit_write_run(m.device, m.dblock, gathered);
+            inflight.push((m, primary, second));
         }
+        // Phase 2: complete.
+        for (m, primary, second) in inflight {
+            match second {
+                None => Self::wait_write_run(primary)?,
+                Some(second) => {
+                    let r1 = Self::wait_write_run(primary);
+                    let r2 = Self::wait_write_run(second);
+                    if r1.is_err() && r2.is_err() {
+                        for (r, part) in &m.parts {
+                            for (i, chunk) in part.chunks(bs).enumerate() {
+                                self.write_lblock(r.lblock + i as u64, chunk)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Read-modify-write the sub-block range of logical block `l`
     /// starting `within` bytes in.
     fn rmw_partial(&self, l: u64, within: usize, bytes: &[u8]) -> Result<()> {
+        // Concurrent sub-block writers sharing a block must not
+        // interleave their read/write pairs, or one loses the other's
+        // bytes (self-scheduled record writers hit this constantly).
+        let _g = self.state.rmw_lock.lock();
         let mut scratch = vec![0u8; self.block_size()];
         self.read_lblock(l, &mut scratch)?;
         scratch[within..within + bytes.len()].copy_from_slice(bytes);
@@ -842,6 +871,7 @@ impl RawFile {
             if within == 0 && take == bs as usize {
                 self.write_lblock(l, &data[pos..pos + take])?;
             } else {
+                let _g = self.state.rmw_lock.lock();
                 self.read_lblock(l, &mut scratch)?;
                 scratch[within..within + take].copy_from_slice(&data[pos..pos + take]);
                 self.write_lblock(l, &scratch)?;

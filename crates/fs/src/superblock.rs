@@ -123,6 +123,7 @@ pub(crate) fn load(vol: &Volume) -> Result<()> {
             std::sync::Arc::new(FileState {
                 meta: parking_lot::RwLock::new(meta),
                 stripe_lock: parking_lot::Mutex::new(()),
+                rmw_lock: parking_lot::Mutex::new(()),
             }),
         );
     }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use pario_disk::{mem_array, DeviceRef, IoNode, IoNodeStats};
+use pario_disk::{mem_array, DeviceRef, IoNode, IoNodeStats, SchedPolicy};
 use pario_layout::LayoutSpec;
 
 use crate::alloc::{extents_len, Allocator, Extent};
@@ -98,10 +98,21 @@ pub struct FileState {
     pub(crate) meta: RwLock<FileMeta>,
     /// Serialises parity read-modify-write cycles (see `RawFile`).
     pub(crate) stripe_lock: Mutex<()>,
+    /// Serialises sub-block read-modify-write cycles: concurrent record
+    /// writers sharing a block must not interleave their read/write
+    /// pairs. Always taken before `stripe_lock` when both are needed.
+    pub(crate) rmw_lock: Mutex<()>,
 }
 
 pub(crate) struct VolInner {
     pub(crate) devices: Vec<DeviceRef>,
+    /// The volume's I/O executor: one persistent worker per device.
+    /// Entries are [`IoNode`] handles wrapping `devices[i]` (or the
+    /// device itself when it already routes through a node), so span
+    /// I/O can submit asynchronously. Single-block paths, counters, and
+    /// failure injection keep using `devices` directly.
+    pub(crate) io_devices: Vec<DeviceRef>,
+    pub(crate) sched: SchedPolicy,
     pub(crate) block_size: usize,
     pub(crate) meta_blocks: u64,
     pub(crate) alloc: Mutex<Allocator>,
@@ -117,15 +128,23 @@ pub struct Volume {
 
 impl Volume {
     /// Create a fresh volume over `devices`, reserving the superblock
-    /// region on device 0 and writing an empty superblock.
+    /// region on device 0 and writing an empty superblock. The volume's
+    /// I/O executor dispatches each device queue in arrival order; use
+    /// [`Volume::new_with_policy`] for seek-aware dispatch.
     pub fn new(devices: Vec<DeviceRef>) -> Result<Volume> {
-        let vol = Volume::init(devices)?;
+        Volume::new_with_policy(devices, SchedPolicy::Fifo)
+    }
+
+    /// [`Volume::new`] with the executor dispatch policy chosen — the
+    /// scheduling knob for every worker the volume spawns.
+    pub fn new_with_policy(devices: Vec<DeviceRef>, policy: SchedPolicy) -> Result<Volume> {
+        let vol = Volume::init(devices, policy)?;
         vol.sync_meta()?;
         Ok(vol)
     }
 
     /// Build the in-memory structures without touching the superblock.
-    fn init(devices: Vec<DeviceRef>) -> Result<Volume> {
+    fn init(devices: Vec<DeviceRef>, policy: SchedPolicy) -> Result<Volume> {
         if devices.is_empty() {
             return Err(FsError::BadSpec("volume needs at least one device".into()));
         }
@@ -150,9 +169,26 @@ impl Volume {
                 len: meta_blocks,
             },
         );
+        // The executor: one persistent worker per device. A device that
+        // already routes through an I/O node keeps its handle (no double
+        // queueing); plain devices get a node of their own. Dropping the
+        // IoNode struct is fine — the handle's sender keeps the worker
+        // alive until the volume is dropped.
+        let io_devices = devices
+            .iter()
+            .map(|d| {
+                if d.ionode_stats().is_some() {
+                    Arc::clone(d)
+                } else {
+                    IoNode::spawn_with_policy(Arc::clone(d), policy).device()
+                }
+            })
+            .collect();
         Ok(Volume {
             inner: Arc::new(VolInner {
                 devices,
+                io_devices,
+                sched: policy,
                 block_size,
                 meta_blocks,
                 alloc: Mutex::new(alloc),
@@ -165,6 +201,15 @@ impl Volume {
     /// Create a fresh volume over in-memory devices.
     pub fn create_in_memory(cfg: VolumeConfig) -> Result<Volume> {
         Volume::new(mem_array(cfg.devices, cfg.device_blocks, cfg.block_size))
+    }
+
+    /// [`Volume::create_in_memory`] with the executor dispatch policy
+    /// chosen.
+    pub fn create_in_memory_with_policy(cfg: VolumeConfig, policy: SchedPolicy) -> Result<Volume> {
+        Volume::new_with_policy(
+            mem_array(cfg.devices, cfg.device_blocks, cfg.block_size),
+            policy,
+        )
     }
 
     /// Create a fresh in-memory volume with every device behind a
@@ -204,7 +249,12 @@ impl Volume {
     /// Mount a volume previously persisted with [`Volume::sync_meta`].
     /// Fails with [`FsError::Meta`] if device 0 carries no superblock.
     pub fn mount(devices: Vec<DeviceRef>) -> Result<Volume> {
-        let vol = Volume::init(devices)?;
+        Volume::mount_with_policy(devices, SchedPolicy::Fifo)
+    }
+
+    /// [`Volume::mount`] with the executor dispatch policy chosen.
+    pub fn mount_with_policy(devices: Vec<DeviceRef>, policy: SchedPolicy) -> Result<Volume> {
+        let vol = Volume::init(devices, policy)?;
         superblock::load(&vol)?;
         Ok(vol)
     }
@@ -222,6 +272,34 @@ impl Volume {
     /// Shared handle to device `i`.
     pub fn device(&self, i: usize) -> DeviceRef {
         Arc::clone(&self.inner.devices[i])
+    }
+
+    /// Handle to device `i` routed through the volume's I/O executor:
+    /// `submit_read_blocks` / `submit_write_blocks` on it enqueue onto
+    /// the device's persistent worker and return immediately.
+    pub fn io_device(&self, i: usize) -> DeviceRef {
+        Arc::clone(&self.inner.io_devices[i])
+    }
+
+    /// The dispatch policy the executor workers run.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.inner.sched
+    }
+
+    /// Aggregate queue statistics for the volume's I/O executor: total
+    /// requests serviced, current and high-water queue depths, and
+    /// cumulative queue-wait vs. device service time across every
+    /// per-device worker. (Unlike [`Volume::io_node_stats`], which
+    /// reports only devices that were *handed in* behind I/O nodes,
+    /// every volume has an executor.)
+    pub fn executor_stats(&self) -> IoNodeStats {
+        let mut agg = IoNodeStats::default();
+        for d in &self.inner.io_devices {
+            if let Some(s) = d.ionode_stats() {
+                agg.absorb(s);
+            }
+        }
+        agg
     }
 
     /// Free blocks per device.
@@ -263,6 +341,7 @@ impl Volume {
         let state = Arc::new(FileState {
             meta: RwLock::new(meta),
             stripe_lock: Mutex::new(()),
+            rmw_lock: Mutex::new(()),
         });
         {
             let mut files = self.inner.files.write();
@@ -642,6 +721,53 @@ mod tests {
         assert!(s.serviced > 0);
         assert_eq!(s.in_flight, 0);
         assert!(s.service_nanos > 0, "transfers must be attributed");
+    }
+
+    #[test]
+    fn every_volume_has_an_executor() {
+        let v = Volume::create_in_memory_with_policy(
+            VolumeConfig {
+                devices: 3,
+                device_blocks: 64,
+                block_size: 512,
+            },
+            SchedPolicy::Sstf,
+        )
+        .unwrap();
+        assert_eq!(v.sched_policy(), SchedPolicy::Sstf);
+        // Plain volumes still report no *handed-in* I/O nodes...
+        assert!(v.io_node_stats().is_none());
+        // ...but the executor is live: submissions through io_device are
+        // counted by the per-device workers.
+        let before = v.executor_stats().serviced;
+        let dev = v.io_device(1);
+        dev.submit_write_blocks(0, vec![5u8; 512].into_boxed_slice())
+            .wait()
+            .unwrap();
+        let buf = dev
+            .submit_read_blocks(0, vec![0u8; 512].into_boxed_slice())
+            .wait()
+            .unwrap();
+        assert!(buf.iter().all(|&b| b == 5));
+        let s = v.executor_stats();
+        assert_eq!(s.serviced, before + 2);
+        assert_eq!(s.in_flight, 0);
+        // The executor fronts the same storage the plain handle sees.
+        let mut direct = vec![0u8; 512];
+        v.device(1).read_block(0, &mut direct).unwrap();
+        assert!(direct.iter().all(|&b| b == 5));
+        // A volume whose devices came in behind I/O nodes reuses those
+        // nodes as its executor (no double wrapping).
+        let vn = Volume::create_in_memory_with_io_nodes(VolumeConfig {
+            devices: 2,
+            device_blocks: 64,
+            block_size: 512,
+        })
+        .unwrap();
+        assert_eq!(
+            vn.io_node_stats().unwrap().serviced,
+            vn.executor_stats().serviced
+        );
     }
 
     #[test]

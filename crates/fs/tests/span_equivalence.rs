@@ -64,13 +64,13 @@ proptest! {
             model[off as usize..end].copy_from_slice(&data);
         }
 
-        let clamp = |off: u64, len: usize| {
+        let clamp = |model: &[u8], off: u64, len: usize| {
             let off = (off as usize).min(model.len().saturating_sub(1));
             let len = len.min(model.len() - off);
             (off, len)
         };
         for &(off, len) in &reads {
-            let (off, len) = clamp(off, len);
+            let (off, len) = clamp(&model, off, len);
             let mut a = vec![0u8; len];
             f.read_span(off as u64, &mut a).unwrap();
             prop_assert_eq!(&a[..], &model[off..off + len], "parallel read at {}+{}", off, len);
@@ -85,7 +85,7 @@ proptest! {
             let slot = fail_pick % f.layout().devices();
             v.device(f.meta_snapshot().device_map[slot]).fail();
             for &(off, len) in &reads {
-                let (off, len) = clamp(off, len);
+                let (off, len) = clamp(&model, off, len);
                 let mut a = vec![0u8; len];
                 f.read_span(off as u64, &mut a).unwrap();
                 prop_assert_eq!(
@@ -95,6 +95,38 @@ proptest! {
                     off,
                     len,
                     slot
+                );
+            }
+        }
+
+        // Degraded shadow *writes*: with one copy of every pair down,
+        // writes must land on the surviving mirror — through the parallel
+        // dual-submit path and the serial reference alike — and reads
+        // must return the fresh bytes.
+        if matches!(spec, LayoutSpec::Shadowed(_)) {
+            for (k, &(off, len, seed)) in writes.iter().enumerate() {
+                let len = len.min((CAP_BYTES - off) as usize);
+                let data: Vec<u8> = (0..len)
+                    .map(|i| seed.wrapping_add(i as u8).wrapping_add(113))
+                    .collect();
+                let g = if k % 2 == 0 { &f } else { &serial };
+                g.write_span(off, &data).unwrap();
+                let end = off as usize + len;
+                if end > model.len() {
+                    model.resize(end, 0);
+                }
+                model[off as usize..end].copy_from_slice(&data);
+            }
+            for &(off, len) in &reads {
+                let (off, len) = clamp(&model, off, len);
+                let mut a = vec![0u8; len];
+                f.read_span(off as u64, &mut a).unwrap();
+                prop_assert_eq!(
+                    &a[..],
+                    &model[off..off + len],
+                    "read-after-degraded-write at {}+{}",
+                    off,
+                    len
                 );
             }
         }

@@ -153,6 +153,7 @@ impl Server {
             self.inner.admission.stats(),
             self.inner.latency.snapshot(),
             self.inner.volume.io_node_stats(),
+            self.inner.volume.executor_stats(),
         )
     }
 }

@@ -125,6 +125,12 @@ pub struct ServerStats {
     /// run behind I/O nodes: lets callers split end-to-end latency into
     /// device queue wait vs. transfer time.
     pub io: Option<IoNodeStats>,
+    /// Aggregate statistics of the volume's own I/O executor (the
+    /// per-device worker bank every volume fronts its devices with).
+    /// Unlike [`io`](ServerStats::io) this is always present: for plain
+    /// device banks it counts the executor workers the volume spawned,
+    /// and for node-fronted banks it equals the nodes' own totals.
+    pub executor: IoNodeStats,
 }
 
 impl ServerStats {
@@ -149,6 +155,7 @@ impl ServerStats {
         adm: AdmissionStats,
         latency: Vec<LatencyBucket>,
         io: Option<IoNodeStats>,
+        executor: IoNodeStats,
     ) -> ServerStats {
         ServerStats {
             sessions,
@@ -158,6 +165,7 @@ impl ServerStats {
             rejected: adm.rejected,
             latency,
             io,
+            executor,
         }
     }
 }

@@ -68,6 +68,10 @@ fn ss_sessions_share_one_cursor_exactly_once() {
     // Admission kept the configured bound under 8 clients.
     assert!(stats.queue_depth_high_water <= 4);
     assert!(!stats.latency.is_empty());
+    // Every device transfer flowed through the volume's I/O executor,
+    // and the queues drained once the clients finished.
+    assert!(stats.executor.serviced > 0);
+    assert_eq!(stats.executor.in_flight, 0);
 }
 
 #[test]
