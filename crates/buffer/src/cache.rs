@@ -117,8 +117,10 @@ impl BlockCache {
 
     fn evict_if_full(&self, state: &mut State) -> Result<()> {
         while state.frames.len() >= self.capacity {
+            // invariant: the loop guard keeps frames (and order) non-empty here.
             let (&stamp, &key) = state.order.iter().next().expect("order tracks frames");
             state.order.remove(&stamp);
+            // invariant: order and frames always track the same keys.
             let frame = state.frames.remove(&key).expect("frame for ordered key");
             state.stats.evictions += 1;
             if frame.dirty {
@@ -151,6 +153,7 @@ impl BlockCache {
         if state.frames.contains_key(&key) {
             state.stats.hits += 1;
             Self::touch(&mut state, key);
+            // invariant: just checked contains_key under the same lock.
             let frame = state.frames.get(&key).expect("just checked");
             return Ok(Bytes::copy_from_slice(&frame.data));
         }
@@ -201,6 +204,7 @@ impl BlockCache {
             state.stats.hits += 1;
         }
         Self::touch(&mut state, key);
+        // invariant: inserted (or found) above under the same lock.
         let frame = state.frames.get_mut(&key).expect("inserted above");
         f(&mut frame.data);
         match self.policy {
@@ -223,6 +227,7 @@ impl BlockCache {
             .map(|(&k, _)| k)
             .collect();
         for key in dirty_keys {
+            // invariant: keys were collected from frames under the same lock.
             let frame = state.frames.get_mut(&key).expect("key from iteration");
             self.devices[key.0].write_block(key.1, &frame.data)?;
             frame.dirty = false;

@@ -170,6 +170,7 @@ impl WriteBehind {
         let t = st
             .inflight
             .pop_front()
+            // invariant: API contract — callers submit before requesting another.
             .expect("no idle buffers and nothing in flight — submit before requesting another");
         // A failed write surrenders its buffer to the error path; mint a
         // replacement so the ring keeps its size.

@@ -9,7 +9,7 @@
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use pario_check::{Condvar, LockLevel, Mutex};
 
 struct Inner {
     free: Mutex<Vec<Box<[u8]>>>,
@@ -25,6 +25,7 @@ pub struct BufferPool {
 }
 
 /// A pooled buffer; returns itself to the pool on drop.
+#[must_use = "the buffer returns to the pool when this handle drops"]
 pub struct PoolBuf {
     data: Option<Box<[u8]>>,
     inner: Arc<Inner>,
@@ -39,7 +40,7 @@ impl BufferPool {
             .collect();
         BufferPool {
             inner: Arc::new(Inner {
-                free: Mutex::new(free),
+                free: Mutex::new_named(free, LockLevel::BufferPool),
                 available: Condvar::new(),
                 buf_size,
                 capacity,
@@ -90,12 +91,14 @@ impl BufferPool {
 impl Deref for PoolBuf {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
+        // invariant: data is Some until Drop takes it.
         self.data.as_ref().expect("buffer present until drop")
     }
 }
 
 impl DerefMut for PoolBuf {
     fn deref_mut(&mut self) -> &mut [u8] {
+        // invariant: data is Some until Drop takes it.
         self.data.as_mut().expect("buffer present until drop")
     }
 }

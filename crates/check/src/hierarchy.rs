@@ -1,0 +1,72 @@
+//! The workspace lock hierarchy.
+//!
+//! Every named lock in the request path declares a [`LockLevel`]. The
+//! rule is strict ascent: a thread may acquire a ranked lock only if its
+//! level is strictly greater than every ranked lock it already holds.
+//! Two locks at the same level therefore must never be held together
+//! (per-file locks such as the RMW lock are never nested across files).
+//!
+//! The table below is the documented order (see DESIGN §8); the model
+//! checker enforces it at runtime under `--cfg pario_check`, and
+//! `cargo run -p xtask -- lint` enforces a textual approximation of it
+//! on every build.
+//!
+//! | level | lock | crate | protects |
+//! |------:|------|-------|----------|
+//! | 10 | `SsState::big_lock` | pario-core | naive big-lock SS baseline |
+//! | 20 | `Admission::m` | pario-server | admission queue + rotation state |
+//! | 30 | `ByteRangeLocks::held` | pario-server | GDA byte-range lock table |
+//! | 40 | `BufferPool` free list | pario-buffer | pooled block buffers |
+//! | 45 | `DirectState::rmw` | pario-core | DA sub-record RMW window |
+//! | 50 | `Volume::alloc` | pario-fs | extent allocator |
+//! | 60 | `FileState::rmw_lock` | pario-fs | sub-block RMW window |
+//! | 70 | `FileState::stripe_lock` | pario-fs | parity stripe RMW cycle |
+
+/// Rank of a lock in the global acquisition order. Larger ranks must be
+/// acquired after smaller ranks; [`LockLevel::Unranked`] locks are
+/// exempt from the hierarchy check (but still model-checked for
+/// deadlock).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LockLevel {
+    /// `pario-core` naive self-scheduled baseline big lock.
+    CoreBigLock = 10,
+    /// `pario-server` admission queue state.
+    Admission = 20,
+    /// `pario-server` GDA byte-range lock table.
+    RangeLock = 30,
+    /// `pario-buffer` buffer pool free list.
+    BufferPool = 40,
+    /// `pario-core` direct-access sub-record RMW lock.
+    CoreDirectRmw = 45,
+    /// `pario-fs` volume extent allocator.
+    FsAlloc = 50,
+    /// `pario-fs` per-file sub-block read-modify-write lock.
+    FsRmw = 60,
+    /// `pario-fs` per-file parity stripe lock.
+    FsStripe = 70,
+    /// Outside the hierarchy: never checked for ordering.
+    Unranked = 255,
+}
+
+impl LockLevel {
+    /// Stable display name used in reports and the DESIGN table.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockLevel::CoreBigLock => "core.big_lock",
+            LockLevel::Admission => "server.admission",
+            LockLevel::RangeLock => "server.range_lock",
+            LockLevel::BufferPool => "buffer.pool",
+            LockLevel::CoreDirectRmw => "core.direct_rmw",
+            LockLevel::FsAlloc => "fs.alloc",
+            LockLevel::FsRmw => "fs.rmw",
+            LockLevel::FsStripe => "fs.stripe",
+            LockLevel::Unranked => "unranked",
+        }
+    }
+
+    /// Numeric rank (ascending acquisition order).
+    pub fn rank(self) -> u8 {
+        self as u8
+    }
+}

@@ -1,0 +1,90 @@
+//! Model checks for `pario_server::admission::Admission`: the in-flight
+//! bound holds in every schedule, permits freed under contention are
+//! never lost, waiters within a session are served FIFO, and grants
+//! rotate round-robin across sessions.
+#![cfg(pario_check)]
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use pario_check::{spawn, AtomicU64, Config, Explorer, Mutex};
+use pario_server::admission::Admission;
+use pario_server::Saturation;
+
+/// Four threads through a limit of two: the live count never exceeds
+/// the limit, and every waiter is eventually admitted (a lost permit
+/// wakeup would park the run as a model deadlock).
+#[test]
+fn limit_holds_and_no_wakeup_is_lost() {
+    let report = Explorer::new(Config::new(1500)).run(|| {
+        let adm = Arc::new(Admission::new(2, Saturation::Block));
+        let live = Arc::new(AtomicU64::new(0));
+        let mut hs = Vec::new();
+        for sess in 0..4u64 {
+            let adm = Arc::clone(&adm);
+            let live = Arc::clone(&live);
+            hs.push(spawn(move || {
+                let p = adm.acquire(sess).expect("block policy never rejects");
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                assert!(now <= 2, "{now} ops admitted past the limit");
+                live.fetch_sub(1, Ordering::SeqCst);
+                drop(p);
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        let s = adm.stats();
+        assert_eq!(s.in_flight, 0);
+        assert!(s.admitted_high_water <= 2);
+        assert_eq!(s.rejected, 0);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.distinct >= 1000,
+        "only {} distinct schedules",
+        report.distinct
+    );
+}
+
+/// Deterministic arrivals (each waiter parks before the next is
+/// spawned): two waiters of the same session are granted in FIFO order,
+/// and a third waiter from another session is granted between them —
+/// round-robin rotation, not session draining.
+#[test]
+fn grants_are_fifo_within_and_rotate_across_sessions() {
+    let report = Explorer::new(Config::new(600)).run(|| {
+        let adm = Arc::new(Admission::new(1, Saturation::Block));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let hold = adm.acquire(99).expect("first permit is free");
+
+        let mut hs = Vec::new();
+        // Arrival order: (session 1, tag 10), (session 1, tag 11),
+        // (session 2, tag 20). Spin until each is parked before spawning
+        // the next; the admission mutex is instrumented, so the spin is
+        // a sequence of yield points and the scheduler's fairness bound
+        // guarantees the waiter actually reaches its queue.
+        for (i, (sess, tag)) in [(1u64, 10u64), (1, 11), (2, 20)].into_iter().enumerate() {
+            let adm2 = Arc::clone(&adm);
+            let order2 = Arc::clone(&order);
+            hs.push(spawn(move || {
+                let p = adm2.acquire(sess).expect("block policy never rejects");
+                order2.lock().push(tag);
+                drop(p);
+            }));
+            while adm.stats().wait_high_water < i + 1 {
+                std::hint::spin_loop();
+            }
+        }
+
+        drop(hold);
+        for h in hs {
+            h.join();
+        }
+        let order = order.lock().clone();
+        // Session 1 queued first => granted first; then rotation moves
+        // to session 2 before session 1's second waiter.
+        assert_eq!(order, vec![10, 20, 11], "unfair grant order {order:?}");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}

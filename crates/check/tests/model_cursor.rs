@@ -1,0 +1,104 @@
+//! Model checks for `pario_core::SharedCursor`: the self-scheduled
+//! record cursor must hand out each index to exactly one claimant under
+//! every explored interleaving of its CAS/fetch-add protocols.
+#![cfg(pario_check)]
+
+use std::sync::Arc;
+
+use pario_check::{spawn, Config, Explorer, Mutex};
+use pario_core::SharedCursor;
+
+/// Bounded claims: 3 threads race `claim(limit)`; every index below the
+/// limit is claimed exactly once and claims past the limit all fail.
+#[test]
+fn ss_claims_are_exactly_once() {
+    let report = Explorer::new(Config::new(1500)).run(|| {
+        let cur = Arc::new(SharedCursor::new(0));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let mut hs = Vec::new();
+        for _ in 0..3 {
+            let cur = Arc::clone(&cur);
+            let got = Arc::clone(&got);
+            hs.push(spawn(move || {
+                while let Some(i) = cur.claim(4) {
+                    got.lock().push(i);
+                }
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        let mut got = got.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3], "duplicate or lost claim");
+        assert_eq!(cur.position(), 4);
+        assert_eq!(cur.claim(4), None, "claim past the limit");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.distinct >= 1000,
+        "only {} distinct schedules",
+        report.distinct
+    );
+}
+
+/// Unbounded claims (`claim_unbounded` backs append-style writers):
+/// exactly-once without any limit check.
+#[test]
+fn unbounded_claims_are_exactly_once() {
+    let report = Explorer::new(Config::new(1200)).run(|| {
+        let cur = Arc::new(SharedCursor::new(0));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let mut hs = Vec::new();
+        for _ in 0..3 {
+            let cur = Arc::clone(&cur);
+            let got = Arc::clone(&got);
+            hs.push(spawn(move || {
+                for _ in 0..2 {
+                    let i = cur.claim_unbounded();
+                    got.lock().push(i);
+                }
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        let mut got = got.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5], "duplicate or lost claim");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.distinct >= 1000,
+        "only {} distinct schedules",
+        report.distinct
+    );
+}
+
+/// Block-granular claims: two threads pulling whole blocks through
+/// `claim_through_block` never overlap and never skip records.
+#[test]
+fn block_claims_partition_the_range() {
+    let report = Explorer::new(Config::new(1200)).run(|| {
+        let cur = Arc::new(SharedCursor::new(0));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let mut hs = Vec::new();
+        for _ in 0..2 {
+            let cur = Arc::clone(&cur);
+            let got = Arc::clone(&got);
+            hs.push(spawn(move || {
+                while let Some((start, count)) = cur.claim_through_block(2, 6) {
+                    got.lock().push((start, count));
+                }
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        let mut got = got.lock().clone();
+        got.sort_unstable();
+        let claimed: Vec<u64> = got.iter().flat_map(|&(s, n)| s..s + n).collect();
+        assert_eq!(claimed, vec![0, 1, 2, 3, 4, 5], "overlap or gap: {got:?}");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}

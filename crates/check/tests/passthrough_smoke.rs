@@ -1,0 +1,73 @@
+//! Normal-build smoke tests: without `--cfg pario_check` the crate's
+//! primitives must behave exactly like `parking_lot`/std and add zero
+//! space overhead (the request path pays nothing for checkability).
+#![cfg(not(pario_check))]
+
+use std::sync::atomic::Ordering;
+
+use pario_check::{AtomicU64, Condvar, LockLevel, Mutex, RwLock};
+
+#[test]
+fn passthrough_types_are_zero_overhead() {
+    assert_eq!(
+        std::mem::size_of::<Mutex<u64>>(),
+        std::mem::size_of::<parking_lot::Mutex<u64>>(),
+    );
+    assert_eq!(
+        std::mem::size_of::<Condvar>(),
+        std::mem::size_of::<parking_lot::Condvar>(),
+    );
+    assert_eq!(std::mem::size_of::<AtomicU64>(), std::mem::size_of::<u64>(),);
+}
+
+#[test]
+fn mutex_and_condvar_work() {
+    let m = Mutex::new_named(0u64, LockLevel::BufferPool);
+    {
+        let mut g = m.lock();
+        *g += 1;
+    }
+    assert_eq!(*m.lock(), 1);
+    assert!(m.try_lock().is_some());
+
+    let cv = Condvar::new();
+    let flag = Mutex::new(true);
+    let mut g = flag.lock();
+    while !*g {
+        cv.wait(&mut g);
+    }
+    cv.notify_all();
+}
+
+#[test]
+fn rwlock_and_atomics_work() {
+    let rw = RwLock::new(vec![1, 2, 3]);
+    assert_eq!(rw.read().len(), 3);
+    rw.write().push(4);
+    assert_eq!(rw.read().len(), 4);
+
+    let a = AtomicU64::new(5);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 5);
+    assert_eq!(a.load(Ordering::SeqCst), 7);
+}
+
+#[test]
+fn lock_levels_have_stable_names_and_ranks() {
+    // The hierarchy table in DESIGN.md §8 documents these exact pairs;
+    // keep them in lockstep.
+    let table = [
+        (LockLevel::CoreBigLock, "core.big_lock", 10),
+        (LockLevel::Admission, "server.admission", 20),
+        (LockLevel::RangeLock, "server.range_lock", 30),
+        (LockLevel::BufferPool, "buffer.pool", 40),
+        (LockLevel::CoreDirectRmw, "core.direct_rmw", 45),
+        (LockLevel::FsAlloc, "fs.alloc", 50),
+        (LockLevel::FsRmw, "fs.rmw", 60),
+        (LockLevel::FsStripe, "fs.stripe", 70),
+        (LockLevel::Unranked, "unranked", 255),
+    ];
+    for (level, name, rank) in table {
+        assert_eq!(level.name(), name);
+        assert_eq!(level.rank(), rank);
+    }
+}

@@ -139,6 +139,7 @@ pub fn create_replicated(
             padded_len,
         });
         stored_start += padded_len;
+        // invariant: vblock_bounds is seeded with 0, so last() always succeeds.
         vblock_bounds.push(vblock_bounds.last().unwrap() + (padded_len / rpb) * fbv);
     }
     let capacity = stored_start;

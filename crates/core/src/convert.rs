@@ -71,9 +71,11 @@ pub fn convert_parallel(
         }
         handles
             .into_iter()
+            // invariant: a worker panic is a bug in the converter itself; propagate it.
             .filter_map(|h| h.join().expect("worker panicked").err())
             .collect()
     })
+    // invariant: scope() errs only when a worker panicked, handled above.
     .expect("scope");
     if let Some(e) = errs.into_iter().next() {
         return Err(e);

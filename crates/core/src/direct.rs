@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pario_check::{LockLevel, Mutex};
 
 use pario_buffer::{BlockCache, WritePolicy};
 use pario_fs::{FsError, RawFile};
@@ -44,7 +44,7 @@ impl DirectHandle {
             raw: self.raw,
             cache: Some(Arc::new(CachedIo {
                 cache: BlockCache::new(devices, frames, WritePolicy::WriteBack),
-                rmw: Mutex::new(()),
+                rmw: Mutex::new_named((), LockLevel::CoreDirectRmw),
             })),
         }
     }

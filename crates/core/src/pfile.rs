@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pario_check::{LockLevel, Mutex};
 
 use pario_fs::{FileSpec, GlobalReader, GlobalWriter, RawFile, Volume};
 use pario_layout::LayoutSpec;
@@ -77,7 +77,7 @@ impl ParallelFile {
             ss: Arc::new(SsState {
                 read_cursor: SharedCursor::new(0),
                 write_cursor,
-                big_lock: Mutex::new(()),
+                big_lock: Mutex::new_named((), LockLevel::CoreBigLock),
             }),
         }
     }
@@ -256,6 +256,7 @@ impl ParallelFile {
             .raw
             .meta_snapshot()
             .fixed_capacity_records
+            // invariant: partitioned specs are validated fixed-size at creation.
             .expect("partitioned files are fixed-size");
         let rpb = self.records_per_block() as u64;
         let file_blocks = total.div_ceil(rpb);

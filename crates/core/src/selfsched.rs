@@ -13,7 +13,9 @@
 //!   call, serialising transfers. Exists so experiment E3 can measure what
 //!   two-phase buys.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use pario_check::AtomicU64;
 
 use pario_fs::RawFile;
 

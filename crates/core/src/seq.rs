@@ -69,6 +69,7 @@ impl StripedReader {
         let slot = self.order[self.next];
         let res = self.pipelines[slot]
             .next()
+            // invariant: the schedule enqueues exactly one item per scheduled block.
             .expect("pipeline yields one item per scheduled block");
         let (_, buf) = res.map_err(|e| CoreError::Fs(e.into()))?;
         out.copy_from_slice(&buf);

@@ -29,7 +29,9 @@
 //! threads never had an ordering guarantee to lose.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use pario_check::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -217,6 +219,7 @@ impl IoNode {
         std::thread::Builder::new()
             .name("pario-ionode".into())
             .spawn(move || worker(inner, policy, &worker_shared, &queue_rx))
+            // invariant: spawn fails only on OS thread exhaustion at startup.
             .expect("spawn I/O node thread");
         IoNode { shared, queue_tx }
     }
@@ -292,6 +295,7 @@ fn worker(inner: DeviceRef, policy: SchedPolicy, shared: &Shared, queue_rx: &Rec
             .iter()
             .map(|q| (q.cylinder(head, num_blocks), q.tag))
             .collect();
+        // invariant: guarded above — this path runs only with pending non-empty.
         let idx = sched.pick(&keyed, head).expect("pending set is non-empty");
         let Queued { enqueued, req, .. } = pending.swap_remove(idx);
         let started = Instant::now();

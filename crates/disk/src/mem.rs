@@ -41,6 +41,7 @@ impl MemDisk {
         assert!(block_size > 0, "block size must be positive");
         let bytes = (num_blocks as usize)
             .checked_mul(block_size)
+            // invariant: a device larger than the address space is a config bug.
             .expect("device size overflows usize");
         MemDisk {
             block_size,

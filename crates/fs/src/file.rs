@@ -342,7 +342,7 @@ impl RawFile {
 
     /// Take the file's stripe lock for a multi-step recovery operation
     /// (quiesces parity read-modify-write cycles).
-    pub fn lock_stripes(&self) -> parking_lot::MutexGuard<'_, ()> {
+    pub fn lock_stripes(&self) -> pario_check::MutexGuard<'_, ()> {
         self.state.stripe_lock.lock()
     }
 
@@ -533,6 +533,7 @@ impl RawFile {
         // The common case is one segment per run (extents merge at grow
         // time); hand the gathered buffer over without another copy.
         if segs.len() == 1 {
+            // invariant: just checked segs.len() == 1.
             let (dev, abs, _) = segs.next().unwrap();
             let t = dev.submit_write_blocks(abs, data.into_boxed_slice());
             out.push(if self.span_parallel {
@@ -602,6 +603,7 @@ impl RawFile {
     /// concatenate exactly onto the parts.
     fn scatter_run(m: MergedRun<&mut [u8]>, bufs: Vec<Box<[u8]>>) {
         let staging: Box<[u8]> = if bufs.len() == 1 {
+            // invariant: just checked bufs.len() == 1.
             bufs.into_iter().next().expect("one segment")
         } else {
             let mut s: Vec<u8> = Vec::with_capacity(bufs.iter().map(|b| b.len()).sum());
@@ -767,6 +769,11 @@ impl RawFile {
         // Concurrent sub-block writers sharing a block must not
         // interleave their read/write pairs, or one loses the other's
         // bytes (self-scheduled record writers hit this constantly).
+        //
+        // The lock is elided under `--cfg pario_check_demo`: that build
+        // reintroduces the historical lost-update race on purpose so the
+        // model checker's regression test can demonstrate finding it.
+        #[cfg(not(all(pario_check, pario_check_demo)))]
         let _g = self.state.rmw_lock.lock();
         let mut scratch = vec![0u8; self.block_size()];
         self.read_lblock(l, &mut scratch)?;

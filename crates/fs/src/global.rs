@@ -308,6 +308,7 @@ impl ByteWriter {
                 self.rec.len()
             )));
         }
+        // invariant: finish() consumes self, so the writer is still present.
         self.inner.take().expect("writer present").finish()
     }
 }
@@ -324,6 +325,7 @@ impl std::io::Write for ByteWriter {
             if self.fill == self.rec.len() {
                 self.inner
                     .as_mut()
+                    // invariant: the writer is only taken by finish(), which consumes self.
                     .expect("writer present")
                     .write_record(&self.rec)
                     .map_err(|e| std::io::Error::other(e.to_string()))?;

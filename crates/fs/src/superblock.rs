@@ -83,6 +83,7 @@ pub(crate) fn load(vol: &Volume) -> Result<()> {
     if &head[..8] != MAGIC {
         return Err(FsError::Meta("no pario superblock on device 0".into()));
     }
+    // invariant: an 8-byte slice always converts to [u8; 8].
     let len = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")) as usize;
     let region = (vol.inner.meta_blocks * bs as u64) as usize;
     if 16 + len > region {
@@ -121,9 +122,9 @@ pub(crate) fn load(vol: &Volume) -> Result<()> {
         files.insert(
             meta.name.clone(),
             std::sync::Arc::new(FileState {
-                meta: parking_lot::RwLock::new(meta),
-                stripe_lock: parking_lot::Mutex::new(()),
-                rmw_lock: parking_lot::Mutex::new(()),
+                meta: pario_check::RwLock::new(meta),
+                stripe_lock: pario_check::Mutex::new_named((), pario_check::LockLevel::FsStripe),
+                rmw_lock: pario_check::Mutex::new_named((), pario_check::LockLevel::FsRmw),
             }),
         );
     }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use pario_check::{LockLevel, Mutex, RwLock};
 
 use pario_disk::{mem_array, DeviceRef, IoNode, IoNodeStats, SchedPolicy};
 use pario_layout::LayoutSpec;
@@ -191,7 +191,7 @@ impl Volume {
                 sched: policy,
                 block_size,
                 meta_blocks,
-                alloc: Mutex::new(alloc),
+                alloc: Mutex::new_named(alloc, LockLevel::FsAlloc),
                 files: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
             }),
@@ -340,8 +340,8 @@ impl Volume {
         };
         let state = Arc::new(FileState {
             meta: RwLock::new(meta),
-            stripe_lock: Mutex::new(()),
-            rmw_lock: Mutex::new(()),
+            stripe_lock: Mutex::new_named((), LockLevel::FsStripe),
+            rmw_lock: Mutex::new_named((), LockLevel::FsRmw),
         });
         {
             let mut files = self.inner.files.write();
@@ -356,6 +356,7 @@ impl Volume {
         // (their bounds may round capacity up to whole file blocks).
         let lblocks = match (&spec.layout, spec.fixed_capacity_records) {
             (LayoutSpec::Partitioned { bounds, .. }, Some(_)) => {
+                // invariant: partitioned bounds are validated non-empty at create().
                 *bounds.last().expect("validated non-empty")
             }
             (_, Some(cap)) => (cap * spec.record_size as u64).div_ceil(self.block_size() as u64),
@@ -456,6 +457,7 @@ impl Volume {
             (&spec.layout, spec.fixed_capacity_records)
         {
             let cap_blocks = (cap * spec.record_size as u64).div_ceil(self.block_size() as u64);
+            // invariant: bounds were validated non-empty earlier in create().
             let total = *bounds.last().expect("validated non-empty");
             if total < cap_blocks {
                 return Err(FsError::BadSpec(format!(
@@ -476,6 +478,7 @@ impl Volume {
         }
         if let Some(cap) = meta.fixed_capacity_records {
             let cap_blocks = match &meta.layout {
+                // invariant: partitioned specs persist with non-empty bounds.
                 LayoutSpec::Partitioned { bounds, .. } => *bounds.last().expect("non-empty bounds"),
                 _ => (cap * meta.record_size as u64).div_ceil(self.block_size() as u64),
             };

@@ -63,6 +63,7 @@ impl Partitioned {
 
     /// Total logical blocks covered.
     pub fn total_blocks(&self) -> u64 {
+        // invariant: bounds is validated non-empty at construction.
         *self.bounds.last().unwrap()
     }
 

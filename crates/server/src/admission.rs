@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::ops::Bound::{Excluded, Unbounded};
 
-use parking_lot::{Condvar, Mutex};
+use pario_check::{Condvar, LockLevel, Mutex};
 
 use crate::error::{Result, ServerError};
 
@@ -58,7 +58,9 @@ struct AdmState {
     rr_last: u64,
 }
 
-pub(crate) struct Admission {
+/// Bounded admission queue; see the module docs. Its internal mutex is
+/// ranked [`LockLevel::Admission`] in the workspace lock hierarchy.
+pub struct Admission {
     limit: usize,
     policy: Saturation,
     m: Mutex<AdmState>,
@@ -67,7 +69,8 @@ pub(crate) struct Admission {
 
 /// An admitted operation; dropping it releases the permit and grants the
 /// next waiter in rotation.
-pub(crate) struct Permit<'a> {
+#[must_use = "the operation is admitted only while this permit lives"]
+pub struct Permit<'a> {
     adm: &'a Admission,
 }
 
@@ -80,34 +83,38 @@ impl Drop for Permit<'_> {
 }
 
 impl Admission {
-    pub(crate) fn new(limit: usize, policy: Saturation) -> Admission {
+    /// An admission queue allowing `limit` concurrent operations.
+    pub fn new(limit: usize, policy: Saturation) -> Admission {
         assert!(limit > 0, "admission limit must be positive");
         Admission {
             limit,
             policy,
-            m: Mutex::new(AdmState {
-                in_flight: 0,
-                admitted_high_water: 0,
-                waiting: 0,
-                wait_high_water: 0,
-                rejected: 0,
-                queues: BTreeMap::new(),
-                granted: HashSet::new(),
-                next_ticket: 0,
-                rr_last: 0,
-            }),
+            m: Mutex::new_named(
+                AdmState {
+                    in_flight: 0,
+                    admitted_high_water: 0,
+                    waiting: 0,
+                    wait_high_water: 0,
+                    rejected: 0,
+                    queues: BTreeMap::new(),
+                    granted: HashSet::new(),
+                    next_ticket: 0,
+                    rr_last: 0,
+                },
+                LockLevel::Admission,
+            ),
             cv: Condvar::new(),
         }
     }
 
     /// The configured in-flight limit.
-    pub(crate) fn limit(&self) -> usize {
+    pub fn limit(&self) -> usize {
         self.limit
     }
 
     /// Admit one operation for `session`, blocking or rejecting per the
     /// saturation policy.
-    pub(crate) fn acquire(&self, session: u64) -> Result<Permit<'_>> {
+    pub fn acquire(&self, session: u64) -> Result<Permit<'_>> {
         let mut st = self.m.lock();
         // Fast path only when nobody is queued, so arrivals cannot
         // overtake waiters.
@@ -146,8 +153,14 @@ impl Admission {
             .map(|(&s, _)| s)
             .or_else(|| st.queues.keys().next().copied());
         let Some(sess) = next else { return };
-        let q = st.queues.get_mut(&sess).expect("session has waiters");
-        let ticket = q.pop_front().expect("non-empty queue");
+        // invariant: `sess` came from `queues` keys and queues are
+        // removed the moment they drain, so both lookups succeed.
+        let Some(q) = st.queues.get_mut(&sess) else {
+            return;
+        };
+        let Some(ticket) = q.pop_front() else {
+            return;
+        };
         if q.is_empty() {
             st.queues.remove(&sess);
         }
@@ -159,7 +172,8 @@ impl Admission {
         self.cv.notify_all();
     }
 
-    pub(crate) fn stats(&self) -> AdmissionStats {
+    /// A point-in-time snapshot of queue statistics.
+    pub fn stats(&self) -> AdmissionStats {
         let st = self.m.lock();
         AdmissionStats {
             in_flight: st.in_flight,

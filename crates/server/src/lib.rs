@@ -67,14 +67,15 @@
 
 #![warn(missing_docs)]
 
-mod admission;
+pub mod admission;
 mod error;
-mod locks;
+pub mod locks;
 mod session;
 mod stats;
 
-pub use admission::{AdmissionStats, Saturation};
+pub use admission::{Admission, AdmissionStats, Permit, Saturation};
 pub use error::{Result, ServerError};
+pub use locks::{ByteRangeLocks, RangeGuard};
 pub use session::{
     DirectClient, InterleavedClient, PartitionClient, SeqClient, Server, ServerConfig, Session,
     SsClient,

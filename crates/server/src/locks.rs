@@ -6,31 +6,48 @@
 //! deliberately not locked — the paper's GDA view offers no read
 //! consistency guarantee, and a reader that wants one takes a lock via
 //! the update path.
+//!
+//! Built on `pario-check` primitives, so `--cfg pario_check` model tests
+//! can explore the acquire/release interleavings deterministically; the
+//! internal mutex is ranked [`LockLevel::RangeLock`] in the workspace
+//! lock hierarchy.
 
-use parking_lot::{Condvar, Mutex};
+use pario_check::{Condvar, LockLevel, Mutex};
 
 /// Active locked byte ranges of one file.
-#[derive(Default)]
-pub(crate) struct RangeLocks {
+pub struct ByteRangeLocks {
     held: Mutex<Vec<(u64, u64, u64)>>,
     cv: Condvar,
 }
 
+impl Default for ByteRangeLocks {
+    fn default() -> ByteRangeLocks {
+        ByteRangeLocks::new()
+    }
+}
+
 /// An acquired byte-range lock; dropping it releases the range.
-pub(crate) struct RangeGuard<'a> {
-    locks: &'a RangeLocks,
+#[must_use = "the byte range is locked only while this guard lives"]
+pub struct RangeGuard<'a> {
+    locks: &'a ByteRangeLocks,
     ticket: u64,
 }
 
-impl RangeLocks {
+impl ByteRangeLocks {
+    /// A lock table with no held ranges.
+    pub const fn new() -> ByteRangeLocks {
+        ByteRangeLocks {
+            held: Mutex::new_named(Vec::new(), LockLevel::RangeLock),
+            cv: Condvar::new(),
+        }
+    }
+
     /// Block until `[start, end)` overlaps no held range, then hold it.
-    pub(crate) fn acquire(&self, start: u64, end: u64) -> RangeGuard<'_> {
+    pub fn acquire(&self, start: u64, end: u64) -> RangeGuard<'_> {
         assert!(start < end, "empty range");
         let mut held = self.held.lock();
         loop {
-            if !held.iter().any(|&(s, e, _)| start < e && s < end) {
-                let ticket = held.iter().map(|&(_, _, t)| t + 1).max().unwrap_or(0);
-                held.push((start, end, ticket));
+            if let Some(ticket) = Self::grab(&mut held, start, end) {
                 return RangeGuard {
                     locks: self,
                     ticket,
@@ -40,9 +57,28 @@ impl RangeLocks {
         }
     }
 
-    /// Ranges currently held (for stats / tests).
-    #[cfg(test)]
-    pub(crate) fn held(&self) -> usize {
+    /// Take `[start, end)` if it overlaps no held range, without
+    /// blocking.
+    pub fn try_acquire(&self, start: u64, end: u64) -> Option<RangeGuard<'_>> {
+        assert!(start < end, "empty range");
+        let mut held = self.held.lock();
+        Self::grab(&mut held, start, end).map(|ticket| RangeGuard {
+            locks: self,
+            ticket,
+        })
+    }
+
+    fn grab(held: &mut Vec<(u64, u64, u64)>, start: u64, end: u64) -> Option<u64> {
+        if held.iter().any(|&(s, e, _)| start < e && s < end) {
+            return None;
+        }
+        let ticket = held.iter().map(|&(_, _, t)| t + 1).max().unwrap_or(0);
+        held.push((start, end, ticket));
+        Some(ticket)
+    }
+
+    /// Number of ranges currently held (for stats / tests).
+    pub fn held(&self) -> usize {
         self.held.lock().len()
     }
 }
@@ -62,7 +98,7 @@ mod tests {
 
     #[test]
     fn disjoint_ranges_coexist() {
-        let l = RangeLocks::default();
+        let l = ByteRangeLocks::default();
         let a = l.acquire(0, 10);
         let b = l.acquire(10, 20);
         assert_eq!(l.held(), 2);
@@ -72,8 +108,19 @@ mod tests {
     }
 
     #[test]
+    fn try_acquire_refuses_overlap() {
+        let l = ByteRangeLocks::new();
+        let a = l.acquire(0, 10);
+        assert!(l.try_acquire(5, 15).is_none());
+        let b = l.try_acquire(10, 20).expect("disjoint range is free");
+        drop(a);
+        drop(b);
+        assert_eq!(l.held(), 0);
+    }
+
+    #[test]
     fn overlap_blocks_until_release() {
-        let l = RangeLocks::default();
+        let l = ByteRangeLocks::default();
         let counter = AtomicU64::new(0);
         // 8 threads doing read-modify-write under the same range: the
         // lock must serialise them perfectly.

@@ -22,7 +22,7 @@ use pario_fs::{FsError, GlobalReader, GlobalWriter, Volume};
 
 use crate::admission::{Admission, Saturation};
 use crate::error::{Result, ServerError};
-use crate::locks::RangeLocks;
+use crate::locks::ByteRangeLocks;
 use crate::stats::{LatencyHistogram, ServerStats, SessionCounters, SessionStats};
 
 /// Tuning knobs for a [`Server`].
@@ -61,7 +61,7 @@ struct Sharing {
 struct FileEntry {
     pfile: ParallelFile,
     sharing: Mutex<Sharing>,
-    ranges: RangeLocks,
+    ranges: ByteRangeLocks,
 }
 
 struct Inner {
@@ -84,7 +84,7 @@ impl Inner {
         let e = Arc::new(FileEntry {
             pfile,
             sharing: Mutex::new(Sharing::default()),
-            ranges: RangeLocks::default(),
+            ranges: ByteRangeLocks::default(),
         });
         files.insert(name.to_string(), Arc::clone(&e));
         Ok(e)

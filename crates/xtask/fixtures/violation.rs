@@ -1,0 +1,32 @@
+//! Committed lint fixture: every rule of `cargo run -p xtask -- lint`
+//! must fire on this file. `lint --self-test` (run in CI) fails the
+//! build if any rule stops detecting its seeded violation below.
+//!
+//! This file is data for the lint self-test, not code: it is never
+//! compiled (it lives outside any `src/` tree).
+
+use std::sync::Mutex; // R1: std::sync::Mutex on the request path
+
+struct Node {
+    state: Mutex<Vec<u8>>,
+}
+
+fn spawn_worker() {
+    // R1: raw spawn instead of a named Builder worker.
+    let h = std::thread::spawn(|| {});
+    // R2: expect without an invariant comment.
+    h.join().expect("worker never panics");
+}
+
+fn read_state(n: &Node) -> usize {
+    // R2: unwrap without an invariant comment.
+    let g = n.state.lock().unwrap();
+    g.len()
+}
+
+fn inverted_locks(file: &File, vol: &Volume) {
+    // R3: fs.rmw (rank 60) is taken first...
+    let _rmw = file.rmw_lock.lock();
+    // ...and fs.alloc (rank 50) acquired under it: descending order.
+    let _alloc = vol.alloc.lock();
+}

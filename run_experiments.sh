@@ -1,7 +1,7 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerate every figure and quantitative claim of Crockett (1989).
 # Outputs land on stdout and (as JSON) in results/.
-set -e
+set -euo pipefail
 mkdir -p results
 for exp in e1_figure1 e2_striping e3_selfsched e4_device_per_process \
            e5_global_view e6_seek_degradation e7_declustering \
