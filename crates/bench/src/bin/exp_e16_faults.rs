@@ -1,0 +1,210 @@
+//! E16 — online fault management. One claim, end to end: a shadowed
+//! volume under an injected fail-stop keeps serving its foreground
+//! workload through the *entire* fault cycle — brownout, detection,
+//! and an online rebuild — and foreground throughput never drops to
+//! zero while the rebuild's throttled bursts share the stripes.
+//!
+//! The timeline is sampled at a fixed interval and bucketed by phase
+//! (healthy → degraded → rebuilding → recovered); per-phase throughput
+//! lands in `results/e16_faults.json`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use pario_bench::banner;
+use pario_bench::table::{save_json, Table};
+use pario_disk::{mem_array, FaultDevice, FaultPlan};
+use pario_fs::{FileSpec, HealthState, Volume};
+use pario_layout::LayoutSpec;
+use pario_reliability::{rebuild_device_online, RebuildThrottle};
+
+const BS: usize = 256;
+const RECORDS: u64 = 256;
+const WORKERS: u64 = 4;
+const FAULT_DEV: usize = 1;
+const SAMPLE: Duration = Duration::from_millis(5);
+
+const HEALTHY: usize = 0;
+const DEGRADED: usize = 1;
+const REBUILDING: usize = 2;
+const RECOVERED: usize = 3;
+const PHASES: [&str; 4] = ["healthy", "degraded", "rebuilding", "recovered"];
+
+fn main() {
+    banner(
+        "E16 (online fault management)",
+        "a shadowed volume rides out an injected fail-stop: foreground \
+         reads and writes keep flowing while the device is detected, \
+         declared Failed, and rebuilt online through throttled bursts",
+    );
+
+    let mut devices = mem_array(4, 2048, BS);
+    let (fault, wrapped) = FaultDevice::wrap(
+        devices[FAULT_DEV].clone(),
+        FaultPlan {
+            seed: 0xe16,
+            transient_rate: 0.01,
+            fail_after: Some(4000),
+            ..FaultPlan::default()
+        },
+    );
+    devices[FAULT_DEV] = wrapped;
+    fault.set_armed(false);
+
+    let v = Volume::new(devices).unwrap();
+    let f = v
+        .create_file(FileSpec::new(
+            "data",
+            BS,
+            1,
+            LayoutSpec::Shadowed(Box::new(LayoutSpec::Striped {
+                devices: 2,
+                unit: 1,
+            })),
+        ))
+        .unwrap();
+    for r in 0..RECORDS {
+        f.write_record(r, &vec![(r + 1) as u8; BS]).unwrap();
+    }
+
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let phase = AtomicUsize::new(HEALTHY);
+    // (elapsed, phase at sample time, cumulative ops) every SAMPLE tick.
+    let timeline: parking_lot::Mutex<Vec<(Duration, usize, u64)>> =
+        parking_lot::Mutex::new(Vec::new());
+    let t0 = Instant::now();
+
+    crossbeam::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let (f, stop, ops) = (f.clone(), &stop, &ops);
+            s.spawn(move |_| {
+                let base = w * (RECORDS / WORKERS);
+                let span = RECORDS / WORKERS;
+                let mut buf = vec![0u8; BS];
+                let mut k = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let r = base + k % span;
+                    f.write_record(r, &vec![(r + 1) as u8; BS]).unwrap();
+                    f.read_record(base + (k * 5 + 1) % span, &mut buf).unwrap();
+                    ops.fetch_add(2, Ordering::Relaxed);
+                    k += 1;
+                }
+            });
+        }
+        {
+            let (stop, ops, phase, timeline) = (&stop, &ops, &phase, &timeline);
+            s.spawn(move |_| {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(SAMPLE);
+                    timeline.lock().push((
+                        t0.elapsed(),
+                        phase.load(Ordering::SeqCst),
+                        ops.load(Ordering::Relaxed),
+                    ));
+                }
+            });
+        }
+
+        // Phase 1: a healthy baseline, fault schedule disarmed.
+        std::thread::sleep(Duration::from_millis(120));
+
+        // Phase 2: arm the schedule; the workload trips the fail-stop
+        // and the health board learns of it from I/O error feedback.
+        phase.store(DEGRADED, Ordering::SeqCst);
+        fault.set_armed(true);
+        let armed_at = Instant::now();
+        while v.device_health(FAULT_DEV) != HealthState::Failed {
+            assert!(
+                armed_at.elapsed() < Duration::from_secs(30),
+                "fail-stop never reached the health board: {:?}",
+                v.health_snapshot()
+            );
+            std::thread::yield_now();
+        }
+        let detect = armed_at.elapsed();
+        // Let the degraded regime run visibly before repair begins.
+        std::thread::sleep(Duration::from_millis(120));
+
+        // Phase 3: online rebuild, throttled so foreground I/O keeps
+        // flowing between bursts.
+        phase.store(REBUILDING, Ordering::SeqCst);
+        let rb0 = Instant::now();
+        let report = rebuild_device_online(
+            &v,
+            FAULT_DEV,
+            RebuildThrottle {
+                burst_blocks: 8,
+                pause: Duration::from_millis(2),
+            },
+        )
+        .unwrap();
+        let rebuild_took = rb0.elapsed();
+        assert_eq!(v.device_health(FAULT_DEV), HealthState::Healthy);
+
+        // Phase 4: recovered steady state.
+        phase.store(RECOVERED, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(120));
+        stop.store(true, Ordering::SeqCst);
+
+        println!(
+            "fail-stop detected in {detect:?}; online rebuild re-synced \
+             {} blocks in {rebuild_took:?} ({:?} of transient errors seen)\n",
+            report.shadow_resynced.iter().map(|(_, n)| n).sum::<u64>(),
+            fault.counts().transients,
+        );
+    })
+    .unwrap();
+
+    // Bucket the timeline by phase.
+    let samples = std::mem::take(&mut *timeline.lock());
+    let mut t = Table::new(&["phase", "duration (ms)", "ops", "kops/s", "min 5ms slice"]);
+    let mut rebuild_min = u64::MAX;
+    for (p, name) in PHASES.iter().enumerate() {
+        let in_phase: Vec<&(Duration, usize, u64)> =
+            samples.iter().filter(|(_, ph, _)| *ph == p).collect();
+        if in_phase.len() < 2 {
+            continue;
+        }
+        let dur = in_phase.last().unwrap().0 - in_phase[0].0;
+        let done = in_phase.last().unwrap().2 - in_phase[0].2;
+        let min_slice = in_phase
+            .windows(2)
+            .map(|w| w[1].2 - w[0].2)
+            .min()
+            .unwrap_or(0);
+        if p == REBUILDING {
+            rebuild_min = min_slice;
+        }
+        t.row(&[
+            name.to_string(),
+            format!("{:.0}", dur.as_secs_f64() * 1e3),
+            done.to_string(),
+            format!("{:.1}", done as f64 / dur.as_secs_f64() / 1e3),
+            min_slice.to_string(),
+        ]);
+    }
+    t.print();
+    save_json("e16_faults", &t);
+
+    // The headline claim: no 5ms slice of the rebuild phase saw zero
+    // foreground operations — the throttle kept the stripes shared.
+    assert!(
+        rebuild_min != u64::MAX,
+        "rebuild finished too fast to sample; lower burst_blocks"
+    );
+    assert!(
+        rebuild_min > 0,
+        "foreground throughput dropped to zero during the online rebuild"
+    );
+    println!(
+        "\n-> foreground never stalled: every 5ms slice of the rebuild \
+         completed >= {rebuild_min} ops"
+    );
+
+    let snap = v.health_snapshot();
+    println!(
+        "-> device {FAULT_DEV} history: {:?}",
+        snap[FAULT_DEV].transitions
+    );
+}

@@ -21,6 +21,7 @@
 //! | 50 | `Volume::alloc` | pario-fs | extent allocator |
 //! | 60 | `FileState::rmw_lock` | pario-fs | sub-block RMW window |
 //! | 70 | `FileState::stripe_lock` | pario-fs | parity stripe RMW cycle |
+//! | 80 | `HealthBoard::board` | pario-fs | device health state machine |
 
 /// Rank of a lock in the global acquisition order. Larger ranks must be
 /// acquired after smaller ranks; [`LockLevel::Unranked`] locks are
@@ -45,6 +46,10 @@ pub enum LockLevel {
     FsRmw = 60,
     /// `pario-fs` per-file parity stripe lock.
     FsStripe = 70,
+    /// `pario-fs` per-volume device health board. Ranked above every
+    /// I/O-path lock because error feedback is reported from inside
+    /// RMW/stripe critical sections.
+    FsHealth = 80,
     /// Outside the hierarchy: never checked for ordering.
     Unranked = 255,
 }
@@ -61,6 +66,7 @@ impl LockLevel {
             LockLevel::FsAlloc => "fs.alloc",
             LockLevel::FsRmw => "fs.rmw",
             LockLevel::FsStripe => "fs.stripe",
+            LockLevel::FsHealth => "fs.health",
             LockLevel::Unranked => "unranked",
         }
     }

@@ -27,7 +27,7 @@
 //! ```
 //!
 //! To replay a failing schedule, paste the printed string into
-//! [`Explorer::replay`] (or re-run the test: exploration is seeded and
+//! `Explorer::replay` (or re-run the test: exploration is seeded and
 //! deterministic).
 
 pub mod hierarchy;

@@ -29,8 +29,36 @@ pub enum DiskError {
         /// Device-local block address.
         block: u64,
     },
+    /// A transient fault (bus glitch, injected soft error): the same
+    /// operation is expected to succeed if retried.
+    Transient {
+        /// Human-readable device identity.
+        device: String,
+    },
+    /// The request missed its deadline (queue wait plus retries exceeded
+    /// the executor's per-ticket budget). Retryable by the caller.
+    Timeout {
+        /// Human-readable device identity.
+        device: String,
+    },
     /// An underlying OS I/O error (file-backed devices).
     Io(String),
+}
+
+impl DiskError {
+    /// True for faults that are expected to clear on retry
+    /// ([`DiskError::Transient`], [`DiskError::Timeout`]); false for
+    /// permanent failures ([`DiskError::DeviceFailed`],
+    /// [`DiskError::Corruption`]) and caller bugs
+    /// ([`DiskError::OutOfRange`], [`DiskError::BadBufferSize`]).
+    /// The executor's retry loop and the volume health state machine
+    /// both branch on this split.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DiskError::Transient { .. } | DiskError::Timeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for DiskError {
@@ -44,6 +72,12 @@ impl fmt::Display for DiskError {
                 write!(f, "buffer of {got} bytes, device block size is {expected}")
             }
             DiskError::Corruption { block } => write!(f, "data corruption at block {block}"),
+            DiskError::Transient { device } => {
+                write!(f, "transient fault on device {device} (retryable)")
+            }
+            DiskError::Timeout { device } => {
+                write!(f, "request deadline exceeded on device {device}")
+            }
             DiskError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
@@ -79,5 +113,38 @@ mod tests {
         .contains("9"));
         let io: DiskError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
+        assert!(DiskError::Transient {
+            device: "mem0".into()
+        }
+        .to_string()
+        .contains("transient"));
+        assert!(DiskError::Timeout {
+            device: "mem0".into()
+        }
+        .to_string()
+        .contains("deadline"));
+    }
+
+    #[test]
+    fn transient_permanent_split() {
+        let transient = [
+            DiskError::Transient { device: "d".into() },
+            DiskError::Timeout { device: "d".into() },
+        ];
+        assert!(transient.iter().all(DiskError::is_transient));
+        let permanent = [
+            DiskError::DeviceFailed { device: "d".into() },
+            DiskError::OutOfRange {
+                block: 1,
+                capacity: 1,
+            },
+            DiskError::BadBufferSize {
+                got: 1,
+                expected: 2,
+            },
+            DiskError::Corruption { block: 0 },
+            DiskError::Io("x".into()),
+        ];
+        assert!(permanent.iter().all(|e| !e.is_transient()));
     }
 }

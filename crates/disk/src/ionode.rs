@@ -81,6 +81,51 @@ impl<T> Ticket<T> {
                 .map_err(|_| DiskError::Io("I/O node dropped request".into()))?,
         }
     }
+
+    /// Wait for whichever of two tickets completes first — the hedged
+    /// read: submit the same data from two replicas and take the faster.
+    ///
+    /// The first `Ok` wins and the loser's result is abandoned (its
+    /// operation still executes; see the [`Ticket`] drop contract). If
+    /// the faster completion failed, the slower ticket is awaited as the
+    /// fallback; if both fail, the first error observed is returned.
+    pub fn race(a: Ticket<T>, b: Ticket<T>) -> Result<T> {
+        fn settle<T>(first: Result<T>, slower: Ticket<T>) -> Result<T> {
+            match first {
+                Ok(v) => Ok(v),
+                Err(e) => slower.wait().or(Err(e)),
+            }
+        }
+        match (a.inner, b.inner) {
+            (TicketInner::Ready(res), other) | (other, TicketInner::Ready(res)) => {
+                settle(res, Ticket { inner: other })
+            }
+            (TicketInner::Pending(ra), TicketInner::Pending(rb)) => {
+                // Alternate short timed receives between the two replies.
+                // The ~50us granularity is noise next to the queue wait
+                // that makes hedging worthwhile in the first place.
+                use crossbeam::channel::RecvTimeoutError;
+                let step = std::time::Duration::from_micros(50);
+                let dropped = || Err(DiskError::Io("I/O node dropped request".into()));
+                loop {
+                    match ra.recv_timeout(step) {
+                        Ok(res) => return settle(res, Ticket::pending(rb)),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return settle(dropped(), Ticket::pending(rb));
+                        }
+                    }
+                    match rb.recv_timeout(step) {
+                        Ok(res) => return settle(res, Ticket::pending(ra)),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return settle(dropped(), Ticket::pending(ra));
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A request plus its arrival order and the instant it entered the
@@ -134,10 +179,13 @@ struct Shared {
     serviced: AtomicU64,
     queue_wait_nanos: AtomicU64,
     service_nanos: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
     next_tag: AtomicU64,
     block_size: usize,
     num_blocks: u64,
-    policy: SchedPolicy,
+    config: NodeConfig,
     label: String,
 }
 
@@ -149,6 +197,56 @@ impl Shared {
             max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
             queue_wait_nanos: self.queue_wait_nanos.load(Ordering::Relaxed),
             service_nanos: self.service_nanos.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bounded retry for transient device faults.
+///
+/// A fault classified retryable by [`DiskError::is_transient`] is
+/// retried in place by the worker, with exponential backoff, before the
+/// error reaches the ticket — the layers above only ever see transients
+/// that survived the whole budget.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per request after the initial attempt (0 disables).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: std::time::Duration::from_micros(20),
+        }
+    }
+}
+
+/// Full executor configuration for one I/O node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Dispatch order for the pending set.
+    pub policy: SchedPolicy,
+    /// Transient-fault retry budget.
+    pub retry: RetryPolicy,
+    /// Per-ticket deadline measured from submission: a request that is
+    /// still unserved (or still retrying) past this budget fails with
+    /// [`DiskError::Timeout`] instead of occupying the device. `None`
+    /// means requests wait forever.
+    pub deadline: Option<std::time::Duration>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> NodeConfig {
+        NodeConfig {
+            policy: SchedPolicy::Fifo,
+            retry: RetryPolicy::default(),
+            deadline: None,
         }
     }
 }
@@ -177,6 +275,14 @@ pub struct IoNodeStats {
     pub queue_wait_nanos: u64,
     /// Cumulative nanoseconds the worker spent inside device transfers.
     pub service_nanos: u64,
+    /// Transient faults retried in place by the worker
+    /// (see [`RetryPolicy`]).
+    pub retries: u64,
+    /// Requests expired by the per-ticket deadline
+    /// (see [`NodeConfig::deadline`]).
+    pub timeouts: u64,
+    /// Device operations that panicked; each failed only its own ticket.
+    pub panics: u64,
 }
 
 impl IoNodeStats {
@@ -188,6 +294,9 @@ impl IoNodeStats {
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
         self.queue_wait_nanos += other.queue_wait_nanos;
         self.service_nanos += other.service_nanos;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.panics += other.panics;
     }
 }
 
@@ -200,8 +309,21 @@ impl IoNode {
 
     /// Spawn an I/O processor thread owning `inner`, dispatching its
     /// queue per `policy` (SSTF and the elevator policies reorder a
-    /// backlog to cut arm travel; see [`Scheduler`]).
+    /// backlog to cut arm travel; see [`Scheduler`]), with the default
+    /// transient-retry budget and no deadline.
     pub fn spawn_with_policy(inner: DeviceRef, policy: SchedPolicy) -> IoNode {
+        IoNode::spawn_with_config(
+            inner,
+            NodeConfig {
+                policy,
+                ..NodeConfig::default()
+            },
+        )
+    }
+
+    /// Spawn an I/O processor with full control over dispatch policy,
+    /// retry budget, and per-ticket deadline.
+    pub fn spawn_with_config(inner: DeviceRef, config: NodeConfig) -> IoNode {
         let (queue_tx, queue_rx): (Sender<Queued>, Receiver<Queued>) = unbounded();
         let shared = Arc::new(Shared {
             in_flight: AtomicU64::new(0),
@@ -209,16 +331,19 @@ impl IoNode {
             serviced: AtomicU64::new(0),
             queue_wait_nanos: AtomicU64::new(0),
             service_nanos: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
             next_tag: AtomicU64::new(0),
             block_size: inner.block_size(),
             num_blocks: inner.num_blocks(),
-            policy,
+            config,
             label: format!("ionode({})", inner.label()),
         });
         let worker_shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("pario-ionode".into())
-            .spawn(move || worker(inner, policy, &worker_shared, &queue_rx))
+            .spawn(move || worker(inner, &worker_shared, &queue_rx))
             // invariant: spawn fails only on OS thread exhaustion at startup.
             .expect("spawn I/O node thread");
         IoNode { shared, queue_tx }
@@ -254,7 +379,12 @@ impl IoNode {
 
     /// The dispatch policy the worker runs.
     pub fn policy(&self) -> SchedPolicy {
-        self.shared.policy
+        self.shared.config.policy
+    }
+
+    /// The full executor configuration the worker runs.
+    pub fn config(&self) -> NodeConfig {
+        self.shared.config
     }
 
     /// Current queue statistics.
@@ -266,9 +396,10 @@ impl IoNode {
 /// The worker loop: block for one request, opportunistically drain the
 /// rest of the channel into a pending set, and service the set in
 /// scheduler order until node and handles are gone AND the set is empty.
-fn worker(inner: DeviceRef, policy: SchedPolicy, shared: &Shared, queue_rx: &Receiver<Queued>) {
+fn worker(inner: DeviceRef, shared: &Shared, queue_rx: &Receiver<Queued>) {
     let num_blocks = inner.num_blocks();
-    let mut sched = Scheduler::new(policy);
+    let config = shared.config;
+    let mut sched = Scheduler::new(config.policy);
     let mut head: u32 = 0;
     let mut pending: Vec<Queued> = Vec::new();
     // Stats are settled BEFORE the reply is sent, so a client that
@@ -298,11 +429,9 @@ fn worker(inner: DeviceRef, policy: SchedPolicy, shared: &Shared, queue_rx: &Rec
         // invariant: guarded above — this path runs only with pending non-empty.
         let idx = sched.pick(&keyed, head).expect("pending set is non-empty");
         let Queued { enqueued, req, .. } = pending.swap_remove(idx);
+        let deadline_at = config.deadline.map(|d| enqueued + d);
         let started = Instant::now();
         let wait = (started - enqueued).as_nanos() as u64;
-        // A panicking device op fails its ticket, not the node: the
-        // worker reports the panic as an I/O error and keeps serving.
-        let panicked = || DiskError::Io(format!("device operation panicked in {}", shared.label));
         match req {
             Request::Read {
                 block,
@@ -310,34 +439,72 @@ fn worker(inner: DeviceRef, policy: SchedPolicy, shared: &Shared, queue_rx: &Rec
                 reply,
             } => {
                 head = end_cylinder(block, buf.len() / shared.block_size, num_blocks);
-                let res = match catch_unwind(AssertUnwindSafe(|| {
+                let res = execute(shared, &config, deadline_at, || {
                     inner.read_blocks_at(block, &mut buf)
-                })) {
-                    Ok(Ok(())) => Ok(buf),
-                    Ok(Err(e)) => Err(e),
-                    Err(_) => Err(panicked()),
-                };
+                })
+                .map(|()| buf);
                 complete(wait, started.elapsed().as_nanos() as u64);
                 let _ = reply.send(res);
             }
             Request::Write { block, data, reply } => {
                 head = end_cylinder(block, data.len() / shared.block_size, num_blocks);
-                let res =
-                    match catch_unwind(AssertUnwindSafe(|| inner.write_blocks_at(block, &data))) {
-                        Ok(Ok(())) => Ok(data),
-                        Ok(Err(e)) => Err(e),
-                        Err(_) => Err(panicked()),
-                    };
+                let res = execute(shared, &config, deadline_at, || {
+                    inner.write_blocks_at(block, &data)
+                })
+                .map(|()| data);
                 complete(wait, started.elapsed().as_nanos() as u64);
                 let _ = reply.send(res);
             }
             Request::Flush { reply } => {
-                let res = match catch_unwind(AssertUnwindSafe(|| inner.flush())) {
-                    Ok(r) => r,
-                    Err(_) => Err(panicked()),
-                };
+                let res = execute(shared, &config, deadline_at, || inner.flush());
                 complete(wait, started.elapsed().as_nanos() as u64);
                 let _ = reply.send(res);
+            }
+        }
+    }
+}
+
+/// Run one device operation under the node's fault policy: transient
+/// errors are retried with exponential backoff up to the
+/// [`RetryPolicy`] budget, the per-ticket deadline converts an expired
+/// request into [`DiskError::Timeout`] *before* it occupies the device,
+/// and a panicking device op fails only its own ticket — the worker
+/// reports it as an I/O error and keeps serving.
+fn execute<T>(
+    shared: &Shared,
+    config: &NodeConfig,
+    deadline_at: Option<Instant>,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let expired = |at: Option<Instant>| at.is_some_and(|d| Instant::now() >= d);
+    let timeout = || {
+        shared.timeouts.fetch_add(1, Ordering::Relaxed);
+        DiskError::Timeout {
+            device: shared.label.clone(),
+        }
+    };
+    if expired(deadline_at) {
+        return Err(timeout());
+    }
+    let mut attempt: u32 = 0;
+    loop {
+        match catch_unwind(AssertUnwindSafe(&mut op)) {
+            Ok(Ok(v)) => return Ok(v),
+            Ok(Err(e)) if e.is_transient() && attempt < config.retry.max_retries => {
+                if expired(deadline_at) {
+                    return Err(timeout());
+                }
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(config.retry.backoff * (1u32 << attempt.min(16)));
+                attempt += 1;
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                return Err(DiskError::Io(format!(
+                    "device operation panicked in {}",
+                    shared.label
+                )));
             }
         }
     }
@@ -737,6 +904,9 @@ mod tests {
             max_in_flight: 2,
             queue_wait_nanos: 100,
             service_nanos: 400,
+            retries: 2,
+            timeouts: 1,
+            panics: 0,
         };
         let mut agg = IoNodeStats::default();
         agg.absorb(a);
@@ -746,11 +916,176 @@ mod tests {
             max_in_flight: 5,
             queue_wait_nanos: 10,
             service_nanos: 20,
+            retries: 1,
+            timeouts: 0,
+            panics: 3,
         });
         assert_eq!(agg.serviced, 4);
         assert_eq!(agg.max_in_flight, 5);
         assert_eq!(agg.queue_wait_nanos, 110);
         assert_eq!(agg.service_nanos, 420);
+        assert_eq!((agg.retries, agg.timeouts, agg.panics), (3, 1, 3));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_in_place() {
+        use crate::fault::{FaultDevice, FaultPlan};
+        // Every third-ish op glitches; the worker's retry budget should
+        // absorb all of them so clients never see an error.
+        let (fault, faulty) = FaultDevice::wrap(
+            Arc::new(MemDisk::new(32, 64)) as DeviceRef,
+            FaultPlan {
+                seed: 7,
+                transient_rate: 0.3,
+                ..FaultPlan::default()
+            },
+        );
+        let node = IoNode::spawn(faulty);
+        let dev = node.device();
+        let mut buf = vec![0u8; 64];
+        for b in 0..32u64 {
+            dev.write_block(b, &[b as u8; 64]).unwrap();
+        }
+        for b in 0..32u64 {
+            dev.read_block(b, &mut buf).unwrap();
+            assert!(buf.iter().all(|&x| x == b as u8));
+        }
+        // With rate 0.3 over 64 ops some retries must have happened
+        // (P[no transient at all] < 1e-9 for seed 7 it does glitch).
+        assert!(node.stats().retries > 0, "{:?}", node.stats());
+        assert!(fault.counts().transients > 0);
+        assert_eq!(node.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_the_transient() {
+        use crate::fault::{FaultDevice, FaultPlan};
+        let (_, faulty) = FaultDevice::wrap(
+            Arc::new(MemDisk::new(8, 64)) as DeviceRef,
+            FaultPlan {
+                transient_rate: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        let node = IoNode::spawn_with_config(
+            faulty,
+            NodeConfig {
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    backoff: std::time::Duration::from_micros(1),
+                },
+                ..NodeConfig::default()
+            },
+        );
+        let dev = node.device();
+        let mut buf = vec![0u8; 64];
+        let err = dev.read_block(0, &mut buf).unwrap_err();
+        assert!(err.is_transient(), "got {err}");
+        assert_eq!(node.stats().retries, 2);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_without_touching_the_device() {
+        use std::time::Duration;
+        let mem = Arc::new(MemDisk::new(16, 64).with_delay(Duration::from_millis(2)));
+        let node = IoNode::spawn_with_config(
+            Arc::clone(&mem) as DeviceRef,
+            NodeConfig {
+                deadline: Some(Duration::from_micros(500)),
+                ..NodeConfig::default()
+            },
+        );
+        let dev = node.device();
+        // A burst deep enough that tail requests queue past the deadline.
+        let tickets: Vec<Ticket<Box<[u8]>>> = (0..8u64)
+            .map(|b| dev.submit_write_blocks(b, vec![1u8; 64].into_boxed_slice()))
+            .collect();
+        let outcomes: Vec<Result<Box<[u8]>>> = tickets.into_iter().map(Ticket::wait).collect();
+        assert!(outcomes[0].is_ok(), "first request had the device idle");
+        let timed_out = outcomes
+            .iter()
+            .filter(|r| matches!(r, Err(DiskError::Timeout { .. })))
+            .count() as u64;
+        assert!(timed_out > 0, "queue tail must expire");
+        assert_eq!(node.stats().timeouts, timed_out);
+        // Timed-out writes never reached the media's request counters.
+        assert_eq!(mem.counters().writes, 8 - timed_out);
+    }
+
+    #[test]
+    fn panics_are_counted_per_node() {
+        struct Landmine(MemDisk);
+        impl BlockDevice for Landmine {
+            fn block_size(&self) -> usize {
+                self.0.block_size()
+            }
+            fn num_blocks(&self) -> u64 {
+                self.0.num_blocks()
+            }
+            fn read_block(&self, _block: u64, _buf: &mut [u8]) -> Result<()> {
+                panic!("landmine");
+            }
+            fn write_block(&self, block: u64, data: &[u8]) -> Result<()> {
+                self.0.write_block(block, data)
+            }
+            fn counters(&self) -> IoCounters {
+                self.0.counters()
+            }
+            fn fail(&self) {}
+            fn heal(&self) {}
+            fn is_failed(&self) -> bool {
+                false
+            }
+        }
+        let node = IoNode::spawn(Arc::new(Landmine(MemDisk::new(8, 64))));
+        let dev = node.device();
+        let mut buf = vec![0u8; 64];
+        assert!(dev.read_block(0, &mut buf).is_err());
+        assert!(dev.read_block(1, &mut buf).is_err());
+        dev.write_block(0, &[1u8; 64]).unwrap();
+        assert_eq!(node.stats().panics, 2);
+    }
+
+    #[test]
+    fn race_prefers_the_faster_ok() {
+        use std::time::Duration;
+        let fast = IoNode::spawn(Arc::new(MemDisk::new(8, 64)));
+        let slow_mem = Arc::new(MemDisk::new(8, 64).with_delay(Duration::from_millis(5)));
+        let slow = IoNode::spawn(Arc::clone(&slow_mem) as DeviceRef);
+        fast.device().write_block(0, &[1u8; 64]).unwrap();
+        slow_mem.write_block(0, &[2u8; 64]).unwrap();
+        let a = fast
+            .device()
+            .submit_read_blocks(0, vec![0u8; 64].into_boxed_slice());
+        let b = slow
+            .device()
+            .submit_read_blocks(0, vec![0u8; 64].into_boxed_slice());
+        let winner = Ticket::race(a, b).unwrap();
+        assert!(winner.iter().all(|&x| x == 1), "fast replica must win");
+    }
+
+    #[test]
+    fn race_falls_back_to_the_slower_ok() {
+        let broken = Arc::new(MemDisk::new(8, 64));
+        broken.fail();
+        let good = IoNode::spawn(Arc::new(MemDisk::new(8, 64)));
+        good.device().write_block(0, &[9u8; 64]).unwrap();
+        let a = (Arc::clone(&broken) as DeviceRef)
+            .submit_read_blocks(0, vec![0u8; 64].into_boxed_slice());
+        let b = good
+            .device()
+            .submit_read_blocks(0, vec![0u8; 64].into_boxed_slice());
+        let got = Ticket::race(a, b).unwrap();
+        assert!(got.iter().all(|&x| x == 9));
+        // Both failing: the error survives.
+        let a = (Arc::clone(&broken) as DeviceRef)
+            .submit_read_blocks(0, vec![0u8; 64].into_boxed_slice());
+        let b = (Arc::clone(&broken) as DeviceRef)
+            .submit_read_blocks(1, vec![0u8; 64].into_boxed_slice());
+        assert!(matches!(
+            Ticket::race(a, b),
+            Err(DiskError::DeviceFailed { .. })
+        ));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 mod device;
 mod error;
+mod fault;
 mod file;
 mod geometry;
 mod ionode;
@@ -40,9 +41,10 @@ mod sched;
 
 pub use device::{read_blocks, write_blocks, BlockDevice, DeviceRef, IoCounters};
 pub use error::{DiskError, Result};
+pub use fault::{FaultCounts, FaultDevice, FaultPlan};
 pub use file::FileDisk;
 pub use geometry::DiskGeometry;
-pub use ionode::{IoNode, IoNodeStats, Ticket};
+pub use ionode::{IoNode, IoNodeStats, NodeConfig, RetryPolicy, Ticket};
 pub use mem::MemDisk;
 pub use modeled::ModeledDisk;
 pub use sched::{block_cylinder, SchedPolicy, Scheduler, CYLINDERS};

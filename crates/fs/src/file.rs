@@ -11,6 +11,7 @@
 //!    logical byte stream and may straddle volume blocks; `read_span` /
 //!    `write_span` handle the block arithmetic once, for everyone above.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pario_disk::{DeviceRef, DiskError, Ticket};
@@ -18,6 +19,7 @@ use pario_layout::{runs, Layout, LayoutSpec, ParityPlacement, ParityStriped, Phy
 
 use crate::alloc::resolve;
 use crate::error::{FsError, Result};
+use crate::health::HealthState;
 use crate::meta::FileMeta;
 use crate::volume::{FileState, Volume};
 
@@ -57,6 +59,34 @@ fn xor_into(dst: &mut [u8], src: &[u8]) {
     debug_assert_eq!(dst.len(), src.len());
     for (d, s) in dst.iter_mut().zip(src) {
         *d ^= s;
+    }
+}
+
+/// Whether a read error is recoverable through redundancy: fail-stop,
+/// detected corruption, and transient faults that survived executor
+/// retries all leave a live copy elsewhere.
+fn recoverable(e: &DiskError) -> bool {
+    e.is_transient()
+        || matches!(
+            e,
+            DiskError::DeviceFailed { .. } | DiskError::Corruption { .. }
+        )
+}
+
+/// RAII token for the rebuild quiesce protocol (see
+/// [`RawFile::enter_io`]): either an entry in the file's unlocked-I/O
+/// counter or, while a mapped device is Rebuilding, the stripe lock
+/// itself.
+struct IoPhase<'a> {
+    counted: Option<&'a AtomicU64>,
+    _stripe: Option<pario_check::MutexGuard<'a, ()>>,
+}
+
+impl Drop for IoPhase<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.counted {
+            c.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -267,21 +297,123 @@ impl RawFile {
     // Physical access
     // ------------------------------------------------------------------
 
-    fn locate(&self, p: PhysBlock) -> (DeviceRef, u64) {
+    fn locate(&self, p: PhysBlock) -> (DeviceRef, u64, usize) {
         let meta = self.state.meta.read();
         let dev = meta.device_map[p.device];
         let abs = resolve(&meta.extents[p.device], p.block);
-        (self.vol.io_device(dev), abs)
+        (self.vol.io_device(dev), abs, dev)
+    }
+
+    /// Volume device backing layout slot `slot`.
+    fn slot_vdev(&self, slot: usize) -> usize {
+        self.state.meta.read().device_map[slot]
+    }
+
+    /// Health state of the device backing layout slot `slot`.
+    fn slot_state(&self, slot: usize) -> HealthState {
+        self.vol.health().state(self.slot_vdev(slot))
+    }
+
+    /// Whether I/O must route around layout slot `slot`: its device is
+    /// Failed (errors) or Rebuilding (readable but stale).
+    fn slot_down(&self, slot: usize) -> bool {
+        self.slot_state(slot).is_down()
+    }
+
+    fn any_mapped_rebuilding(&self) -> bool {
+        let meta = self.state.meta.read();
+        meta.device_map
+            .iter()
+            .any(|&d| self.vol.health().state(d) == HealthState::Rebuilding)
+    }
+
+    /// Enter the unlocked-I/O window: increments the current
+    /// generation's in-flight counter *before* the caller samples device
+    /// health, while [`RawFile::quiesce_io`] flips health first and
+    /// bumps the generation second — Dekker's protocol, so a rebuild
+    /// can wait out every I/O that might have seen the old state.
+    fn enter_io(&self) -> IoPhase<'_> {
+        let g = self.state.io_gen.load(Ordering::SeqCst);
+        let counter = &self.state.io_active[(g & 1) as usize];
+        counter.fetch_add(1, Ordering::SeqCst);
+        IoPhase {
+            counted: Some(counter),
+            _stripe: None,
+        }
+    }
+
+    /// Write-side entry for shadowed layouts: the counted window
+    /// normally, but while any mapped device is Rebuilding the write
+    /// takes the stripe lock instead — resync copies its bursts under
+    /// the same lock, so a live write can never interleave with the
+    /// resync copy of its own block.
+    fn enter_shadow_write(&self) -> IoPhase<'_> {
+        let phase = self.enter_io();
+        if self.any_mapped_rebuilding() {
+            drop(phase);
+            IoPhase {
+                counted: None,
+                _stripe: Some(self.state.stripe_lock.lock()),
+            }
+        } else {
+            phase
+        }
+    }
+
+    /// Wait until every unlocked I/O that began before this call has
+    /// drained. Recovery tooling calls this after flipping a device to
+    /// Rebuilding so no straggler that sampled the old health state is
+    /// still touching the device. I/O that enters afterwards routes by
+    /// the new state (degraded reads, stripe-locked shadow writes) and
+    /// counts against the next generation, so the wait terminates even
+    /// under continuous foreground traffic.
+    pub fn quiesce_io(&self) {
+        let g = self.state.io_gen.fetch_add(1, Ordering::SeqCst);
+        let old = &self.state.io_active[(g & 1) as usize];
+        while old.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Feed an I/O error to the health board — unless it is a *stale*
+    /// fail-stop report. A `DeviceFailed` raised before a repair
+    /// (`heal`) can complete after the rebuild has already flipped the
+    /// device to Rebuilding; fail-stop is synchronously re-checkable,
+    /// so drop the report when the media no longer says it is failed.
+    /// Genuine mid-rebuild failures still land: `is_failed()` is true.
+    fn note_io_error(&self, vdev: usize, e: &DiskError) {
+        if matches!(e, DiskError::DeviceFailed { .. }) && !self.vol.device(vdev).is_failed() {
+            return;
+        }
+        self.vol.health().note_error(vdev, e);
     }
 
     fn try_read_phys(&self, p: PhysBlock, buf: &mut [u8]) -> Result<()> {
-        let (dev, abs) = self.locate(p);
-        dev.read_block(abs, buf).map_err(FsError::from)
+        let (dev, abs, vdev) = self.locate(p);
+        match dev.read_block(abs, buf) {
+            Ok(()) => {
+                self.vol.health().note_ok(vdev);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_io_error(vdev, &e);
+                Err(FsError::Disk(e))
+            }
+        }
     }
 
     fn try_write_phys(&self, p: PhysBlock, data: &[u8]) -> Result<()> {
-        let (dev, abs) = self.locate(p);
-        dev.write_block(abs, data).map_err(FsError::from)
+        let (dev, abs, vdev) = self.locate(p);
+        match dev.write_block(abs, data) {
+            Ok(()) => {
+                self.vol.health().note_ok(vdev);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_io_error(vdev, &e);
+                Err(FsError::Disk(e))
+            }
+        }
     }
 
     fn check_lblock(&self, l: u64) -> Result<()> {
@@ -295,19 +427,67 @@ impl RawFile {
         Ok(())
     }
 
-    /// Read logical block `l` (must be allocated). Degraded parity and
-    /// shadow reads — after a device failure *or* detected corruption —
-    /// are transparent.
+    /// Read logical block `l` (must be allocated). Routing is
+    /// health-driven: a block on a Failed or Rebuilding device goes
+    /// straight to redundancy (reads of Rebuilding media would be
+    /// stale), a Suspect shadowed primary is hedged against its mirror,
+    /// and any recoverable error — fail-stop, detected corruption, or a
+    /// transient that survived executor retries — falls back to the
+    /// degraded path transparently.
     pub fn read_lblock(&self, l: u64, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.block_size());
         self.check_lblock(l)?;
         let p = self.layout.map(l);
-        match self.try_read_phys(p, buf) {
-            Err(FsError::Disk(DiskError::DeviceFailed { .. } | DiskError::Corruption { .. })) => {
-                self.read_degraded(l, p, buf)
-            }
-            other => other,
+        let fast = {
+            let _io = self.enter_io();
+            self.read_lblock_fast(p, buf)
+        };
+        match fast {
+            Some(r) => r,
+            None => self.read_degraded(l, p, buf),
         }
+    }
+
+    /// The routed fast path, inside the unlocked-I/O window. `None`
+    /// means "recover through redundancy". A Rebuilding device is
+    /// skipped unconditionally (its media reads stale); a Failed device
+    /// is still probed — fail-stop errors come back instantly and fall
+    /// to recovery, while a device healed behind the board's back (raw
+    /// `heal()` without a rebuild) keeps serving.
+    fn read_lblock_fast(&self, p: PhysBlock, buf: &mut [u8]) -> Option<Result<()>> {
+        if self.slot_state(p.device) == HealthState::Rebuilding {
+            return None;
+        }
+        if let Redundancy::Shadow { primaries } = &self.redundancy {
+            let m = PhysBlock {
+                device: p.device + primaries,
+                block: p.block,
+            };
+            if self.slot_state(p.device) == HealthState::Suspect && !self.slot_down(m.device) {
+                // Hedge: race the mirror rather than waiting out a
+                // possibly-spiking primary.
+                return match self.hedged_read(p, m, buf) {
+                    Ok(()) => Some(Ok(())),
+                    Err(_) => None,
+                };
+            }
+        }
+        match self.try_read_phys(p, buf) {
+            Err(FsError::Disk(ref e)) if recoverable(e) => None,
+            other => Some(other),
+        }
+    }
+
+    /// Race the two copies of a shadowed block; first success wins,
+    /// and a single failed copy is absorbed by the other.
+    fn hedged_read(&self, p: PhysBlock, m: PhysBlock, buf: &mut [u8]) -> Result<()> {
+        let (d1, a1, _) = self.locate(p);
+        let (d2, a2, _) = self.locate(m);
+        let t1 = d1.submit_read_blocks(a1, vec![0u8; buf.len()].into_boxed_slice());
+        let t2 = d2.submit_read_blocks(a2, vec![0u8; buf.len()].into_boxed_slice());
+        let data = Ticket::race(t1, t2).map_err(FsError::from)?;
+        buf.copy_from_slice(&data);
+        Ok(())
     }
 
     /// Read the physical block at layout slot `slot`, device-local index
@@ -348,13 +528,20 @@ impl RawFile {
 
     fn read_degraded(&self, l: u64, p: PhysBlock, buf: &mut [u8]) -> Result<()> {
         match &self.redundancy {
-            Redundancy::Shadow { primaries } => self.try_read_phys(
-                PhysBlock {
+            Redundancy::Shadow { primaries } => {
+                let m = PhysBlock {
                     device: p.device + primaries,
                     block: p.block,
-                },
-                buf,
-            ),
+                };
+                // A Rebuilding mirror is writable but stale: reading it
+                // would silently return old data.
+                if self.slot_state(m.device) == HealthState::Rebuilding {
+                    return Err(FsError::Disk(DiskError::DeviceFailed {
+                        device: format!("device slot {} (rebuilding)", m.device),
+                    }));
+                }
+                self.try_read_phys(m, buf)
+            }
             Redundancy::Parity(ps) => {
                 let _g = self.state.stripe_lock.lock();
                 self.reconstruct_block(ps, l, buf)
@@ -395,20 +582,27 @@ impl RawFile {
         match &self.redundancy.clone() {
             Redundancy::None => self.try_write_phys(self.layout.map(l), data),
             Redundancy::Shadow { primaries } => {
-                let p = self.layout.map(l);
-                let m = PhysBlock {
-                    device: p.device + primaries,
-                    block: p.block,
-                };
-                let r1 = self.try_write_phys(p, data);
-                let r2 = self.try_write_phys(m, data);
-                match (&r1, &r2) {
-                    (Err(_), Err(_)) => r1,
-                    // One live copy suffices; the pair is degraded, not lost.
-                    _ => Ok(()),
-                }
+                let _w = self.enter_shadow_write();
+                self.shadow_write_block(l, *primaries, data)
             }
             Redundancy::Parity(ps) => self.parity_write(ps, l, data),
+        }
+    }
+
+    /// Dual-write one shadowed block. The caller holds a write-phase
+    /// token ([`RawFile::enter_shadow_write`]).
+    fn shadow_write_block(&self, l: u64, primaries: usize, data: &[u8]) -> Result<()> {
+        let p = self.layout.map(l);
+        let m = PhysBlock {
+            device: p.device + primaries,
+            block: p.block,
+        };
+        let r1 = self.try_write_phys(p, data);
+        let r2 = self.try_write_phys(m, data);
+        match (&r1, &r2) {
+            (Err(_), Err(_)) => r1,
+            // One live copy suffices; the pair is degraded, not lost.
+            _ => Ok(()),
         }
     }
 
@@ -418,6 +612,17 @@ impl RawFile {
         let s = ps.stripe_of(l);
         let dloc = self.layout.map(l);
         let ploc = ps.parity_location(s);
+        // Health-driven branch: a Rebuilding device's media reads stale
+        // values, so read-modify-write through it is wrong — reconstruct
+        // the stripe's parity from live peers instead. (Failed devices
+        // are left to the error-driven branches below: probing them
+        // errors instantly, and a device healed behind the board's back
+        // keeps serving.)
+        if self.slot_state(dloc.device) == HealthState::Rebuilding
+            || self.slot_state(ploc.device) == HealthState::Rebuilding
+        {
+            return self.parity_reconstruct_write(ps, l, s, dloc, ploc, data);
+        }
         let mut old = vec![0u8; bs];
         let old_read = match self.try_read_phys(dloc, &mut old) {
             // Corrupt old data would poison the parity RMW; reconstruct
@@ -468,6 +673,40 @@ impl RawFile {
                 self.try_write_phys(ploc, &parity)
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Full-stripe reconstruct-write for a degraded stripe (caller
+    /// holds the stripe lock): `parity = new data ^ XOR(live peers)`.
+    /// Both the data copy and the parity copy are written where media
+    /// accepts them — a Rebuilding device takes writes (the sweep then
+    /// recomputes a consistent value), a Failed device errors — and one
+    /// durable representation of the new data is enough.
+    fn parity_reconstruct_write(
+        &self,
+        ps: &ParityStriped,
+        l: u64,
+        s: u64,
+        dloc: PhysBlock,
+        ploc: PhysBlock,
+        data: &[u8],
+    ) -> Result<()> {
+        let bs = self.block_size();
+        let total = self.nblocks();
+        let mut parity = data.to_vec();
+        let mut scratch = vec![0u8; bs];
+        for (b, loc) in ps.stripe_data(s, total) {
+            if b == l {
+                continue;
+            }
+            self.try_read_phys(loc, &mut scratch)?;
+            xor_into(&mut parity, &scratch);
+        }
+        let r_data = self.try_write_phys(dloc, data);
+        let r_parity = self.try_write_phys(ploc, &parity);
+        match (r_data, r_parity) {
+            (Err(e), Err(_)) => Err(e),
+            _ => Ok(()),
         }
     }
 
@@ -557,40 +796,57 @@ impl RawFile {
         out
     }
 
-    /// Wait out one run's read tickets. Segment buffers come back in
-    /// device order; a device failure or detected corruption anywhere in
-    /// the run reports the run as degraded (recoverable); any other
-    /// error is final.
-    fn wait_read_run(tickets: Vec<Ticket<Box<[u8]>>>) -> Result<Option<Vec<Box<[u8]>>>> {
+    /// Wait out one run's read tickets against layout slot `slot`.
+    /// Segment buffers come back in device order; a recoverable error
+    /// anywhere in the run — fail-stop, detected corruption, or a
+    /// transient that survived executor retries — reports the run as
+    /// degraded; any other error is final. The run's outcome feeds the
+    /// health board either way.
+    fn wait_read_run(
+        &self,
+        slot: usize,
+        tickets: Vec<Ticket<Box<[u8]>>>,
+    ) -> Result<Option<Vec<Box<[u8]>>>> {
         let mut bufs = Vec::with_capacity(tickets.len());
-        let mut degraded = false;
+        let mut soft: Option<DiskError> = None;
         let mut hard: Option<DiskError> = None;
         // Always wait every ticket so nothing completes behind our back.
         for t in tickets {
             match t.wait() {
                 Ok(b) => bufs.push(b),
-                Err(DiskError::DeviceFailed { .. } | DiskError::Corruption { .. }) => {
-                    degraded = true;
+                Err(e) if recoverable(&e) => {
+                    soft.get_or_insert(e);
                 }
                 Err(e) => {
                     hard.get_or_insert(e);
                 }
             }
         }
-        match (hard, degraded) {
+        let vdev = self.slot_vdev(slot);
+        match hard.as_ref().or(soft.as_ref()) {
+            Some(e) => self.note_io_error(vdev, e),
+            None => self.vol.health().note_ok(vdev),
+        }
+        match (hard, soft) {
             (Some(e), _) => Err(e.into()),
-            (None, true) => Ok(None),
-            (None, false) => Ok(Some(bufs)),
+            (None, Some(_)) => Ok(None),
+            (None, None) => Ok(Some(bufs)),
         }
     }
 
-    /// Wait out one run's write tickets, reporting the first error.
-    fn wait_write_run(tickets: Vec<Ticket<Box<[u8]>>>) -> Result<()> {
+    /// Wait out one run's write tickets against layout slot `slot`,
+    /// reporting the first error (and feeding the health board).
+    fn wait_write_run(&self, slot: usize, tickets: Vec<Ticket<Box<[u8]>>>) -> Result<()> {
         let mut first: Option<DiskError> = None;
         for t in tickets {
             if let Err(e) = t.wait() {
                 first.get_or_insert(e);
             }
+        }
+        let vdev = self.slot_vdev(slot);
+        match &first {
+            Some(e) => self.note_io_error(vdev, e),
+            None => self.vol.health().note_ok(vdev),
         }
         match first {
             None => Ok(()),
@@ -655,7 +911,12 @@ impl RawFile {
     /// any is waited on — every device works concurrently and no thread
     /// is spawned, whatever the span size or layout.
     ///
-    /// Degraded runs recover in waves: shadowed layouts race *all*
+    /// Routing is health-driven: a run on a down device skips its
+    /// primary outright (Failed media errors, Rebuilding media is
+    /// stale) — shadowed runs reroute to a live mirror, the rest fall
+    /// to recovery. A Suspect shadowed primary is hedged: the mirror
+    /// transfer is pre-submitted as an immediately-available fallback.
+    /// Degraded runs then recover in waves: shadowed layouts race *all*
     /// failed runs' mirror transfers concurrently, then anything still
     /// failing (parity reconstruction, half-dead mirror pairs) goes
     /// per-block.
@@ -665,40 +926,72 @@ impl RawFile {
         }
         let pieces = self.run_windows(first, buf);
         let groups = merge_runs(pieces, self.layout.devices());
-        // Phase 1: submit every run's segment transfers.
-        let mut inflight = Vec::new();
-        for m in groups.into_iter().flatten() {
-            let tickets = self.submit_read_run(m.device, m.dblock, m.count);
-            inflight.push((m, tickets));
-        }
-        // Phase 2: complete; collect degraded runs for recovery.
-        let mut failed: Vec<MergedRun<&mut [u8]>> = Vec::new();
-        for (m, tickets) in inflight {
-            match Self::wait_read_run(tickets)? {
-                Some(bufs) => Self::scatter_run(m, bufs),
-                None => failed.push(m),
+        let mirror = match &self.redundancy {
+            Redundancy::Shadow { primaries } => Some(*primaries),
+            _ => None,
+        };
+        let mut mirror_wave: Vec<MergedRun<&mut [u8]>> = Vec::new();
+        let mut perblock: Vec<MergedRun<&mut [u8]>> = Vec::new();
+        {
+            let _io = self.enter_io();
+            // Phase 1: route and submit every run's segment transfers.
+            let mut inflight = Vec::new();
+            for m in groups.into_iter().flatten() {
+                let down = self.slot_down(m.device);
+                let live_mirror = mirror.filter(|p| !self.slot_down(m.device + p));
+                match (down, live_mirror) {
+                    (true, Some(p)) => {
+                        let t = self.submit_read_run(m.device + p, m.dblock, m.count);
+                        inflight.push((m, Some(p), t, None));
+                    }
+                    (true, None) => perblock.push(m),
+                    (false, Some(p)) if self.slot_state(m.device) == HealthState::Suspect => {
+                        let hedge = self.submit_read_run(m.device + p, m.dblock, m.count);
+                        let t = self.submit_read_run(m.device, m.dblock, m.count);
+                        inflight.push((m, None, t, Some((p, hedge))));
+                    }
+                    _ => {
+                        let t = self.submit_read_run(m.device, m.dblock, m.count);
+                        inflight.push((m, None, t, None));
+                    }
+                }
+            }
+            // Phase 2: complete; sort failures by which copies were
+            // already tried.
+            for (m, rerouted, tickets, hedge) in inflight {
+                let slot = m.device + rerouted.unwrap_or(0);
+                match self.wait_read_run(slot, tickets)? {
+                    Some(bufs) => Self::scatter_run(m, bufs),
+                    None => match hedge {
+                        Some((p, h)) => match self.wait_read_run(m.device + p, h)? {
+                            Some(bufs) => Self::scatter_run(m, bufs),
+                            None => perblock.push(m),
+                        },
+                        None if rerouted.is_some() => perblock.push(m),
+                        None if mirror.is_some() => mirror_wave.push(m),
+                        None => perblock.push(m),
+                    },
+                }
             }
         }
-        if failed.is_empty() {
-            return Ok(());
-        }
-        // Recovery wave: every failed run races its mirror concurrently.
-        if let Redundancy::Shadow { primaries } = &self.redundancy {
-            let resubmitted: Vec<_> = failed
+        // Recovery wave (outside the unlocked-I/O window): every failed
+        // run races its mirror concurrently.
+        if let Some(p) = mirror {
+            let resubmitted: Vec<_> = mirror_wave
                 .drain(..)
                 .map(|m| {
-                    let t = self.submit_read_run(m.device + primaries, m.dblock, m.count);
+                    let t = self.submit_read_run(m.device + p, m.dblock, m.count);
                     (m, t)
                 })
                 .collect();
             for (m, tickets) in resubmitted {
-                match Self::wait_read_run(tickets)? {
+                match self.wait_read_run(m.device + p, tickets)? {
                     Some(bufs) => Self::scatter_run(m, bufs),
-                    None => failed.push(m),
+                    None => perblock.push(m),
                 }
             }
         }
-        for m in failed {
+        for m in perblock {
             self.read_run_per_block(m)?;
         }
         Ok(())
@@ -730,6 +1023,10 @@ impl RawFile {
             Redundancy::Shadow { primaries } => Some(*primaries),
             _ => None,
         };
+        // Shadowed spans hold a write-phase token: counted normally,
+        // stripe-locked while a mapped device is Rebuilding so the
+        // resync sweep can't interleave (see `enter_shadow_write`).
+        let _w = mirror.map(|_| self.enter_shadow_write());
         // Phase 1: gather each run and submit (primary and, for
         // shadowed layouts, the mirror — concurrently).
         let mut inflight = Vec::new();
@@ -746,14 +1043,16 @@ impl RawFile {
         // Phase 2: complete.
         for (m, primary, second) in inflight {
             match second {
-                None => Self::wait_write_run(primary)?,
+                None => self.wait_write_run(m.device, primary)?,
                 Some(second) => {
-                    let r1 = Self::wait_write_run(primary);
-                    let r2 = Self::wait_write_run(second);
+                    let r1 = self.wait_write_run(m.device, primary);
+                    // invariant: `second` exists only when mirror is Some.
+                    let p = mirror.expect("shadowed run");
+                    let r2 = self.wait_write_run(m.device + p, second);
                     if r1.is_err() && r2.is_err() {
                         for (r, part) in &m.parts {
                             for (i, chunk) in part.chunks(bs).enumerate() {
-                                self.write_lblock(r.lblock + i as u64, chunk)?;
+                                self.shadow_write_block(r.lblock + i as u64, p, chunk)?;
                             }
                         }
                     }

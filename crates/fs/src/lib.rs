@@ -46,6 +46,7 @@ mod alloc;
 mod error;
 mod file;
 mod global;
+mod health;
 mod meta;
 mod superblock;
 mod volume;
@@ -54,5 +55,6 @@ pub use alloc::{extents_len, resolve, Allocator, Extent};
 pub use error::{FsError, Result};
 pub use file::RawFile;
 pub use global::{copy_global, ByteReader, ByteWriter, GlobalReader, GlobalWriter};
+pub use health::{legal_transition, DeviceHealth, HealthBoard, HealthPolicy, HealthState};
 pub use meta::FileMeta;
 pub use volume::{FileSpec, FileState, Volume, VolumeConfig};

@@ -119,14 +119,7 @@ pub(crate) fn load(vol: &Volume) -> Result<()> {
                 alloc.reserve(dev_idx, e);
             }
         }
-        files.insert(
-            meta.name.clone(),
-            std::sync::Arc::new(FileState {
-                meta: pario_check::RwLock::new(meta),
-                stripe_lock: pario_check::Mutex::new_named((), pario_check::LockLevel::FsStripe),
-                rmw_lock: pario_check::Mutex::new_named((), pario_check::LockLevel::FsRmw),
-            }),
-        );
+        files.insert(meta.name.clone(), std::sync::Arc::new(FileState::new(meta)));
     }
     Ok(())
 }

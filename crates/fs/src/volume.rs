@@ -12,6 +12,7 @@ use pario_layout::LayoutSpec;
 use crate::alloc::{extents_len, Allocator, Extent};
 use crate::error::{FsError, Result};
 use crate::file::RawFile;
+use crate::health::{DeviceHealth, HealthBoard, HealthPolicy, HealthState};
 use crate::meta::FileMeta;
 use crate::superblock;
 
@@ -102,6 +103,28 @@ pub struct FileState {
     /// writers sharing a block must not interleave their read/write
     /// pairs. Always taken before `stripe_lock` when both are needed.
     pub(crate) rmw_lock: Mutex<()>,
+    /// Generation counter for the quiesce protocol: bumped by
+    /// `RawFile::quiesce_io` when a rebuild needs in-flight unlocked I/O
+    /// to drain (see `RawFile::enter_io`).
+    pub(crate) io_gen: AtomicU64,
+    /// In-flight unlocked I/O per generation parity. Readers/writers
+    /// increment their generation's slot *before* sampling device
+    /// health (Dekker-style), so a rebuild that flips a device to
+    /// Rebuilding and then drains the old slot cannot race a straggler
+    /// that missed the flip.
+    pub(crate) io_active: [AtomicU64; 2],
+}
+
+impl FileState {
+    pub(crate) fn new(meta: FileMeta) -> FileState {
+        FileState {
+            meta: RwLock::new(meta),
+            stripe_lock: Mutex::new_named((), LockLevel::FsStripe),
+            rmw_lock: Mutex::new_named((), LockLevel::FsRmw),
+            io_gen: AtomicU64::new(0),
+            io_active: [AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
 }
 
 pub(crate) struct VolInner {
@@ -118,6 +141,9 @@ pub(crate) struct VolInner {
     pub(crate) alloc: Mutex<Allocator>,
     pub(crate) files: RwLock<HashMap<String, Arc<FileState>>>,
     pub(crate) next_id: AtomicU64,
+    /// Per-device health state machine, fed by executor error feedback
+    /// from every `RawFile` I/O path.
+    pub(crate) health: HealthBoard,
 }
 
 /// A mounted volume: cheap to clone, shared across threads.
@@ -184,6 +210,7 @@ impl Volume {
                 }
             })
             .collect();
+        let health = HealthBoard::new(devices.len(), HealthPolicy::default());
         Ok(Volume {
             inner: Arc::new(VolInner {
                 devices,
@@ -194,6 +221,7 @@ impl Volume {
                 alloc: Mutex::new_named(alloc, LockLevel::FsAlloc),
                 files: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
+                health,
             }),
         })
     }
@@ -302,6 +330,38 @@ impl Volume {
         agg
     }
 
+    /// The volume's device health board: the per-device state machine
+    /// (Healthy / Suspect / Failed / Rebuilding) driving degraded
+    /// routing, hedged reads and online rebuild.
+    pub fn health(&self) -> &HealthBoard {
+        &self.inner.health
+    }
+
+    /// Current health state of device `i` (lock-free).
+    pub fn device_health(&self, i: usize) -> HealthState {
+        self.inner.health.state(i)
+    }
+
+    /// Snapshot of every device's health record (state, error counters,
+    /// full transition history).
+    pub fn health_snapshot(&self) -> Vec<DeviceHealth> {
+        self.inner.health.snapshot()
+    }
+
+    /// Whether any device is currently not Healthy.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.health.any_degraded()
+    }
+
+    /// Open handles to every file in the volume, sorted by name. Used
+    /// by recovery tooling to sweep all files during an online rebuild.
+    pub fn open_all(&self) -> Result<Vec<RawFile>> {
+        self.list()
+            .into_iter()
+            .map(|name| self.open(&name))
+            .collect()
+    }
+
     /// Free blocks per device.
     pub fn free_blocks(&self) -> Vec<u64> {
         let alloc = self.inner.alloc.lock();
@@ -338,11 +398,7 @@ impl Volume {
             nblocks: 0,
             extents: vec![Vec::new(); nslots],
         };
-        let state = Arc::new(FileState {
-            meta: RwLock::new(meta),
-            stripe_lock: Mutex::new_named((), LockLevel::FsStripe),
-            rmw_lock: Mutex::new_named((), LockLevel::FsRmw),
-        });
+        let state = Arc::new(FileState::new(meta));
         {
             let mut files = self.inner.files.write();
             if files.contains_key(&spec.name) {

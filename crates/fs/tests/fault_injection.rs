@@ -1,0 +1,114 @@
+//! Property test: the degraded-read fallback chain is correct under
+//! injected faults. One device of a redundant layout runs an arbitrary
+//! seeded fault schedule — transient errors, latency spikes, an optional
+//! mid-workload fail-stop — and every span read must still return the
+//! exact preloaded bytes, through executor retries, hedged reads, mirror
+//! reroutes, and parity reconstruction.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pario_disk::{mem_array, FaultDevice, FaultPlan};
+use pario_fs::{FileSpec, HealthState, Volume};
+use pario_layout::LayoutSpec;
+
+const BS: usize = 256;
+const CAP_BYTES: u64 = 32 * BS as u64;
+
+fn layout_strategy() -> impl Strategy<Value = LayoutSpec> {
+    prop_oneof![
+        (2usize..=3, any::<bool>()).prop_map(|(data_devices, rotated)| LayoutSpec::Parity {
+            data_devices,
+            rotated
+        }),
+        (1usize..=2, 1u64..=3).prop_map(|(devices, unit)| LayoutSpec::Shadowed(Box::new(
+            LayoutSpec::Striped { devices, unit }
+        ))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn span_reads_survive_any_single_device_schedule(
+        spec in layout_strategy(),
+        seed in any::<u64>(),
+        transient_rate in 0.0f64..0.5,
+        spike_rate in 0.0f64..0.1,
+        fail_after in (any::<bool>(), 0u64..40).prop_map(|(some, k)| some.then_some(k)),
+        target_pick in 0usize..64,
+        writes in proptest::collection::vec((0u64..CAP_BYTES, 1usize..1200, any::<u8>()), 1..6),
+        reads in proptest::collection::vec((0u64..CAP_BYTES, 1usize..1200), 2..8),
+    ) {
+        // Wrap one layout slot's device in the fault schedule; the
+        // default device map is the identity, so slot == device index.
+        let target = target_pick % spec.devices_required();
+        let mut devices = mem_array(6, 512, BS);
+        let (fault, wrapped) = FaultDevice::wrap(devices[target].clone(), FaultPlan {
+            seed,
+            transient_rate,
+            spike_rate,
+            spike: Duration::from_micros(10),
+            // Reads are never torn, but leave the knob live anyway.
+            torn_write_rate: 0.2,
+            fail_after,
+        });
+        devices[target] = wrapped;
+        // Preload fault-free: the schedule applies to the read workload.
+        fault.set_armed(false);
+        let v = Volume::new(devices).unwrap();
+        let f = v.create_file(FileSpec::new("f", 64, 4, spec)).unwrap();
+        let serial = f.clone().with_span_parallel(false);
+
+        let mut model: Vec<u8> = Vec::new();
+        for &(off, len, tag) in &writes {
+            let len = len.min((CAP_BYTES - off) as usize);
+            let data: Vec<u8> = (0..len).map(|i| tag.wrapping_add(i as u8)).collect();
+            f.write_span(off, &data).unwrap();
+            let end = off as usize + len;
+            if end > model.len() {
+                model.resize(end, 0);
+            }
+            model[off as usize..end].copy_from_slice(&data);
+        }
+
+        fault.set_armed(true);
+        for &(off, len) in &reads {
+            let off = (off as usize).min(model.len().saturating_sub(1));
+            let len = len.min(model.len() - off);
+            let mut a = vec![0u8; len];
+            f.read_span(off as u64, &mut a).unwrap();
+            prop_assert_eq!(
+                &a[..],
+                &model[off..off + len],
+                "parallel read at {}+{} (fault device {}, health {})",
+                off, len, target, v.device_health(target)
+            );
+            let mut b = vec![0u8; len];
+            serial.read_span(off as u64, &mut b).unwrap();
+            prop_assert_eq!(
+                &b[..],
+                &model[off..off + len],
+                "serial read at {}+{} (fault device {}, health {})",
+                off, len, target, v.device_health(target)
+            );
+        }
+
+        // The health board only ever walks legal edges, and a tripped
+        // fail-stop is reflected as Failed once the workload touched it.
+        let snap = v.health_snapshot();
+        for h in &snap {
+            for w in h.transitions.windows(2) {
+                prop_assert!(
+                    pario_fs::legal_transition(w[0], w[1]),
+                    "illegal health transition {} -> {}", w[0], w[1]
+                );
+            }
+        }
+        if fault.counts().failed_ops > 0 {
+            prop_assert_eq!(snap[target].state, HealthState::Failed);
+        }
+    }
+}

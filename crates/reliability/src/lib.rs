@@ -13,6 +13,9 @@
 //!   file layer's parity reconstruction it *corrects* bit errors.
 //! * [`rebuild_parity_slot`] / [`resync_shadow`] / [`rebuild_device`] —
 //!   recovery after drive replacement.
+//! * [`rebuild_device_online`] — the same recovery driven through the
+//!   volume's health state machine in throttled bursts, so foreground
+//!   I/O keeps flowing while the drive rebuilds.
 //! * [`scrub`] + [`snapshot_device`] / [`restore_device`] — the
 //!   partial-rollback consistency demonstration.
 //! * [`failure_schedule`] — deterministic exponential failure campaigns.
@@ -29,6 +32,7 @@
 mod checksum;
 mod inject;
 pub mod mtbf;
+mod online;
 mod rebuild;
 mod scrub;
 
@@ -38,5 +42,6 @@ pub use mtbf::{
     expected_failures, monte_carlo_mttf, paper_table, system_mtbf_hours, MtbfRow, HOURS_PER_YEAR,
     PAPER_DEVICE_MTBF_HOURS,
 };
+pub use online::{rebuild_device_online, RebuildThrottle};
 pub use rebuild::{rebuild_device, rebuild_parity_slot, resync_shadow, RebuildReport};
 pub use scrub::{repair, restore_device, scrub, snapshot_device};

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use pario_core::CoreError;
-use pario_fs::FsError;
+use pario_fs::{FsError, HealthState};
 
 /// Errors surfaced to service-layer clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +42,17 @@ pub enum ServerError {
         /// One past the last record owned by the partition.
         end: u64,
     },
+    /// A device-level failure surfaced while the volume is running
+    /// degraded — a *brownout advisory*, not an opaque disk error: the
+    /// named device is Suspect / Failed / Rebuilding, redundant layouts
+    /// keep serving (slower), and unprotected data on it is unavailable
+    /// until the rebuild completes.
+    Degraded {
+        /// Volume device index the health board blames.
+        device: usize,
+        /// That device's health state at the time of the failure.
+        state: HealthState,
+    },
     /// An error from the parallel-file layer.
     Core(CoreError),
 }
@@ -67,6 +78,11 @@ impl fmt::Display for ServerError {
             } => write!(
                 f,
                 "record {record} lies outside partition {partition} [{start}, {end})"
+            ),
+            ServerError::Degraded { device, state } => write!(
+                f,
+                "volume degraded: device {device} is {state}; redundant \
+                 layouts keep serving"
             ),
             ServerError::Core(e) => write!(f, "{e}"),
         }
@@ -117,5 +133,10 @@ mod tests {
         assert!(e.to_string().contains("partition 2"));
         let e: ServerError = FsError::NotFound("x".into()).into();
         assert!(matches!(e, ServerError::Core(_)));
+        let e = ServerError::Degraded {
+            device: 1,
+            state: HealthState::Rebuilding,
+        };
+        assert!(e.to_string().contains("device 1 is rebuilding"));
     }
 }

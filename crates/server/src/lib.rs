@@ -26,7 +26,11 @@
 //! ([`Saturation::Reject`] → [`ServerError::Busy`]) and round-robin
 //! fairness across sessions, plus a [`ServerStats`] snapshot (per-session
 //! ops, queue-depth high water, latency histogram, device queue
-//! attribution) so load experiments are observable.
+//! attribution, per-device health) so load experiments are observable.
+//! When the volume's health board reports a degraded device, data-path
+//! failures surface as the typed [`ServerError::Degraded`] advisory —
+//! clients see a brownout naming the device, not an opaque disk error —
+//! and [`Server::advisory`] exposes the same signal on demand.
 //!
 //! ```
 //! use pario_core::{Organization, ParallelFile};

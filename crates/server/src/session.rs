@@ -154,7 +154,19 @@ impl Server {
             self.inner.latency.snapshot(),
             self.inner.volume.io_node_stats(),
             self.inner.volume.executor_stats(),
+            self.inner.volume.health_snapshot(),
         )
+    }
+
+    /// The current brownout advisory, if any: the first degraded device
+    /// as a ready-made [`ServerError::Degraded`]. Clients can poll this
+    /// to distinguish "volume browned out" from "my request was wrong".
+    pub fn advisory(&self) -> Option<ServerError> {
+        self.inner
+            .volume
+            .health()
+            .first_degraded()
+            .map(|(device, state)| ServerError::Degraded { device, state })
     }
 }
 
@@ -177,21 +189,36 @@ impl Session {
     /// Run one data operation: admission permit, the transfer, then
     /// latency and per-session accounting. Latency includes admission
     /// wait — that is the latency the client observes.
+    ///
+    /// A disk-level failure on a volume whose health board blames a
+    /// degraded device is rewritten into the typed
+    /// [`ServerError::Degraded`] advisory: the client learns *which*
+    /// device browned out and that redundant layouts keep serving,
+    /// instead of an opaque device error.
     fn run<T>(&self, write: bool, f: impl FnOnce() -> Result<T>) -> Result<T> {
         let t0 = Instant::now();
         let permit = self.inner.admission.acquire(self.id)?;
         let r = f();
         drop(permit);
         self.inner.latency.record(t0.elapsed());
-        if r.is_ok() {
-            let c = if write {
-                &self.counters.writes
-            } else {
-                &self.counters.reads
-            };
-            c.fetch_add(1, Ordering::Relaxed);
+        match r {
+            Ok(v) => {
+                let c = if write {
+                    &self.counters.writes
+                } else {
+                    &self.counters.reads
+                };
+                c.fetch_add(1, Ordering::Relaxed);
+                Ok(v)
+            }
+            Err(ServerError::Core(CoreError::Fs(FsError::Disk(e)))) => {
+                Err(match self.inner.volume.health().first_degraded() {
+                    Some((device, state)) => ServerError::Degraded { device, state },
+                    None => ServerError::Core(CoreError::Fs(FsError::Disk(e))),
+                })
+            }
+            Err(e) => Err(e),
         }
-        r
     }
 
     /// Open a type-S file exclusively. Fails with

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use pario_disk::IoNodeStats;
+use pario_fs::{DeviceHealth, HealthState};
 
 use crate::admission::AdmissionStats;
 
@@ -131,12 +132,27 @@ pub struct ServerStats {
     /// device banks it counts the executor workers the volume spawned,
     /// and for node-fronted banks it equals the nodes' own totals.
     pub executor: IoNodeStats,
+    /// Per-device health from the volume's health state machine, in
+    /// device order: state, error tallies, and the transition history
+    /// (Healthy → Suspect → Failed → Rebuilding → Healthy).
+    pub health: Vec<DeviceHealth>,
 }
 
 impl ServerStats {
     /// Total operations across all sessions.
     pub fn total_ops(&self) -> u64 {
         self.sessions.iter().map(|s| s.ops()).sum()
+    }
+
+    /// Devices currently not Healthy, as `(device, state)` pairs —
+    /// empty on a fully healthy volume.
+    pub fn degraded(&self) -> Vec<(usize, HealthState)> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.state != HealthState::Healthy)
+            .map(|(i, h)| (i, h.state))
+            .collect()
     }
 
     /// Fairness as min/max per-session ops (1.0 = perfectly fair).
@@ -156,6 +172,7 @@ impl ServerStats {
         latency: Vec<LatencyBucket>,
         io: Option<IoNodeStats>,
         executor: IoNodeStats,
+        health: Vec<DeviceHealth>,
     ) -> ServerStats {
         ServerStats {
             sessions,
@@ -166,6 +183,7 @@ impl ServerStats {
             latency,
             io,
             executor,
+            health,
         }
     }
 }

@@ -12,6 +12,7 @@ done
 cargo run --release -q -p pario-bench --bin exp_span_coalesce
 cargo run --release -q -p pario-bench --bin exp_e14_server
 cargo run --release -q -p pario-bench --bin exp_e15_executor
+cargo run --release -q -p pario-bench --bin exp_e16_faults
 
 # Every experiment must have left its JSON behind; a silent skip (an
 # early exit, a renamed table) should fail the run, not go unnoticed.
@@ -21,7 +22,8 @@ for f in e2_striping_devices e2_striping_unit e3_selfsched \
          e7_declustering e8_readahead e8_writebehind e9_crossover \
          e9_view_mismatch e10_boundary e11_campaign e11_mtbf \
          e12_is_blocksize span_coalesce span_coalesce_global \
-         e14_server e14_server_sweep e15_executor e15_executor_sched; do
+         e14_server e14_server_sweep e15_executor e15_executor_sched \
+         e16_faults; do
     if [ ! -f "results/$f.json" ]; then
         echo "MISSING: results/$f.json" >&2
         missing=1

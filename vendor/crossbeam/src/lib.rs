@@ -7,7 +7,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -60,6 +60,14 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv()
+        }
+
+        /// Block for at most `timeout` waiting for a value.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.rx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv_timeout(timeout)
         }
     }
 
