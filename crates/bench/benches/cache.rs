@@ -1,7 +1,9 @@
 //! Block-cache path costs: hit, miss, and a Zipf-skewed PDA-style
 //! workload where locality determines the hit ratio (the paper's §4
 //! "buffer caching techniques would be helpful when there is some
-//! locality of reference").
+//! locality of reference"). Benches the legacy per-file `BlockCache`;
+//! the volume-wide tier is covered by `volume_cache.rs`.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 

@@ -1,0 +1,100 @@
+//! Volume-cache tier path costs: frame hit vs. miss-plus-evict vs. the
+//! uncached device path, and the write-back absorb that makes dirty
+//! writes a frame copy. Complements `cache.rs` (the per-file
+//! `BlockCache`) by benching the shared tier the whole volume sees.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pario_fs::{FileSpec, RawFile, Volume, VolumeCacheConfig, VolumeConfig};
+use pario_layout::LayoutSpec;
+
+const BS: usize = 4096;
+const BLOCKS: u64 = 256;
+
+fn volume(frames: Option<usize>) -> Volume {
+    let v = Volume::create_in_memory(VolumeConfig {
+        devices: 4,
+        device_blocks: 1024,
+        block_size: BS,
+    })
+    .unwrap();
+    match frames {
+        Some(n) => v.enable_cache(VolumeCacheConfig::write_back(n)).unwrap(),
+        None => v,
+    }
+}
+
+fn file(v: &Volume) -> RawFile {
+    let f = v
+        .create_file(
+            FileSpec::new(
+                "f",
+                BS,
+                1,
+                LayoutSpec::Striped {
+                    devices: 4,
+                    unit: 1,
+                },
+            )
+            .initial_records(BLOCKS),
+        )
+        .unwrap();
+    let data = vec![3u8; BS];
+    for b in 0..BLOCKS {
+        f.write_span(b * BS as u64, &data).unwrap();
+    }
+    f
+}
+
+fn bench_read_paths(c: &mut Criterion) {
+    let mut buf = vec![0u8; BS];
+
+    // Hot frame: the whole file fits the budget, steady state is hits.
+    let v = volume(Some(BLOCKS as usize));
+    let f = file(&v);
+    f.read_span(0, &mut buf).unwrap();
+    c.bench_function("volume_cache_hit", |b| {
+        b.iter(|| f.read_span(0, &mut buf).unwrap())
+    });
+
+    // Cold frame: budget far below the scan, every read misses and
+    // evicts (write-back flushes the victim first).
+    let v = volume(Some(16));
+    let f = file(&v);
+    v.flush_cache().unwrap();
+    let mut blk = 0u64;
+    c.bench_function("volume_cache_miss_evict", |b| {
+        b.iter(|| {
+            blk = (blk + 1) % BLOCKS;
+            f.read_span(blk * BS as u64, &mut buf).unwrap()
+        })
+    });
+
+    // No tier at all: straight to the executor bank.
+    let v = volume(None);
+    let f = file(&v);
+    c.bench_function("volume_uncached_read", |b| {
+        b.iter(|| f.read_span(0, &mut buf).unwrap())
+    });
+}
+
+fn bench_write_absorb(c: &mut Criterion) {
+    let data = vec![9u8; BS];
+
+    // Write-back: the write is a frame copy; the device sees it only at
+    // eviction or flush.
+    let v = volume(Some(BLOCKS as usize));
+    let f = file(&v);
+    c.bench_function("volume_cache_write_absorb", |b| {
+        b.iter(|| f.write_span(0, &data).unwrap())
+    });
+
+    let v = volume(None);
+    let f = file(&v);
+    c.bench_function("volume_uncached_write", |b| {
+        b.iter(|| f.write_span(0, &data).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_read_paths, bench_write_absorb);
+criterion_main!(benches);

@@ -28,7 +28,7 @@ use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use pario_bench::table::{save_json, Table};
+use pario_bench::table::{save_json, Bench, Table};
 use pario_bench::{banner, BS};
 use pario_core::{Organization, ParallelFile};
 use pario_disk::{DeviceRef, MemDisk};
@@ -345,6 +345,28 @@ fn main() {
     ]);
     facts.print();
     save_json("e14_server", &facts);
+
+    Bench::new()
+        .label("experiment", "e14_server")
+        .int("records", RECORDS)
+        .num("ss_speedup_8_vs_1", speedup)
+        .num("ss_records_per_sec_8_clients", RECORDS as f64 / secs_at_8)
+        .num("ss_records_per_sec_big_lock", RECORDS as f64 / naive_secs)
+        .int(
+            "oversub_queue_depth_high_water",
+            over_stats.queue_depth_high_water as u64,
+        )
+        .int("oversub_wait_high_water", over_stats.wait_high_water as u64)
+        .int("busy_rejections", reject_stats.rejected)
+        .int(
+            "oversub_p50_nanos",
+            quantile_nanos(&over_stats.latency, 0.5).unwrap_or(0),
+        )
+        .int(
+            "oversub_p99_nanos",
+            quantile_nanos(&over_stats.latency, 0.99).unwrap_or(0),
+        )
+        .save("e14_server");
 
     assert!(
         speedup >= 3.0,

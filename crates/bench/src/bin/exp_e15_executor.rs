@@ -21,7 +21,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pario_bench::table::{save_json, Table};
+use pario_bench::table::{save_json, Bench, Table};
 use pario_bench::{banner, BS};
 use pario_disk::{DeviceRef, DiskGeometry, IoNode, MemDisk, ModeledDisk, SchedPolicy, Ticket};
 use pario_sim::{DiskReq, Script, Simulation};
@@ -84,7 +84,9 @@ fn executor_lane(handles: &[DeviceRef], per_dev_blocks: usize, iters: usize) -> 
     median(samples)
 }
 
-fn part1() {
+/// Returns the executor-vs-spawn speedup at the smallest and largest
+/// span sizes for the flat benchmark summary.
+fn part1() -> (f64, f64) {
     let devs = device_bank();
     let (_nodes, handles) = IoNode::spawn_bank(devs.clone());
     let mut t = Table::new(&[
@@ -94,6 +96,8 @@ fn part1() {
         "executor",
         "speedup",
     ]);
+    let mut small_speedup = 0.0;
+    let mut large_speedup = 0.0;
     // (total span blocks, iterations): small spans are where the old
     // code's serial fallback lived; large spans amortise spawn cost.
     for &(total, iters) in &[(4usize, 401usize), (16, 301), (64, 201), (256, 101)] {
@@ -109,11 +113,15 @@ fn part1() {
             format!("{speedup:.2}x"),
         ]);
         if total == 4 {
+            small_speedup = speedup;
             assert!(
                 exec < spawn,
                 "executor must beat spawn-per-call on small multi-device \
                  spans (exec {exec:.6}s vs spawn {spawn:.6}s)"
             );
+        }
+        if total == 256 {
+            large_speedup = speedup;
         }
         assert!(
             exec <= spawn * 1.10,
@@ -123,9 +131,11 @@ fn part1() {
     }
     t.print();
     save_json("e15_executor", &t);
+    (small_speedup, large_speedup)
 }
 
-fn part2() {
+/// Returns (FIFO, SSTF) makespans in seconds for the summary.
+fn part2() -> (f64, f64) {
     let run = |policy: SchedPolicy| {
         let mut sim = Simulation::new();
         let disk = ModeledDisk::new(DiskGeometry::wren_1989(), policy, BS);
@@ -142,6 +152,7 @@ fn part2() {
         sim.run().makespan
     };
     let fifo = run(SchedPolicy::Fifo);
+    let mut sstf_secs = 0.0;
     let mut t = Table::new(&["policy", "makespan", "vs FIFO"]);
     for (name, policy) in [
         ("FIFO", SchedPolicy::Fifo),
@@ -155,6 +166,9 @@ fn part2() {
             format!("{:.1}ms", mk.as_millis_f64()),
             format!("{:.2}x", fifo.as_secs_f64() / mk.as_secs_f64()),
         ]);
+        if matches!(policy, SchedPolicy::Sstf) {
+            sstf_secs = mk.as_secs_f64();
+        }
         if matches!(policy, SchedPolicy::Sstf | SchedPolicy::Scan) {
             assert!(
                 mk < fifo,
@@ -167,6 +181,7 @@ fn part2() {
     }
     t.print();
     save_json("e15_executor_sched", &t);
+    (fifo.as_secs_f64(), sstf_secs)
 }
 
 fn main() {
@@ -176,7 +191,17 @@ fn main() {
          per-device workers instead of spawning a thread per device run, \
          and each worker dispatches its backlog by seek-aware policy",
     );
-    part1();
+    let (small_speedup, large_speedup) = part1();
     println!("\nDispatch policy on the modelled 1989 drive (virtual time):");
-    part2();
+    let (fifo_secs, sstf_secs) = part2();
+
+    Bench::new()
+        .label("experiment", "e15_executor")
+        .int("devices", DEVICES as u64)
+        .num("small_span_speedup_vs_spawn", small_speedup)
+        .num("large_span_speedup_vs_spawn", large_speedup)
+        .num("fifo_makespan_secs", fifo_secs)
+        .num("sstf_makespan_secs", sstf_secs)
+        .num("sstf_speedup_vs_fifo", fifo_secs / sstf_secs)
+        .save("e15_executor");
 }

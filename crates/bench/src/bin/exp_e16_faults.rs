@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use pario_bench::banner;
-use pario_bench::table::{save_json, Table};
+use pario_bench::table::{save_json, Bench, Table};
 use pario_disk::{mem_array, FaultDevice, FaultPlan};
 use pario_fs::{FileSpec, HealthState, Volume};
 use pario_layout::LayoutSpec;
@@ -74,6 +74,11 @@ fn main() {
     let timeline: parking_lot::Mutex<Vec<(Duration, usize, u64)>> =
         parking_lot::Mutex::new(Vec::new());
     let t0 = Instant::now();
+
+    // Hoisted out of the scope for the flat benchmark summary.
+    let mut detect_secs = 0.0;
+    let mut rebuild_secs = 0.0;
+    let mut resynced_blocks = 0u64;
 
     crossbeam::thread::scope(|s| {
         for w in 0..WORKERS {
@@ -147,10 +152,13 @@ fn main() {
         std::thread::sleep(Duration::from_millis(120));
         stop.store(true, Ordering::SeqCst);
 
+        detect_secs = detect.as_secs_f64();
+        rebuild_secs = rebuild_took.as_secs_f64();
+        resynced_blocks = report.shadow_resynced.iter().map(|(_, n)| n).sum::<u64>();
         println!(
             "fail-stop detected in {detect:?}; online rebuild re-synced \
-             {} blocks in {rebuild_took:?} ({:?} of transient errors seen)\n",
-            report.shadow_resynced.iter().map(|(_, n)| n).sum::<u64>(),
+             {resynced_blocks} blocks in {rebuild_took:?} ({:?} of transient \
+             errors seen)\n",
             fault.counts().transients,
         );
     })
@@ -186,6 +194,24 @@ fn main() {
     }
     t.print();
     save_json("e16_faults", &t);
+
+    Bench::new()
+        .label("experiment", "e16_faults")
+        .int("records", RECORDS)
+        .int("workers", WORKERS)
+        .num("detect_secs", detect_secs)
+        .num("rebuild_secs", rebuild_secs)
+        .int("resynced_blocks", resynced_blocks)
+        .int(
+            "rebuild_min_ops_per_slice",
+            if rebuild_min == u64::MAX {
+                0
+            } else {
+                rebuild_min
+            },
+        )
+        .int("total_ops", ops.load(Ordering::Relaxed))
+        .save("e16_faults");
 
     // The headline claim: no 5ms slice of the rebuild phase saw zero
     // foreground operations — the throttle kept the stripes shared.

@@ -94,6 +94,58 @@ pub fn save_json(name: &str, table: &Table) {
     }
 }
 
+/// A flat benchmark summary accumulated key by key, persisted as
+/// `BENCH_<name>.json` in the working directory — the repo root when
+/// run through `run_experiments.sh` or CI. Unlike the `results/` tables
+/// these are machine-readable objects for regression tracking.
+#[derive(Default)]
+pub struct Bench {
+    map: serde_json::Map<String, serde_json::Value>,
+}
+
+impl Bench {
+    /// An empty summary.
+    pub fn new() -> Bench {
+        Bench::default()
+    }
+
+    /// Record a floating-point metric.
+    pub fn num(&mut self, key: &str, v: f64) -> &mut Bench {
+        self.map.insert(
+            key.to_string(),
+            serde_json::Value::Number(serde_json::Number::F64(v)),
+        );
+        self
+    }
+
+    /// Record an integer metric.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Bench {
+        self.map.insert(
+            key.to_string(),
+            serde_json::Value::Number(serde_json::Number::U64(v)),
+        );
+        self
+    }
+
+    /// Record a string field.
+    pub fn label(&mut self, key: &str, v: &str) -> &mut Bench {
+        self.map
+            .insert(key.to_string(), serde_json::Value::String(v.to_string()));
+        self
+    }
+
+    /// Persist (best-effort) as `BENCH_<name>.json`.
+    pub fn save(&self, name: &str) {
+        let path = format!("BENCH_{name}.json");
+        let value = serde_json::Value::Object(self.map.clone());
+        if let Ok(s) = serde_json::to_string_pretty(&value) {
+            if std::fs::write(&path, s).is_ok() {
+                println!("(saved {path})");
+            }
+        }
+    }
+}
+
 /// Format a byte rate human-readably.
 pub fn rate(bytes_per_sec: f64) -> String {
     if bytes_per_sec >= 1e6 {

@@ -63,6 +63,14 @@ struct State {
 }
 
 /// A shared LRU cache of device blocks.
+///
+/// Superseded by the volume-wide [`VolumeCache`] tier, which adds CLOCK
+/// eviction over a pooled frame budget, miss/writeback run coalescing,
+/// and dirty-overflow spill. This type remains for single-file
+/// experiments; [`CacheStats`] and [`WritePolicy`] are shared by both.
+///
+/// [`VolumeCache`]: crate::VolumeCache
+#[deprecated(note = "use the volume-wide `VolumeCache` tier")]
 pub struct BlockCache {
     devices: Vec<DeviceRef>,
     capacity: usize,
@@ -70,6 +78,7 @@ pub struct BlockCache {
     state: Mutex<State>,
 }
 
+#[allow(deprecated)]
 impl BlockCache {
     /// A cache of at most `capacity` frames over `devices`.
     ///
@@ -255,6 +264,7 @@ impl BlockCache {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pario_disk::mem_array;

@@ -6,9 +6,13 @@
 //!
 //! * [`BufferPool`] — a fixed pool of reusable block buffers with RAII
 //!   guards and back-pressure.
-//! * [`BlockCache`] — an LRU `(device, block)` cache with write-through and
-//!   write-back policies, for direct-access organizations with locality
-//!   (the paper's PDA case).
+//! * [`VolumeCache`] — the volume-wide shared block cache tier in front
+//!   of the executor bank: CLOCK eviction over a fixed frame budget,
+//!   read-through miss coalescing, write-behind run coalescing, and a
+//!   scratch-device spill path for dirty overflow.
+//! * [`BlockCache`] — the legacy per-file LRU `(device, block)` cache
+//!   (deprecated in favor of [`VolumeCache`]; its [`CacheStats`] and
+//!   [`WritePolicy`] types are shared by both tiers).
 //! * [`ReadAhead`] / [`WriteBehind`] — multiple-buffering pipelines
 //!   submitting to per-device I/O-executor workers, overlapping
 //!   predictable sequential I/O with computation; the buffer count is
@@ -37,7 +41,13 @@
 mod cache;
 mod pipeline;
 mod pool;
+mod volume_cache;
 
-pub use cache::{BlockCache, CacheStats, WritePolicy};
+#[allow(deprecated)]
+pub use cache::BlockCache;
+pub use cache::{CacheStats, WritePolicy};
 pub use pipeline::{ReadAhead, WriteBehind};
 pub use pool::{BufferPool, PoolBuf};
+pub use volume_cache::{
+    CacheReadTicket, CacheWriteTicket, VolumeCache, VolumeCacheConfig, VolumeCacheStats,
+};

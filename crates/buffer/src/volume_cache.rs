@@ -1,0 +1,1196 @@
+//! The volume-wide shared block cache tier.
+//!
+//! The paper (§4) argues buffering software is "just as important as the
+//! layout of data on disks"; the per-file [`BlockCache`] left hot reuse
+//! traffic across a server's *many* sessions hitting the device
+//! executors on every access. [`VolumeCache`] is the shared tier in
+//! front of the executor bank that every file of a volume goes through:
+//!
+//! * **CLOCK eviction** over a fixed frame budget drawn from a
+//!   [`BufferPool`] at construction (the pool's free-list lock is ranked
+//!   *below* the fs locks, so the budget is drained up front and frames
+//!   never touch the pool while the ranked cache lock is held).
+//! * **Read-through miss coalescing**: adjacent misses in one request
+//!   become one vectored `submit_read_blocks` ticket per device, and
+//!   tickets across devices are all in flight before any is waited on
+//!   ([`VolumeCache::submit_read`] / [`CacheReadTicket::wait`]).
+//! * **Write-behind coalescing**: under [`WritePolicy::WriteBack`],
+//!   dirty neighbors are merged into contiguous runs before executor
+//!   submit, both at eviction and at [`VolumeCache::flush`].
+//! * **Disk spill**: with a scratch device configured, evicting a dirty
+//!   frame spills it to scratch instead of waiting out a write to its
+//!   (possibly slow) home device, so unbounded writers are never
+//!   blocked behind the home devices ([`VolumeCacheConfig::spill`]).
+//! * **Invalidation** hooks ([`VolumeCache::invalidate_range`],
+//!   [`VolumeCache::drop_device`]) let lock release points and device
+//!   health transitions keep cached state coherent with the media.
+//!
+//! The internal mutex is ranked [`LockLevel::VolumeCache`] (75): above
+//! the file RMW/stripe locks (lookups happen inside those critical
+//! sections) and below the health board (health transitions drop frames
+//! only after the board mutex is released).
+//!
+//! Error semantics are chosen so the cache never *masks* media state:
+//! a failed write-through invalidates every frame the write covered
+//! (a torn write leaves the media holding a prefix — subsequent reads
+//! must see exactly that), and a failed read-fill simply skips frame
+//! installation.
+//!
+//! [`BlockCache`]: crate::BlockCache
+
+use std::collections::{HashMap, HashSet};
+
+use pario_check::{LockLevel, Mutex};
+use pario_disk::{DeviceRef, DiskError, Result, Ticket};
+
+use crate::cache::{CacheStats, WritePolicy};
+use crate::pool::{BufferPool, PoolBuf};
+
+/// Shape of a [`VolumeCache`].
+pub struct VolumeCacheConfig {
+    /// Frame budget: block-sized buffers drawn from a [`BufferPool`] at
+    /// construction.
+    pub frames: usize,
+    /// When dirty data reaches the home devices. `WriteThrough`
+    /// preserves the uncached path's durability and fault visibility
+    /// exactly; `WriteBack` absorbs writes and coalesces them on
+    /// eviction/flush.
+    pub policy: WritePolicy,
+    /// Scratch device for the dirty-overflow spill path (write-back
+    /// only). `None` falls back to coalesced write-back at eviction.
+    pub spill: Option<DeviceRef>,
+}
+
+impl VolumeCacheConfig {
+    /// A write-through cache of `frames` frames and no spill device.
+    pub fn write_through(frames: usize) -> VolumeCacheConfig {
+        VolumeCacheConfig {
+            frames,
+            policy: WritePolicy::WriteThrough,
+            spill: None,
+        }
+    }
+
+    /// A write-back cache of `frames` frames and no spill device.
+    pub fn write_back(frames: usize) -> VolumeCacheConfig {
+        VolumeCacheConfig {
+            frames,
+            policy: WritePolicy::WriteBack,
+            spill: None,
+        }
+    }
+
+    /// Attach a scratch device for dirty-frame spill.
+    pub fn with_spill(mut self, scratch: DeviceRef) -> VolumeCacheConfig {
+        self.spill = Some(scratch);
+        self
+    }
+}
+
+/// Traffic counters of a [`VolumeCache`]. Extends the shared
+/// [`CacheStats`] counters with coalescing and spill activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct VolumeCacheStats {
+    /// The shared hit/miss/eviction/writeback counters.
+    pub base: CacheStats,
+    /// Misses absorbed into a neighbor's vectored read (blocks beyond
+    /// the first of each coalesced miss run).
+    pub coalesced_reads: u64,
+    /// Dirty blocks merged into a neighbor's vectored writeback (blocks
+    /// beyond the first of each contiguous dirty run).
+    pub coalesced_writes: u64,
+    /// Dirty frames overflowed to the scratch device.
+    pub spills: u64,
+    /// Reads served from spilled scratch blocks.
+    pub spill_loads: u64,
+    /// Frames dropped by invalidation (lock-driven or health-driven).
+    pub invalidations: u64,
+}
+
+impl VolumeCacheStats {
+    /// Hit ratio over all reads (0 when no reads occurred).
+    pub fn hit_ratio(&self) -> f64 {
+        self.base.hit_ratio()
+    }
+}
+
+struct Slot {
+    key: Option<(usize, u64)>,
+    dirty: bool,
+    referenced: bool,
+}
+
+struct CacheState {
+    /// The frame buffers, drawn from the pool at construction. Entry `i`
+    /// backs `slots[i]`.
+    bufs: Vec<PoolBuf>,
+    slots: Vec<Slot>,
+    /// `(device, absolute block)` -> slot index.
+    map: HashMap<(usize, u64), usize>,
+    /// Slots never used yet (startup only; eviction recycles in place).
+    free: Vec<usize>,
+    /// CLOCK hand.
+    hand: usize,
+    /// Dirty blocks overflowed to the scratch device:
+    /// `(device, block)` -> scratch block. A key is in at most one of
+    /// `map` and `spilled`.
+    spilled: HashMap<(usize, u64), u64>,
+    /// Unused scratch blocks.
+    spill_free: Vec<u64>,
+    /// Miss keys with an executor fetch in flight -> outstanding reader
+    /// count. A write or invalidation of such a key lands in `stale`:
+    /// the fetched bytes predate the mutation and must not be installed
+    /// when the ticket is waited.
+    inflight: HashMap<(usize, u64), u32>,
+    /// In-flight keys mutated since their fetch was submitted.
+    stale: HashSet<(usize, u64)>,
+    stats: VolumeCacheStats,
+}
+
+/// A volume-wide shared block cache in front of the executor bank.
+pub struct VolumeCache {
+    devices: Vec<DeviceRef>,
+    scratch: Option<DeviceRef>,
+    policy: WritePolicy,
+    block_size: usize,
+    /// Kept alive so the drained frame budget returns to a live pool on
+    /// drop, and so callers can see the budget via [`VolumeCache::pool`].
+    pool: BufferPool,
+    frames: Mutex<CacheState>,
+}
+
+/// A pending miss run: (byte offset into `out`, start block, block
+/// count, executor ticket).
+type PendingRun = (usize, u64, u64, Ticket<Box<[u8]>>);
+
+/// An in-flight cached read: hits were copied at submit time, miss runs
+/// hold executor tickets. Wait with [`CacheReadTicket::wait`].
+#[must_use = "a cached read completes only when waited"]
+pub struct CacheReadTicket {
+    dev: usize,
+    pending: Vec<PendingRun>,
+    out: Box<[u8]>,
+    err: Option<DiskError>,
+}
+
+/// An in-flight cached write (write-through submits one vectored device
+/// write; write-back completes at submit time).
+#[must_use = "a cached write completes only when waited"]
+pub struct CacheWriteTicket {
+    dev: usize,
+    block: u64,
+    count: u64,
+    pending: Option<Ticket<Box<[u8]>>>,
+}
+
+impl VolumeCache {
+    /// A cache over `devices` (normally a volume's executor handles).
+    ///
+    /// The frame budget is drawn from a fresh [`BufferPool`] of
+    /// `cfg.frames` block-sized buffers, all acquired here — the pool's
+    /// lock sits below the fs locks in the hierarchy, so the cache must
+    /// never touch it while its own ranked lock is held.
+    pub fn new(devices: Vec<DeviceRef>, cfg: VolumeCacheConfig) -> VolumeCache {
+        assert!(cfg.frames > 0, "cache needs at least one frame");
+        assert!(!devices.is_empty(), "cache needs at least one device");
+        let bs = devices[0].block_size();
+        assert!(
+            devices.iter().all(|d| d.block_size() == bs),
+            "devices must share a block size"
+        );
+        if let Some(s) = &cfg.spill {
+            assert_eq!(s.block_size(), bs, "scratch device block size");
+        }
+        let pool = BufferPool::new(cfg.frames, bs);
+        let bufs: Vec<PoolBuf> = (0..cfg.frames).map(|_| pool.acquire()).collect();
+        let slots = (0..cfg.frames)
+            .map(|_| Slot {
+                key: None,
+                dirty: false,
+                referenced: false,
+            })
+            .collect();
+        let spill_free = match &cfg.spill {
+            Some(s) => (0..s.num_blocks()).rev().collect(),
+            None => Vec::new(),
+        };
+        VolumeCache {
+            devices,
+            scratch: cfg.spill,
+            policy: cfg.policy,
+            block_size: bs,
+            pool,
+            frames: Mutex::new_named(
+                CacheState {
+                    bufs,
+                    slots,
+                    map: HashMap::new(),
+                    free: (0..cfg.frames).rev().collect(),
+                    hand: 0,
+                    spilled: HashMap::new(),
+                    spill_free,
+                    inflight: HashMap::new(),
+                    stale: HashSet::new(),
+                    stats: VolumeCacheStats::default(),
+                },
+                LockLevel::VolumeCache,
+            ),
+        }
+    }
+
+    /// Block size of the underlying devices.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The write policy the cache runs.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// The pool the frame budget was drawn from (fully drained while the
+    /// cache lives).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Frame budget (total frames).
+    pub fn frame_budget(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> VolumeCacheStats {
+        self.frames.lock().stats
+    }
+
+    /// Number of resident frames (spilled blocks not included).
+    pub fn len(&self) -> usize {
+        self.frames.lock().map.len()
+    }
+
+    /// True when no frames are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of blocks currently spilled to scratch.
+    pub fn spilled_blocks(&self) -> usize {
+        self.frames.lock().spilled.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal frame machinery (all called with the state lock held)
+    // ------------------------------------------------------------------
+
+    /// Write the contiguous dirty run around `slot`'s key back to its
+    /// home device as one vectored request, marking the run clean.
+    fn writeback_run(&self, st: &mut CacheState, idx: usize) -> Result<()> {
+        // invariant: callers only pass occupied slots.
+        let (dev, block) = st.slots[idx].key.expect("occupied slot");
+        // Grow the run over contiguous dirty resident neighbors.
+        let mut lo = block;
+        while lo > 0 {
+            match st.map.get(&(dev, lo - 1)) {
+                Some(&i) if st.slots[i].dirty => lo -= 1,
+                _ => break,
+            }
+        }
+        let mut hi = block;
+        while let Some(&i) = st.map.get(&(dev, hi + 1)) {
+            if !st.slots[i].dirty {
+                break;
+            }
+            hi += 1;
+        }
+        let n = (hi - lo + 1) as usize;
+        let mut data = vec![0u8; n * self.block_size];
+        for j in 0..n {
+            // invariant: the scan above saw every key in the run.
+            let i = *st.map.get(&(dev, lo + j as u64)).expect("scanned key");
+            data[j * self.block_size..(j + 1) * self.block_size].copy_from_slice(&st.bufs[i]);
+        }
+        self.devices[dev]
+            .submit_write_blocks(lo, data.into_boxed_slice())
+            .wait()?;
+        for j in 0..n {
+            // invariant: keys unchanged while the state lock is held.
+            let i = *st.map.get(&(dev, lo + j as u64)).expect("scanned key");
+            st.slots[i].dirty = false;
+        }
+        st.stats.base.writebacks += n as u64;
+        st.stats.coalesced_writes += n as u64 - 1;
+        Ok(())
+    }
+
+    /// Make `slot` clean so it can be recycled: spill to scratch when a
+    /// slot is free there, else write the surrounding dirty run home.
+    fn clean_slot(&self, st: &mut CacheState, idx: usize) -> Result<()> {
+        if !st.slots[idx].dirty {
+            return Ok(());
+        }
+        if let Some(scratch) = &self.scratch {
+            if let Some(sslot) = st.spill_free.pop() {
+                // invariant: callers only pass occupied slots.
+                let key = st.slots[idx].key.expect("occupied slot");
+                if let Err(e) = scratch.write_block(sslot, &st.bufs[idx]) {
+                    st.spill_free.push(sslot);
+                    return Err(e);
+                }
+                st.spilled.insert(key, sslot);
+                st.slots[idx].dirty = false;
+                st.stats.spills += 1;
+                return Ok(());
+            }
+        }
+        self.writeback_run(st, idx)
+    }
+
+    /// Take a recyclable slot: a never-used one, else a CLOCK victim
+    /// (dirty victims are spilled or written back first). The returned
+    /// slot is unmapped and clean.
+    fn take_slot(&self, st: &mut CacheState) -> Result<usize> {
+        if let Some(idx) = st.free.pop() {
+            return Ok(idx);
+        }
+        // Two sweeps suffice: the first clears every reference bit.
+        for _ in 0..2 * st.slots.len() {
+            let idx = st.hand;
+            st.hand = (st.hand + 1) % st.slots.len();
+            if st.slots[idx].referenced {
+                st.slots[idx].referenced = false;
+                continue;
+            }
+            self.clean_slot(st, idx)?;
+            // invariant: non-free slots are always mapped.
+            let key = st.slots[idx].key.take().expect("occupied slot");
+            st.map.remove(&key);
+            st.slots[idx].dirty = false;
+            st.stats.base.evictions += 1;
+            return Ok(idx);
+        }
+        unreachable!("CLOCK finds a victim within two sweeps");
+    }
+
+    /// Poison any in-flight fetch of `key`: the caller is about to make
+    /// its bytes stale (a write, an update, or an invalidation after a
+    /// raw media write), so the late install must be skipped.
+    fn mark_stale_if_inflight(st: &mut CacheState, key: (usize, u64)) {
+        if st.inflight.contains_key(&key) {
+            st.stale.insert(key);
+        }
+    }
+
+    /// Drop one in-flight reference to `key` and report whether its
+    /// fetched bytes are still fresh (never mutated since submit).
+    fn retire_inflight(st: &mut CacheState, key: (usize, u64)) -> bool {
+        let fresh = !st.stale.contains(&key);
+        if let Some(c) = st.inflight.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                st.inflight.remove(&key);
+                st.stale.remove(&key);
+            }
+        }
+        fresh
+    }
+
+    /// Install `data` as a frame for `key`. `dirty` marks write-behind
+    /// data not yet on the home device. The reference bit starts clear:
+    /// only a second touch earns a frame protection from the sweep, so
+    /// one-shot streaming data is recycled first.
+    fn install(
+        &self,
+        st: &mut CacheState,
+        key: (usize, u64),
+        data: &[u8],
+        dirty: bool,
+    ) -> Result<()> {
+        let idx = self.take_slot(st)?;
+        st.bufs[idx].copy_from_slice(data);
+        st.slots[idx] = Slot {
+            key: Some(key),
+            dirty,
+            referenced: false,
+        };
+        st.map.insert(key, idx);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Start a cached read of `count` blocks of device `dev` beginning
+    /// at absolute block `block`. Hits (and spilled blocks) are copied
+    /// immediately; runs of adjacent misses are coalesced into one
+    /// vectored executor ticket each, all submitted before this returns
+    /// — so a caller reading runs on several devices keeps full
+    /// cross-device parallelism by submitting every run before waiting
+    /// any ([`CacheReadTicket::wait`]).
+    pub fn submit_read(&self, dev: usize, block: u64, count: usize) -> CacheReadTicket {
+        let bs = self.block_size;
+        let mut out = vec![0u8; count * bs].into_boxed_slice();
+        let mut pending = Vec::new();
+        let mut err = None;
+        let mut st = self.frames.lock();
+        let mut i = 0usize;
+        while i < count {
+            let b = block + i as u64;
+            if let Some(&idx) = st.map.get(&(dev, b)) {
+                st.slots[idx].referenced = true;
+                out[i * bs..(i + 1) * bs].copy_from_slice(&st.bufs[idx]);
+                st.stats.base.hits += 1;
+                i += 1;
+            } else if let Some(&sslot) = st.spilled.get(&(dev, b)) {
+                // The newest copy lives on scratch (it was dirty when
+                // spilled); serve it from there.
+                // invariant: spilled entries exist only with a scratch device.
+                let scratch = self.scratch.as_ref().expect("spill implies scratch");
+                if let Err(e) = scratch.read_block(sslot, &mut out[i * bs..(i + 1) * bs]) {
+                    err.get_or_insert(e);
+                }
+                st.stats.base.hits += 1;
+                st.stats.spill_loads += 1;
+                i += 1;
+            } else {
+                // Coalesce the whole run of adjacent misses into one
+                // vectored read.
+                let start = i;
+                while i < count {
+                    let key = (dev, block + i as u64);
+                    if st.map.contains_key(&key) || st.spilled.contains_key(&key) {
+                        break;
+                    }
+                    i += 1;
+                }
+                let n = i - start;
+                st.stats.base.misses += n as u64;
+                st.stats.coalesced_reads += n as u64 - 1;
+                for j in start..i {
+                    *st.inflight.entry((dev, block + j as u64)).or_insert(0) += 1;
+                }
+                let t = self.devices[dev]
+                    .submit_read_blocks(block + start as u64, vec![0u8; n * bs].into_boxed_slice());
+                pending.push((start * bs, block + start as u64, n as u64, t));
+            }
+        }
+        drop(st);
+        CacheReadTicket {
+            dev,
+            pending,
+            out,
+            err,
+        }
+    }
+
+    /// Read blocks synchronously through the cache (`out` must be a
+    /// whole number of blocks).
+    pub fn read_blocks(&self, dev: usize, block: u64, out: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(out.len() % self.block_size, 0);
+        let data = self
+            .submit_read(dev, block, out.len() / self.block_size)
+            .wait(self)?;
+        out.copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Read one block synchronously through the cache.
+    pub fn read_block(&self, dev: usize, block: u64, out: &mut [u8]) -> Result<()> {
+        self.read_blocks(dev, block, out)
+    }
+
+    /// Copy `(dev, block)` into `out` only if it is resident (frame or
+    /// spilled) — never touches the home device. Used by hedged reads,
+    /// which otherwise race raw device tickets and must not miss newer
+    /// write-behind data.
+    pub fn try_cached(&self, dev: usize, block: u64, out: &mut [u8]) -> bool {
+        let mut st = self.frames.lock();
+        if let Some(&idx) = st.map.get(&(dev, block)) {
+            st.slots[idx].referenced = true;
+            out.copy_from_slice(&st.bufs[idx]);
+            st.stats.base.hits += 1;
+            return true;
+        }
+        if let Some(&sslot) = st.spilled.get(&(dev, block)) {
+            // invariant: spilled entries exist only with a scratch device.
+            let scratch = self.scratch.as_ref().expect("spill implies scratch");
+            if scratch.read_block(sslot, out).is_ok() {
+                st.stats.base.hits += 1;
+                st.stats.spill_loads += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Start a cached write of whole blocks. Write-back absorbs the data
+    /// into dirty frames (spilling or writing back victims) and is
+    /// complete when this returns; write-through updates resident frames
+    /// and submits one vectored device write whose outcome
+    /// [`CacheWriteTicket::wait`] reports — on error every covered frame
+    /// is invalidated, so reads see exactly what the media holds (a torn
+    /// write is never masked by the cache).
+    pub fn submit_write(&self, dev: usize, block: u64, data: &[u8]) -> Result<CacheWriteTicket> {
+        let bs = self.block_size;
+        debug_assert_eq!(data.len() % bs, 0);
+        let count = data.len() / bs;
+        let mut st = self.frames.lock();
+        match self.policy {
+            WritePolicy::WriteBack => {
+                for j in 0..count {
+                    let key = (dev, block + j as u64);
+                    let chunk = &data[j * bs..(j + 1) * bs];
+                    Self::mark_stale_if_inflight(&mut st, key);
+                    if let Some(&idx) = st.map.get(&key) {
+                        st.bufs[idx].copy_from_slice(chunk);
+                        st.slots[idx].dirty = true;
+                        st.slots[idx].referenced = true;
+                    } else if let Some(&sslot) = st.spilled.get(&key) {
+                        // Overwrite the spilled copy in place.
+                        // invariant: spilled entries exist only with a scratch device.
+                        let scratch = self.scratch.as_ref().expect("spill implies scratch");
+                        scratch.write_block(sslot, chunk)?;
+                    } else {
+                        self.install(&mut st, key, chunk, true)?;
+                    }
+                }
+                Ok(CacheWriteTicket {
+                    dev,
+                    block,
+                    count: count as u64,
+                    pending: None,
+                })
+            }
+            WritePolicy::WriteThrough => {
+                // Update resident frames; deliberately no insert on miss
+                // (large streaming writes must not flush the whole
+                // cache), and no new dirty state ever.
+                for j in 0..count {
+                    let key = (dev, block + j as u64);
+                    let chunk = &data[j * bs..(j + 1) * bs];
+                    Self::mark_stale_if_inflight(&mut st, key);
+                    if let Some(&idx) = st.map.get(&key) {
+                        st.bufs[idx].copy_from_slice(chunk);
+                        st.slots[idx].referenced = true;
+                    }
+                }
+                let t =
+                    self.devices[dev].submit_write_blocks(block, data.to_vec().into_boxed_slice());
+                drop(st);
+                Ok(CacheWriteTicket {
+                    dev,
+                    block,
+                    count: count as u64,
+                    pending: Some(t),
+                })
+            }
+        }
+    }
+
+    /// Write blocks synchronously through the cache.
+    pub fn write_blocks(&self, dev: usize, block: u64, data: &[u8]) -> Result<()> {
+        self.submit_write(dev, block, data)?.wait(self)
+    }
+
+    /// Write one block synchronously through the cache.
+    pub fn write_block(&self, dev: usize, block: u64, data: &[u8]) -> Result<()> {
+        self.write_blocks(dev, block, data)
+    }
+
+    /// Read-modify-write one cached block in place, the primitive
+    /// sub-block record access builds on (kept API-compatible with the
+    /// legacy per-file `BlockCache::update`).
+    pub fn update(&self, dev: usize, block: u64, f: impl FnOnce(&mut [u8])) -> Result<()> {
+        let key = (dev, block);
+        let mut st = self.frames.lock();
+        Self::mark_stale_if_inflight(&mut st, key);
+        if let Some(&sslot) = st.spilled.get(&key) {
+            // The newest copy is on scratch: update it there in place.
+            // invariant: spilled entries exist only with a scratch device.
+            let scratch = self.scratch.as_ref().expect("spill implies scratch");
+            let mut buf = vec![0u8; self.block_size];
+            scratch.read_block(sslot, &mut buf)?;
+            f(&mut buf);
+            st.stats.base.hits += 1;
+            st.stats.spill_loads += 1;
+            return scratch.write_block(sslot, &buf);
+        }
+        if !st.map.contains_key(&key) {
+            st.stats.base.misses += 1;
+            let mut buf = vec![0u8; self.block_size];
+            self.devices[dev].read_block(block, &mut buf)?;
+            self.install(&mut st, key, &buf, false)?;
+        } else {
+            st.stats.base.hits += 1;
+        }
+        // invariant: installed (or found) above under the same lock.
+        let idx = *st.map.get(&key).expect("installed above");
+        st.slots[idx].referenced = true;
+        // Split-borrow dance: take the frame data out of st to mutate it
+        // while the device write can still observe errors.
+        f(&mut st.bufs[idx]);
+        match self.policy {
+            WritePolicy::WriteBack => {
+                st.slots[idx].dirty = true;
+                Ok(())
+            }
+            WritePolicy::WriteThrough => {
+                let r = self.devices[dev].write_block(block, &st.bufs[idx]);
+                if r.is_err() {
+                    // Never mask media state: drop the frame on error.
+                    st.map.remove(&key);
+                    st.slots[idx].key = None;
+                    st.slots[idx].dirty = false;
+                    st.free.push(idx);
+                    st.stats.invalidations += 1;
+                }
+                r
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flush and invalidation
+    // ------------------------------------------------------------------
+
+    /// Write every dirty frame and spilled block matching `keep` home,
+    /// merging adjacent blocks into vectored runs submitted across all
+    /// devices before any is waited on.
+    fn flush_filtered(&self, keep: impl Fn(usize, u64) -> bool) -> Result<()> {
+        let bs = self.block_size;
+        let mut st = self.frames.lock();
+        // Gather per device: sorted (block, bytes, origin).
+        let mut by_dev: HashMap<usize, Vec<(u64, Vec<u8>, Origin)>> = HashMap::new();
+        for (&(dev, block), &idx) in &st.map {
+            if st.slots[idx].dirty && keep(dev, block) {
+                by_dev.entry(dev).or_default().push((
+                    block,
+                    st.bufs[idx].to_vec(),
+                    Origin::Frame(idx),
+                ));
+            }
+        }
+        for (&(dev, block), &sslot) in &st.spilled {
+            if keep(dev, block) {
+                // invariant: spilled entries exist only with a scratch device.
+                let scratch = self.scratch.as_ref().expect("spill implies scratch");
+                let mut buf = vec![0u8; bs];
+                scratch.read_block(sslot, &mut buf)?;
+                by_dev
+                    .entry(dev)
+                    .or_default()
+                    .push((block, buf, Origin::Spill(sslot)));
+            }
+        }
+        // Merge adjacent blocks into runs and submit everything.
+        type WritebackRun = (usize, Vec<(u64, Origin)>, Ticket<Box<[u8]>>);
+        let mut inflight: Vec<WritebackRun> = Vec::new();
+        for (dev, mut items) in by_dev {
+            items.sort_by_key(|(b, _, _)| *b);
+            let mut i = 0usize;
+            while i < items.len() {
+                let start = i;
+                while i + 1 < items.len() && items[i + 1].0 == items[i].0 + 1 {
+                    i += 1;
+                }
+                i += 1;
+                let run = &items[start..i];
+                let mut data = Vec::with_capacity(run.len() * bs);
+                let mut members = Vec::with_capacity(run.len());
+                for (b, bytes, origin) in run {
+                    data.extend_from_slice(bytes);
+                    members.push((*b, *origin));
+                }
+                let t = self.devices[dev].submit_write_blocks(run[0].0, data.into_boxed_slice());
+                inflight.push((dev, members, t));
+            }
+        }
+        let mut first_err: Option<DiskError> = None;
+        for (dev, members, t) in inflight {
+            match t.wait() {
+                Ok(_) => {
+                    let blocks = members.len() as u64;
+                    for (block, origin) in members {
+                        match origin {
+                            Origin::Frame(idx) => st.slots[idx].dirty = false,
+                            Origin::Spill(sslot) => {
+                                st.spilled.remove(&(dev, block));
+                                st.spill_free.push(sslot);
+                            }
+                        }
+                    }
+                    st.stats.base.writebacks += blocks;
+                    st.stats.coalesced_writes += blocks - 1;
+                }
+                Err(e) => {
+                    // Keep the run dirty/spilled; the data is not lost.
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Write all dirty state (frames and spilled blocks) to the home
+    /// devices, coalesced into vectored runs.
+    pub fn flush(&self) -> Result<()> {
+        self.flush_filtered(|_, _| true)
+    }
+
+    /// Flush only device `dev`'s dirty state.
+    pub fn flush_device(&self, dev: usize) -> Result<()> {
+        self.flush_filtered(|d, _| d == dev)
+    }
+
+    /// Flush dirty state covering `[block, block + count)` of device
+    /// `dev` — the hook a byte-range lock release drives so data written
+    /// under the lock is durable before the next holder proceeds.
+    pub fn flush_range(&self, dev: usize, block: u64, count: u64) -> Result<()> {
+        self.flush_filtered(|d, b| d == dev && b >= block && b < block + count)
+    }
+
+    /// Drop resident and spilled state covering `[block, block + count)`
+    /// of device `dev` *without* writing anything back — for callers
+    /// that know the media is authoritative (fresh zeroed extents) or
+    /// gone (health transitions).
+    pub fn invalidate_range(&self, dev: usize, block: u64, count: u64) {
+        let mut st = self.frames.lock();
+        Self::invalidate_locked(&mut st, |d, b| d == dev && b >= block && b < block + count);
+    }
+
+    /// Drop every resident and spilled block of device `dev` — the
+    /// health-transition hook: a Failed device's blocks must error (or
+    /// reconstruct) rather than serve from cache, and a Rebuilding
+    /// device's frames predate the resync sweep.
+    pub fn drop_device(&self, dev: usize) {
+        let mut st = self.frames.lock();
+        Self::invalidate_locked(&mut st, |d, _| d == dev);
+    }
+
+    fn invalidate_locked(st: &mut CacheState, drop: impl Fn(usize, u64) -> bool) {
+        // Poison matching in-flight fetches too: invalidation means the
+        // media changed (or died) underneath, so bytes fetched before it
+        // must not come back as clean frames.
+        let doomed_inflight: Vec<(usize, u64)> = st
+            .inflight
+            .keys()
+            .filter(|&&(d, b)| drop(d, b))
+            .copied()
+            .collect();
+        for key in doomed_inflight {
+            st.stale.insert(key);
+        }
+        let doomed: Vec<(usize, u64)> = st
+            .map
+            .keys()
+            .filter(|&&(d, b)| drop(d, b))
+            .copied()
+            .collect();
+        for key in doomed {
+            // invariant: keys were collected from the map under this lock.
+            let idx = st.map.remove(&key).expect("collected key");
+            st.slots[idx].key = None;
+            st.slots[idx].dirty = false;
+            st.slots[idx].referenced = false;
+            st.free.push(idx);
+            st.stats.invalidations += 1;
+        }
+        let doomed_spill: Vec<(usize, u64)> = st
+            .spilled
+            .keys()
+            .filter(|&&(d, b)| drop(d, b))
+            .copied()
+            .collect();
+        for key in doomed_spill {
+            // invariant: keys were collected from the spill map under this lock.
+            let sslot = st.spilled.remove(&key).expect("collected key");
+            st.spill_free.push(sslot);
+            st.stats.invalidations += 1;
+        }
+    }
+}
+
+/// Where a dirty block's bytes came from during a flush.
+#[derive(Copy, Clone)]
+enum Origin {
+    Frame(usize),
+    Spill(u64),
+}
+
+impl CacheReadTicket {
+    /// Complete the read: wait every miss run's executor ticket, install
+    /// the fetched blocks as clean frames (skipping keys a racing writer
+    /// made resident — their copy is newer — and keys a write or
+    /// invalidation poisoned while the fetch was in flight — the fetched
+    /// bytes predate the mutation), and return the assembled bytes.
+    /// Install failures (an eviction writeback error) do not fail the
+    /// read; the affected blocks are simply not cached.
+    pub fn wait(mut self, cache: &VolumeCache) -> Result<Box<[u8]>> {
+        let bs = cache.block_size;
+        let mut filled: Vec<(u64, u64, Box<[u8]>)> = Vec::new();
+        let mut failed: Vec<(u64, u64)> = Vec::new();
+        let mut err = self.err.take();
+        for (off, start, n, t) in self.pending {
+            match t.wait() {
+                Ok(data) => {
+                    self.out[off..off + data.len()].copy_from_slice(&data);
+                    filled.push((start, n, data));
+                }
+                Err(e) => {
+                    failed.push((start, n));
+                    err.get_or_insert(e);
+                }
+            }
+        }
+        let mut st = cache.frames.lock();
+        let mut install_failed = false;
+        for (start, n, data) in filled {
+            for j in 0..n {
+                let key = (self.dev, start + j);
+                let fresh = VolumeCache::retire_inflight(&mut st, key);
+                if !fresh
+                    || install_failed
+                    || st.map.contains_key(&key)
+                    || st.spilled.contains_key(&key)
+                {
+                    continue;
+                }
+                let chunk = &data[j as usize * bs..(j as usize + 1) * bs];
+                if cache.install(&mut st, key, chunk, false).is_err() {
+                    install_failed = true;
+                }
+            }
+        }
+        // Failed runs still held in-flight references.
+        for (start, n) in failed {
+            for j in 0..n {
+                VolumeCache::retire_inflight(&mut st, (self.dev, start + j));
+            }
+        }
+        drop(st);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+}
+
+impl CacheWriteTicket {
+    /// Complete the write. A failed write-through invalidates every
+    /// covered frame first: the media's (possibly torn) contents are
+    /// what subsequent reads must see.
+    pub fn wait(self, cache: &VolumeCache) -> Result<()> {
+        let Some(t) = self.pending else {
+            return Ok(());
+        };
+        match t.wait() {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                cache.invalidate_range(self.dev, self.block, self.count);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pario_disk::mem_array;
+    use std::sync::Arc;
+
+    const BS: usize = 64;
+
+    fn devs(n: usize) -> Vec<DeviceRef> {
+        mem_array(n, 64, BS)
+    }
+
+    fn cache(frames: usize, policy: WritePolicy) -> (VolumeCache, Vec<DeviceRef>) {
+        let d = devs(2);
+        let cfg = VolumeCacheConfig {
+            frames,
+            policy,
+            spill: None,
+        };
+        (VolumeCache::new(d.clone(), cfg), d)
+    }
+
+    #[test]
+    fn read_through_caches_and_hits() {
+        let (c, d) = cache(8, WritePolicy::WriteThrough);
+        d[0].write_block(3, &[7u8; BS]).unwrap();
+        let before = d[0].counters().reads;
+        let mut buf = [0u8; BS];
+        c.read_block(0, 3, &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
+        c.read_block(0, 3, &mut buf).unwrap();
+        assert_eq!(d[0].counters().reads, before + 1, "second read is a hit");
+        let s = c.stats();
+        assert_eq!((s.base.hits, s.base.misses), (1, 1));
+    }
+
+    #[test]
+    fn adjacent_misses_coalesce_into_one_request() {
+        let (c, d) = cache(16, WritePolicy::WriteThrough);
+        for b in 0..8u64 {
+            d[0].write_block(b, &[b as u8; BS]).unwrap();
+        }
+        let before = d[0].counters();
+        let mut out = vec![0u8; 8 * BS];
+        c.read_blocks(0, 0, &mut out).unwrap();
+        for b in 0..8 {
+            assert_eq!(out[b * BS], b as u8);
+        }
+        let after = d[0].counters();
+        assert_eq!(after.reads - before.reads, 1, "one vectored request");
+        assert_eq!(after.blocks_read - before.blocks_read, 8);
+        assert_eq!(c.stats().coalesced_reads, 7);
+    }
+
+    #[test]
+    fn misses_between_hits_split_into_runs() {
+        let (c, d) = cache(16, WritePolicy::WriteThrough);
+        let mut buf = [0u8; BS];
+        c.read_block(0, 3, &mut buf).unwrap(); // make block 3 a hit
+        let before = d[0].counters().reads;
+        let mut out = vec![0u8; 6 * BS];
+        c.read_blocks(0, 1, &mut out).unwrap(); // blocks 1..7: 3 resident
+        assert_eq!(
+            d[0].counters().reads - before,
+            2,
+            "runs [1,2] and [4,5,6] each fetch vectored"
+        );
+    }
+
+    #[test]
+    fn write_back_defers_and_flush_coalesces() {
+        let (c, d) = cache(8, WritePolicy::WriteBack);
+        for b in 0..4u64 {
+            c.write_block(0, b, &[b as u8 + 1; BS]).unwrap();
+        }
+        let mut buf = vec![0u8; BS];
+        d[0].read_block(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0), "nothing on media yet");
+        let before = d[0].counters();
+        c.flush().unwrap();
+        let after = d[0].counters();
+        assert_eq!(after.writes - before.writes, 1, "one coalesced writeback");
+        assert_eq!(after.blocks_written - before.blocks_written, 4);
+        d[0].read_block(2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 3));
+        let s = c.stats();
+        assert_eq!(s.base.writebacks, 4);
+        assert_eq!(s.coalesced_writes, 3);
+        // Second flush writes nothing.
+        c.flush().unwrap();
+        assert_eq!(c.stats().base.writebacks, 4);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_neighbors_as_one_run() {
+        let d = devs(1);
+        let c = VolumeCache::new(
+            d.clone(),
+            VolumeCacheConfig {
+                frames: 4,
+                policy: WritePolicy::WriteBack,
+                spill: None,
+            },
+        );
+        for b in 0..4u64 {
+            c.write_block(0, b, &[9u8; BS]).unwrap();
+        }
+        let before = d[0].counters();
+        // Fifth distinct block forces an eviction; the victim's whole
+        // dirty neighborhood goes home as one vectored write.
+        c.write_block(0, 10, &[1u8; BS]).unwrap();
+        let after = d[0].counters();
+        assert_eq!(after.writes - before.writes, 1);
+        assert_eq!(after.blocks_written - before.blocks_written, 4);
+        assert!(c.stats().coalesced_writes >= 3);
+    }
+
+    #[test]
+    fn spill_absorbs_dirty_overflow_without_home_writes() {
+        let d = devs(1);
+        let scratch = pario_disk::MemDisk::named("scratch", 64, BS);
+        let scratch: DeviceRef = Arc::new(scratch);
+        let c = VolumeCache::new(
+            d.clone(),
+            VolumeCacheConfig {
+                frames: 4,
+                policy: WritePolicy::WriteBack,
+                spill: Some(Arc::clone(&scratch)),
+            },
+        );
+        let before = d[0].counters().writes;
+        for b in 0..16u64 {
+            c.write_block(0, b, &[b as u8 + 1; BS]).unwrap();
+        }
+        assert_eq!(
+            d[0].counters().writes - before,
+            0,
+            "spill keeps the home device untouched"
+        );
+        let s = c.stats();
+        assert_eq!(s.spills, 12, "12 dirty frames overflowed");
+        assert_eq!(c.spilled_blocks(), 12);
+        // Reads see the newest data wherever it lives.
+        let mut buf = [0u8; BS];
+        for b in 0..16u64 {
+            c.read_block(0, b, &mut buf).unwrap();
+            assert_eq!(buf[0], b as u8 + 1, "block {b}");
+        }
+        assert!(c.stats().spill_loads > 0);
+        // Flush drains everything home and frees the scratch slots.
+        c.flush().unwrap();
+        assert_eq!(c.spilled_blocks(), 0);
+        for b in 0..16u64 {
+            d[0].read_block(b, &mut buf).unwrap();
+            assert_eq!(buf[0], b as u8 + 1, "block {b} on media");
+        }
+    }
+
+    #[test]
+    fn write_through_error_invalidates_frames() {
+        use pario_disk::{FaultDevice, FaultPlan};
+        let inner: DeviceRef = Arc::new(pario_disk::MemDisk::new(64, BS));
+        let (handle, dev) = FaultDevice::wrap(
+            Arc::clone(&inner),
+            FaultPlan {
+                torn_write_rate: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        let c = VolumeCache::new(vec![Arc::clone(&dev)], VolumeCacheConfig::write_through(8));
+        // Warm both blocks so frames exist.
+        let mut buf = [0u8; BS];
+        c.read_block(0, 0, &mut buf).unwrap();
+        c.read_block(0, 1, &mut buf).unwrap();
+        assert_eq!(c.len(), 2);
+        // A torn 2-block write errors; the cache must not keep the
+        // intended bytes around.
+        assert!(c.write_blocks(0, 0, &[5u8; 2 * BS]).is_err());
+        assert_eq!(handle.counts().torn_writes, 1);
+        // Reads now reflect media exactly: block 0 landed, block 1 did not.
+        c.read_block(0, 0, &mut buf).unwrap();
+        assert_eq!(buf[0], 5, "prefix landed");
+        c.read_block(0, 1, &mut buf).unwrap();
+        assert_eq!(buf[0], 0, "torn tail never landed");
+        let mut media = [0u8; BS];
+        inner.read_block(1, &mut media).unwrap();
+        assert_eq!(buf, media, "cache agrees with media");
+    }
+
+    #[test]
+    fn invalidate_range_and_drop_device() {
+        let (c, _d) = cache(8, WritePolicy::WriteBack);
+        c.write_block(0, 0, &[1u8; BS]).unwrap();
+        c.write_block(0, 1, &[2u8; BS]).unwrap();
+        c.write_block(1, 0, &[3u8; BS]).unwrap();
+        c.invalidate_range(0, 1, 1);
+        assert_eq!(c.len(), 2);
+        c.drop_device(0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().invalidations, 2);
+        let mut buf = [0u8; BS];
+        c.read_block(1, 0, &mut buf).unwrap();
+        assert_eq!(buf[0], 3, "other device untouched");
+    }
+
+    #[test]
+    fn update_read_modify_write_round_trips() {
+        let (c, d) = cache(4, WritePolicy::WriteBack);
+        d[0].write_block(0, &[1u8; BS]).unwrap();
+        c.update(0, 0, |b| b[10] = 99).unwrap();
+        let mut buf = [0u8; BS];
+        c.read_block(0, 0, &mut buf).unwrap();
+        assert_eq!((buf[0], buf[10]), (1, 99));
+        c.flush().unwrap();
+        d[0].read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[10], 99);
+    }
+
+    #[test]
+    fn frame_budget_is_drawn_from_the_pool() {
+        let (c, _d) = cache(6, WritePolicy::WriteThrough);
+        assert_eq!(c.frame_budget(), 6);
+        assert_eq!(c.pool().capacity(), 6);
+        assert_eq!(c.pool().available(), 0, "budget fully drained");
+    }
+
+    #[test]
+    fn concurrent_updates_are_atomic() {
+        let d = devs(1);
+        let c = Arc::new(VolumeCache::new(d, VolumeCacheConfig::write_back(4)));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move |_| {
+                    for _ in 0..100 {
+                        c.update(0, 0, |b| {
+                            let v = u64::from_le_bytes(b[0..8].try_into().unwrap());
+                            b[0..8].copy_from_slice(&(v + 1).to_le_bytes());
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut buf = [0u8; BS];
+        c.read_block(0, 0, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf[0..8].try_into().unwrap()), 800);
+    }
+
+    #[test]
+    fn inflight_read_never_installs_stale_bytes() {
+        // The executor-device race, deterministically: a miss fetch is
+        // submitted, the block is mutated before the ticket is waited,
+        // and the late install must be skipped — a hit afterwards has
+        // to serve the *new* bytes, never the fetched old ones.
+        let (c, d) = cache(8, WritePolicy::WriteThrough);
+        d[0].write_block(0, &[1u8; BS]).unwrap();
+        let t = c.submit_read(0, 0, 1);
+        c.write_block(0, 0, &[2u8; BS]).unwrap();
+        // The read was ordered before the write; old bytes are a legal
+        // return value. They just must not become a clean frame.
+        let got = t.wait(&c).unwrap();
+        assert_eq!(got[0], 1, "fetch predates the write");
+        let mut buf = [0u8; BS];
+        c.read_block(0, 0, &mut buf).unwrap();
+        assert_eq!(buf[0], 2, "stale install must not mask the write");
+
+        // Same shape against invalidation after a raw media write.
+        let t = c.submit_read(0, 5, 1);
+        d[0].write_block(5, &[9u8; BS]).unwrap();
+        c.invalidate_range(0, 5, 1);
+        t.wait(&c).unwrap();
+        c.read_block(0, 5, &mut buf).unwrap();
+        assert_eq!(buf[0], 9, "invalidation poisons the in-flight fetch");
+        assert!(c.frames.lock().inflight.is_empty(), "refs fully retired");
+    }
+
+    #[test]
+    fn clock_eviction_keeps_recently_referenced_frames() {
+        let d = devs(1);
+        let c = VolumeCache::new(d, VolumeCacheConfig::write_through(2));
+        let mut buf = [0u8; BS];
+        c.read_block(0, 1, &mut buf).unwrap();
+        c.read_block(0, 2, &mut buf).unwrap();
+        c.read_block(0, 1, &mut buf).unwrap(); // re-reference 1
+        c.read_block(0, 3, &mut buf).unwrap(); // evicts one of {1,2}
+        c.read_block(0, 1, &mut buf).unwrap();
+        let s = c.stats();
+        assert!(s.base.evictions >= 1);
+        assert!(s.base.hits >= 2, "referenced frame survived: {s:?}");
+    }
+}

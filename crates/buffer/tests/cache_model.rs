@@ -3,6 +3,7 @@
 //! the obvious model — and never lets dirty data reach the device before
 //! it should under write-back, nor later than immediately under
 //! write-through.
+#![allow(deprecated)] // models the legacy per-file BlockCache tier
 
 use proptest::prelude::*;
 

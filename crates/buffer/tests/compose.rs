@@ -1,6 +1,7 @@
 //! Composition tests: the buffering layer over dedicated I/O processors
 //! (pipeline threads feeding node threads), and pipelines racing on a
 //! shared device — stacking the paper's §4 mechanisms.
+#![allow(deprecated)] // exercises the legacy per-file BlockCache tier
 
 use std::sync::Arc;
 

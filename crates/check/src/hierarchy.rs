@@ -21,6 +21,7 @@
 //! | 50 | `Volume::alloc` | pario-fs | extent allocator |
 //! | 60 | `FileState::rmw_lock` | pario-fs | sub-block RMW window |
 //! | 70 | `FileState::stripe_lock` | pario-fs | parity stripe RMW cycle |
+//! | 75 | `VolumeCache::frames` | pario-buffer | volume-wide block cache state |
 //! | 80 | `HealthBoard::board` | pario-fs | device health state machine |
 
 /// Rank of a lock in the global acquisition order. Larger ranks must be
@@ -46,6 +47,12 @@ pub enum LockLevel {
     FsRmw = 60,
     /// `pario-fs` per-file parity stripe lock.
     FsStripe = 70,
+    /// `pario-buffer` volume-wide block cache state. Above the RMW and
+    /// stripe locks (cache lookups happen inside those critical
+    /// sections) and below the health board (health transitions drop
+    /// cached frames only after releasing the board mutex, and I/O
+    /// outcome feedback is reported after the cache lock is released).
+    VolumeCache = 75,
     /// `pario-fs` per-volume device health board. Ranked above every
     /// I/O-path lock because error feedback is reported from inside
     /// RMW/stripe critical sections.
@@ -66,6 +73,7 @@ impl LockLevel {
             LockLevel::FsAlloc => "fs.alloc",
             LockLevel::FsRmw => "fs.rmw",
             LockLevel::FsStripe => "fs.stripe",
+            LockLevel::VolumeCache => "buffer.volume_cache",
             LockLevel::FsHealth => "fs.health",
             LockLevel::Unranked => "unranked",
         }

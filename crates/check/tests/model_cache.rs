@@ -1,0 +1,140 @@
+//! Model checks for the volume-wide cache tier (`VolumeCache`): with
+//! the cache fronting every span path, concurrent sub-block writers,
+//! readers, and an explicit flusher must preserve the uncached byte
+//! semantics in every schedule, and the cache lock (rank
+//! `buffer.volume_cache` = 75) must never invert against the fs locks
+//! below it or the health board above it.
+#![cfg(pario_check)]
+
+use pario_check::{spawn, Config, Explorer};
+use pario_disk::mem_array;
+use pario_fs::{FileSpec, Volume, VolumeCacheConfig, VolumeConfig};
+use pario_layout::LayoutSpec;
+
+const BS: usize = 64;
+
+fn cached_volume(cfg: VolumeCacheConfig) -> Volume {
+    Volume::create_in_memory(VolumeConfig {
+        devices: 2,
+        device_blocks: 128,
+        block_size: BS,
+    })
+    .expect("in-memory volume")
+    .enable_cache(cfg)
+    .expect("attach cache")
+}
+
+fn striped_file(v: &Volume) -> pario_fs::RawFile {
+    v.create_file(
+        FileSpec::new(
+            "m",
+            16,
+            4,
+            LayoutSpec::Striped {
+                devices: 2,
+                unit: 1,
+            },
+        )
+        .initial_records(16),
+    )
+    .expect("create file")
+}
+
+/// Two sub-block writers to disjoint ranges of block 0 racing a reader
+/// and a flusher, all through the write-back cache tier. Every schedule
+/// must end with both writers' bytes on the devices after a final
+/// flush, and no schedule may acquire the cache lock out of rank order.
+/// The explorer must cover at least 1000 distinct interleavings, so the
+/// lock-order claim rests on real coverage rather than a lucky seed.
+#[test]
+fn cached_sub_block_writers_keep_uncached_semantics() {
+    let report = Explorer::new(Config::new(1500)).run(|| {
+        let v = cached_volume(VolumeCacheConfig::write_back(8));
+        let f = striped_file(&v);
+        f.write_span(0, &[0u8; BS]).expect("zero block 0");
+
+        let f1 = f.clone();
+        let h1 = spawn(move || {
+            f1.write_span(0, &[0xAA; 16]).expect("sub-block write");
+        });
+        let f2 = f.clone();
+        let h2 = spawn(move || {
+            f2.write_span(32, &[0xBB; 16]).expect("sub-block write");
+        });
+        let f3 = f.clone();
+        let h3 = spawn(move || {
+            let mut out = [0u8; 16];
+            // GDA-style unsynchronised read: any interleaving is legal,
+            // it just must not deadlock or see torn frame state.
+            f3.read_span(16, &mut out).expect("concurrent read");
+        });
+        let v4 = v.clone();
+        let h4 = spawn(move || {
+            v4.flush_cache().expect("concurrent flush");
+        });
+        h1.join();
+        h2.join();
+        h3.join();
+        h4.join();
+
+        v.flush_cache().expect("final flush");
+        let mut out = [0u8; BS];
+        f.read_span(0, &mut out).expect("read back");
+        assert!(
+            out[..16].iter().all(|&b| b == 0xAA),
+            "writer 1's bytes lost: {:?}",
+            &out[..16]
+        );
+        assert!(
+            out[32..48].iter().all(|&b| b == 0xBB),
+            "writer 2's bytes lost: {:?}",
+            &out[32..48]
+        );
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.distinct >= 1000,
+        "coverage too thin: {} distinct schedules",
+        report.distinct
+    );
+}
+
+/// Writers overflowing the frame budget while a spill device is
+/// attached: eviction must spill instead of blocking, growth must take
+/// the alloc lock strictly below the cache lock, and a final flush must
+/// land every spilled frame back on its home device.
+#[test]
+fn spill_overflow_races_growth_without_inversion() {
+    let report = Explorer::new(Config::new(300)).run(|| {
+        let scratch = mem_array(1, 256, BS).remove(0);
+        // 2 frames force eviction on nearly every write.
+        let v = cached_volume(VolumeCacheConfig::write_back(2).with_spill(scratch));
+        let f = striped_file(&v);
+
+        let f1 = f.clone();
+        let h1 = spawn(move || {
+            for b in 0..4u64 {
+                f1.write_span(b * BS as u64, &[b as u8 + 1; BS])
+                    .expect("write");
+            }
+        });
+        let f2 = f.clone();
+        let h2 = spawn(move || {
+            // Grows the file: allocator lock (50) under span writes.
+            f2.ensure_capacity_records(64).expect("grow");
+        });
+        h1.join();
+        h2.join();
+
+        v.flush_cache().expect("flush");
+        let mut out = [0u8; BS];
+        for b in 0..4u64 {
+            f.read_span(b * BS as u64, &mut out).expect("read back");
+            assert!(
+                out.iter().all(|&x| x == b as u8 + 1),
+                "block {b} lost after spill + flush"
+            );
+        }
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}

@@ -64,6 +64,7 @@ fn lock_levels_have_stable_names_and_ranks() {
         (LockLevel::FsAlloc, "fs.alloc", 50),
         (LockLevel::FsRmw, "fs.rmw", 60),
         (LockLevel::FsStripe, "fs.stripe", 70),
+        (LockLevel::VolumeCache, "buffer.volume_cache", 75),
         (LockLevel::FsHealth, "fs.health", 80),
         (LockLevel::Unranked, "unranked", 255),
     ];

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use pario_check::{LockLevel, Mutex};
 
-use pario_buffer::{BlockCache, WritePolicy};
+use pario_buffer::{VolumeCache, VolumeCacheConfig};
 use pario_fs::{FsError, RawFile};
 
 use crate::error::Result;
@@ -23,7 +23,7 @@ pub struct DirectHandle {
 }
 
 struct CachedIo {
-    cache: BlockCache,
+    cache: VolumeCache,
     /// Serialises record-level read-modify-write against eviction so
     /// straddling records stay atomic.
     rmw: Mutex<()>,
@@ -35,7 +35,8 @@ impl DirectHandle {
     }
 
     /// Wrap the handle in a shared write-back block cache of `frames`
-    /// frames. Clones of the returned handle share the cache; call
+    /// frames (a [`VolumeCache`] tier over the file's devices). Clones
+    /// of the returned handle share the cache; call
     /// [`flush`](DirectHandle::flush) before relying on device contents.
     pub fn with_cache(self, frames: usize) -> DirectHandle {
         let vol = self.raw.volume();
@@ -43,7 +44,7 @@ impl DirectHandle {
         DirectHandle {
             raw: self.raw,
             cache: Some(Arc::new(CachedIo {
-                cache: BlockCache::new(devices, frames, WritePolicy::WriteBack),
+                cache: VolumeCache::new(devices, VolumeCacheConfig::write_back(frames)),
                 rmw: Mutex::new_named((), LockLevel::CoreDirectRmw),
             })),
         }
@@ -56,7 +57,7 @@ impl DirectHandle {
 
     /// Cache hit/miss statistics, if a cache is attached.
     pub fn cache_stats(&self) -> Option<pario_buffer::CacheStats> {
-        self.cache.as_ref().map(|c| c.cache.stats())
+        self.cache.as_ref().map(|c| c.cache.stats().base)
     }
 
     /// Read record `r`.
@@ -129,8 +130,9 @@ impl DirectHandle {
             let abs = pario_fs::resolve(&meta.extents[p.device], p.block);
             match &mut out {
                 Some(out) => {
-                    let bytes = c.cache.read(dev, abs)?;
-                    out[done..done + take].copy_from_slice(&bytes[within..within + take]);
+                    let mut block = vec![0u8; bs as usize];
+                    c.cache.read_block(dev, abs, &mut block)?;
+                    out[done..done + take].copy_from_slice(&block[within..within + take]);
                 }
                 None => {
                     c.cache.update(dev, abs, |frame| {

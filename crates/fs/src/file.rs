@@ -14,6 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use pario_buffer::{CacheReadTicket, CacheWriteTicket, VolumeCache};
 use pario_disk::{DeviceRef, DiskError, Ticket};
 use pario_layout::{runs, Layout, LayoutSpec, ParityPlacement, ParityStriped, PhysBlock, Run};
 
@@ -100,6 +101,47 @@ struct MergedRun<B> {
     dblock: u64,
     count: u64,
     parts: Vec<(Run, B)>,
+}
+
+/// One in-flight segment transfer of a merged run: a raw executor
+/// ticket on uncached volumes, a cache ticket when the volume cache tier
+/// fronts the executor, or an already-completed outcome (serial mode and
+/// cache-absorbed write-back writes).
+enum RunTicket {
+    Dev(Ticket<Box<[u8]>>),
+    CacheRead(CacheReadTicket),
+    CacheWrite(CacheWriteTicket),
+    Done(pario_disk::Result<()>),
+}
+
+impl RunTicket {
+    /// Complete a read segment; `cache` is the volume's tier (present
+    /// whenever `CacheRead` tickets exist).
+    fn wait_read(self, cache: Option<&Arc<VolumeCache>>) -> pario_disk::Result<Box<[u8]>> {
+        match self {
+            RunTicket::Dev(t) => t.wait(),
+            RunTicket::CacheRead(ct) => {
+                // invariant: cache tickets are only created with a cache.
+                ct.wait(cache.expect("cache ticket implies cache"))
+            }
+            RunTicket::CacheWrite(_) | RunTicket::Done(_) => {
+                unreachable!("write ticket waited as a read")
+            }
+        }
+    }
+
+    /// Complete a write segment.
+    fn wait_write(self, cache: Option<&Arc<VolumeCache>>) -> pario_disk::Result<()> {
+        match self {
+            RunTicket::Dev(t) => t.wait().map(|_| ()),
+            RunTicket::CacheWrite(wt) => {
+                // invariant: cache tickets are only created with a cache.
+                wt.wait(cache.expect("cache ticket implies cache"))
+            }
+            RunTicket::Done(r) => r,
+            RunTicket::CacheRead(_) => unreachable!("read ticket waited as a write"),
+        }
+    }
 }
 
 /// Group `pieces` by device, merging runs that continue the previous
@@ -390,7 +432,14 @@ impl RawFile {
 
     fn try_read_phys(&self, p: PhysBlock, buf: &mut [u8]) -> Result<()> {
         let (dev, abs, vdev) = self.locate(p);
-        match dev.read_block(abs, buf) {
+        // With the volume cache attached, single-block reads fill and
+        // serve frames; the health feedback below runs with the cache
+        // lock already released (75 < 80 in the hierarchy).
+        let res = match self.vol.cache() {
+            Some(c) => c.read_block(vdev, abs, buf),
+            None => dev.read_block(abs, buf),
+        };
+        match res {
             Ok(()) => {
                 self.vol.health().note_ok(vdev);
                 Ok(())
@@ -404,7 +453,11 @@ impl RawFile {
 
     fn try_write_phys(&self, p: PhysBlock, data: &[u8]) -> Result<()> {
         let (dev, abs, vdev) = self.locate(p);
-        match dev.write_block(abs, data) {
+        let res = match self.vol.cache() {
+            Some(c) => c.write_block(vdev, abs, data),
+            None => dev.write_block(abs, data),
+        };
+        match res {
             Ok(()) => {
                 self.vol.health().note_ok(vdev);
                 Ok(())
@@ -481,8 +534,16 @@ impl RawFile {
     /// Race the two copies of a shadowed block; first success wins,
     /// and a single failed copy is absorbed by the other.
     fn hedged_read(&self, p: PhysBlock, m: PhysBlock, buf: &mut [u8]) -> Result<()> {
-        let (d1, a1, _) = self.locate(p);
-        let (d2, a2, _) = self.locate(m);
+        let (d1, a1, v1) = self.locate(p);
+        let (d2, a2, v2) = self.locate(m);
+        // Peek the cache tier before racing raw media: under write-back
+        // a resident (or spilled) frame may be newer than either copy on
+        // disk, and a hit costs no device traffic at all.
+        if let Some(c) = self.vol.cache() {
+            if c.try_cached(v1, a1, buf) || c.try_cached(v2, a2, buf) {
+                return Ok(());
+            }
+        }
         let t1 = d1.submit_read_blocks(a1, vec![0u8; buf.len()].into_boxed_slice());
         let t2 = d2.submit_read_blocks(a2, vec![0u8; buf.len()].into_boxed_slice());
         let data = Ticket::race(t1, t2).map_err(FsError::from)?;
@@ -504,15 +565,95 @@ impl RawFile {
 
     /// Write the physical block at layout slot `slot`, device-local index
     /// `dblock` — **recovery tooling only**: bypasses parity maintenance
-    /// and shadow duplication entirely.
+    /// and shadow duplication entirely. Rebuilt data must be durable on
+    /// media whatever the cache policy, so this writes the device
+    /// directly and drops any frame that covered the block.
     pub fn write_device_block(&self, slot: usize, dblock: u64, data: &[u8]) -> Result<()> {
-        self.try_write_phys(
-            PhysBlock {
-                device: slot,
-                block: dblock,
-            },
-            data,
-        )
+        let (dev, abs, vdev) = self.locate(PhysBlock {
+            device: slot,
+            block: dblock,
+        });
+        let res = dev.write_block(abs, data);
+        if let Some(c) = self.vol.cache() {
+            c.invalidate_range(vdev, abs, 1);
+        }
+        match res {
+            Ok(()) => {
+                self.vol.health().note_ok(vdev);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_io_error(vdev, &e);
+                Err(FsError::Disk(e))
+            }
+        }
+    }
+
+    /// Map the logical byte span `[offset, offset + len)` to contiguous
+    /// physical `(device, first block, count)` runs. Used by the cache
+    /// flush hooks below.
+    fn span_phys_runs(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        if len == 0 || self.nblocks() == 0 {
+            return Vec::new();
+        }
+        let bs = self.block_size() as u64;
+        let first = offset / bs;
+        let last = ((offset + len - 1) / bs).min(self.nblocks() - 1);
+        if first > last {
+            return Vec::new();
+        }
+        let meta = self.state.meta.read();
+        let mut locs: Vec<(usize, u64)> = (first..=last)
+            .map(|l| {
+                let p = self.layout.map(l);
+                (
+                    meta.device_map[p.device],
+                    resolve(&meta.extents[p.device], p.block),
+                )
+            })
+            .collect();
+        drop(meta);
+        locs.sort_unstable();
+        locs.dedup();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < locs.len() {
+            let (dev, start) = locs[i];
+            let mut n = 1u64;
+            while i + (n as usize) < locs.len() && locs[i + n as usize] == (dev, start + n) {
+                n += 1;
+            }
+            out.push((dev, start, n));
+            i += n as usize;
+        }
+        out
+    }
+
+    /// Write cached dirty state covering the byte span `[offset,
+    /// offset + len)` to the home devices — the hook a byte-range lock
+    /// release drives, so data written under a GDA range lock is durable
+    /// before the next holder proceeds, exactly as on uncached volumes.
+    /// No-op without a cache (write-through never holds dirty data
+    /// beyond the write itself).
+    pub fn flush_span(&self, offset: u64, len: u64) -> Result<()> {
+        let Some(c) = self.vol.cache() else {
+            return Ok(());
+        };
+        for (dev, start, n) in self.span_phys_runs(offset, len) {
+            c.flush_range(dev, start, n)?;
+        }
+        Ok(())
+    }
+
+    /// Drop cached frames covering the byte span without writing them
+    /// back — for callers that know the media is authoritative.
+    pub fn invalidate_span(&self, offset: u64, len: u64) {
+        let Some(c) = self.vol.cache() else {
+            return;
+        };
+        for (dev, start, n) in self.span_phys_runs(offset, len) {
+            c.invalidate_range(dev, start, n);
+        }
     }
 
     /// Blocks allocated on layout slot `slot`.
@@ -741,32 +882,65 @@ impl RawFile {
         out
     }
 
-    /// Submit the read of one merged run to the I/O executor: one ticket
-    /// per extent segment, all enqueued before returning. With
+    /// Submit the read of one merged run: one ticket per extent segment,
+    /// all enqueued before returning. On cached volumes each segment
+    /// goes through the tier — hits are copied immediately and adjacent
+    /// misses coalesce into one vectored executor request, submitted
+    /// (not waited) here so cross-device fan-out is preserved. With
     /// `span_parallel` off, each request is waited out at submission —
     /// the serial reference path.
-    fn submit_read_run(&self, slot: usize, dblock: u64, count: u64) -> Vec<Ticket<Box<[u8]>>> {
+    fn submit_read_run(&self, slot: usize, dblock: u64, count: u64) -> Vec<RunTicket> {
         let bs = self.block_size();
         let segs = self.run_segments(slot, dblock, count);
         let mut out = Vec::with_capacity(segs.len());
+        if let Some(c) = self.vol.cache() {
+            let vdev = self.slot_vdev(slot);
+            for (_dev, abs, n) in segs {
+                let ct = c.submit_read(vdev, abs, n as usize);
+                out.push(if self.span_parallel {
+                    RunTicket::CacheRead(ct)
+                } else {
+                    RunTicket::Dev(Ticket::ready(ct.wait(c)))
+                });
+            }
+            return out;
+        }
         for (dev, abs, n) in segs {
             let t = dev.submit_read_blocks(abs, vec![0u8; n as usize * bs].into_boxed_slice());
-            out.push(if self.span_parallel {
+            out.push(RunTicket::Dev(if self.span_parallel {
                 t
             } else {
                 Ticket::ready(t.wait())
-            });
+            }));
         }
         out
     }
 
     /// Submit the write of one merged run (`data` is the run's gathered
-    /// bytes), one ticket per extent segment. Serial when
+    /// bytes), one ticket per extent segment. On cached volumes each
+    /// segment goes through the tier: write-back absorbs it into dirty
+    /// frames (spilling overflow to scratch), write-through submits the
+    /// vectored device write and completes it at wait. Serial when
     /// `span_parallel` is off, as in [`RawFile::submit_read_run`].
-    fn submit_write_run(&self, slot: usize, dblock: u64, data: Vec<u8>) -> Vec<Ticket<Box<[u8]>>> {
+    fn submit_write_run(&self, slot: usize, dblock: u64, data: Vec<u8>) -> Vec<RunTicket> {
         let bs = self.block_size();
         let segs = self.run_segments(slot, dblock, (data.len() / bs) as u64);
         let mut out = Vec::with_capacity(segs.len());
+        if let Some(c) = self.vol.cache() {
+            let vdev = self.slot_vdev(slot);
+            let mut pos = 0usize;
+            for (_dev, abs, n) in segs {
+                let bytes = n as usize * bs;
+                let chunk = &data[pos..pos + bytes];
+                pos += bytes;
+                out.push(match c.submit_write(vdev, abs, chunk) {
+                    Ok(wt) if self.span_parallel => RunTicket::CacheWrite(wt),
+                    Ok(wt) => RunTicket::Done(wt.wait(c)),
+                    Err(e) => RunTicket::Done(Err(e)),
+                });
+            }
+            return out;
+        }
         let mut segs = segs.into_iter();
         let mut pos = 0usize;
         // The common case is one segment per run (extents merge at grow
@@ -775,11 +949,11 @@ impl RawFile {
             // invariant: just checked segs.len() == 1.
             let (dev, abs, _) = segs.next().unwrap();
             let t = dev.submit_write_blocks(abs, data.into_boxed_slice());
-            out.push(if self.span_parallel {
+            out.push(RunTicket::Dev(if self.span_parallel {
                 t
             } else {
                 Ticket::ready(t.wait())
-            });
+            }));
             return out;
         }
         for (dev, abs, n) in segs {
@@ -787,11 +961,11 @@ impl RawFile {
             let t =
                 dev.submit_write_blocks(abs, data[pos..pos + bytes].to_vec().into_boxed_slice());
             pos += bytes;
-            out.push(if self.span_parallel {
+            out.push(RunTicket::Dev(if self.span_parallel {
                 t
             } else {
                 Ticket::ready(t.wait())
-            });
+            }));
         }
         out
     }
@@ -805,14 +979,15 @@ impl RawFile {
     fn wait_read_run(
         &self,
         slot: usize,
-        tickets: Vec<Ticket<Box<[u8]>>>,
+        tickets: Vec<RunTicket>,
     ) -> Result<Option<Vec<Box<[u8]>>>> {
+        let cache = self.vol.cache();
         let mut bufs = Vec::with_capacity(tickets.len());
         let mut soft: Option<DiskError> = None;
         let mut hard: Option<DiskError> = None;
         // Always wait every ticket so nothing completes behind our back.
         for t in tickets {
-            match t.wait() {
+            match t.wait_read(cache) {
                 Ok(b) => bufs.push(b),
                 Err(e) if recoverable(&e) => {
                     soft.get_or_insert(e);
@@ -836,10 +1011,11 @@ impl RawFile {
 
     /// Wait out one run's write tickets against layout slot `slot`,
     /// reporting the first error (and feeding the health board).
-    fn wait_write_run(&self, slot: usize, tickets: Vec<Ticket<Box<[u8]>>>) -> Result<()> {
+    fn wait_write_run(&self, slot: usize, tickets: Vec<RunTicket>) -> Result<()> {
+        let cache = self.vol.cache();
         let mut first: Option<DiskError> = None;
         for t in tickets {
-            if let Err(e) = t.wait() {
+            if let Err(e) = t.wait_write(cache) {
                 first.get_or_insert(e);
             }
         }

@@ -138,6 +138,11 @@ pub struct DeviceHealth {
     pub transitions: Vec<HealthState>,
 }
 
+/// Callback fired after a device changes state, with the board mutex
+/// already released (so the listener may take lower-ranked locks — the
+/// volume cache uses this to drop frames of Failed/Rebuilding devices).
+pub type HealthListener = std::sync::Arc<dyn Fn(usize, HealthState) + Send + Sync>;
+
 struct Slot {
     state: HealthState,
     consecutive_ok: u32,
@@ -168,6 +173,11 @@ pub struct HealthBoard {
     /// Authoritative state, counters and transition history.
     board: Mutex<Vec<Slot>>,
     policy: HealthPolicy,
+    /// Transition listener, set at most once (lock-free reads). Invoked
+    /// strictly *after* the board mutex is released: the board is rank
+    /// 80, so calling out while holding it would invert the hierarchy
+    /// against any lower-ranked lock the listener takes.
+    listener: std::sync::OnceLock<HealthListener>,
 }
 
 impl HealthBoard {
@@ -178,6 +188,21 @@ impl HealthBoard {
             streak: (0..n).map(|_| AtomicU64::new(0)).collect(),
             board: Mutex::new_named((0..n).map(|_| Slot::new()).collect(), LockLevel::FsHealth),
             policy,
+            listener: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Register the transition listener. Returns `false` (keeping the
+    /// existing one) if a listener was already set.
+    pub fn set_listener(&self, listener: HealthListener) -> bool {
+        self.listener.set(listener).is_ok()
+    }
+
+    /// Fire the listener for a committed transition. Must be called with
+    /// the board mutex released.
+    fn notify(&self, d: usize, to: HealthState) {
+        if let Some(l) = self.listener.get() {
+            l(d, to);
         }
     }
 
@@ -241,14 +266,21 @@ impl HealthBoard {
         if self.state(d) != HealthState::Suspect {
             return;
         }
-        let mut board = self.board.lock();
-        let slot = &mut board[d];
-        if slot.state != HealthState::Suspect {
-            return;
+        let mut fired = None;
+        {
+            let mut board = self.board.lock();
+            let slot = &mut board[d];
+            if slot.state != HealthState::Suspect {
+                return;
+            }
+            slot.consecutive_ok += 1;
+            if slot.consecutive_ok >= self.policy.recover_after {
+                self.transition(slot, d, HealthState::Healthy);
+                fired = Some(HealthState::Healthy);
+            }
         }
-        slot.consecutive_ok += 1;
-        if slot.consecutive_ok >= self.policy.recover_after {
-            self.transition(slot, d, HealthState::Healthy);
+        if let Some(to) = fired {
+            self.notify(d, to);
         }
     }
 
@@ -257,6 +289,7 @@ impl HealthBoard {
     /// streak, fail-stop errors force Failed (from any state, including
     /// mid-rebuild), anything else is counted without a transition.
     pub fn note_error(&self, d: usize, err: &DiskError) {
+        let mut fired = None;
         if err.is_transient() {
             let run = self.streak[d].fetch_add(1, Ordering::SeqCst) + 1;
             let mut board = self.board.lock();
@@ -265,6 +298,7 @@ impl HealthBoard {
             slot.consecutive_ok = 0;
             if slot.state == HealthState::Healthy && run >= u64::from(self.policy.suspect_after) {
                 self.transition(slot, d, HealthState::Suspect);
+                fired = Some(HealthState::Suspect);
             }
         } else {
             let fail_stop = matches!(err, DiskError::DeviceFailed { .. });
@@ -274,26 +308,44 @@ impl HealthBoard {
             slot.consecutive_ok = 0;
             if fail_stop && slot.state != HealthState::Failed {
                 self.transition(slot, d, HealthState::Failed);
+                fired = Some(HealthState::Failed);
             }
+        }
+        if let Some(to) = fired {
+            self.notify(d, to);
         }
     }
 
     /// Force device `d` to Failed (administrative / rebuild-abort path).
     pub fn mark_failed(&self, d: usize) {
-        let mut board = self.board.lock();
-        let slot = &mut board[d];
-        if slot.state != HealthState::Failed {
-            self.transition(slot, d, HealthState::Failed);
+        let mut fired = false;
+        {
+            let mut board = self.board.lock();
+            let slot = &mut board[d];
+            if slot.state != HealthState::Failed {
+                self.transition(slot, d, HealthState::Failed);
+                fired = true;
+            }
+        }
+        if fired {
+            self.notify(d, HealthState::Failed);
         }
     }
 
     /// Enter Rebuilding: the device's media is being repopulated and
     /// must keep routing as down until [`HealthBoard::complete_rebuild`].
     pub fn begin_rebuild(&self, d: usize) {
-        let mut board = self.board.lock();
-        let slot = &mut board[d];
-        if slot.state != HealthState::Rebuilding {
-            self.transition(slot, d, HealthState::Rebuilding);
+        let mut fired = false;
+        {
+            let mut board = self.board.lock();
+            let slot = &mut board[d];
+            if slot.state != HealthState::Rebuilding {
+                self.transition(slot, d, HealthState::Rebuilding);
+                fired = true;
+            }
+        }
+        if fired {
+            self.notify(d, HealthState::Rebuilding);
         }
     }
 
@@ -301,12 +353,15 @@ impl HealthBoard {
     /// if the device is no longer Rebuilding — e.g. it failed again
     /// mid-rebuild — so a racing failure report is never lost.
     pub fn complete_rebuild(&self, d: usize) -> bool {
-        let mut board = self.board.lock();
-        let slot = &mut board[d];
-        if slot.state != HealthState::Rebuilding {
-            return false;
+        {
+            let mut board = self.board.lock();
+            let slot = &mut board[d];
+            if slot.state != HealthState::Rebuilding {
+                return false;
+            }
+            self.transition(slot, d, HealthState::Healthy);
         }
-        self.transition(slot, d, HealthState::Healthy);
+        self.notify(d, HealthState::Healthy);
         true
     }
 
@@ -434,6 +489,34 @@ mod tests {
         }
         assert_eq!(b2.state(0), HealthState::Healthy);
         assert_eq!(b2.snapshot()[0].permanent_errors, 10);
+    }
+
+    #[test]
+    fn listener_fires_per_transition_outside_the_board_lock() {
+        use std::sync::{Arc, Mutex as StdMutex};
+        let b = Arc::new(HealthBoard::new(2, HealthPolicy::default()));
+        let seen: Arc<StdMutex<Vec<(usize, HealthState)>>> = Arc::default();
+        let b2 = Arc::clone(&b);
+        let seen2 = Arc::clone(&seen);
+        assert!(b.set_listener(Arc::new(move |d, to| {
+            // Reading the board from the listener deadlocks unless the
+            // mutex was released before the callback.
+            assert_eq!(b2.snapshot()[d].state, to);
+            seen2.lock().unwrap().push((d, to));
+        })));
+        assert!(!b.set_listener(Arc::new(|_, _| {})), "second set refused");
+        b.mark_failed(1);
+        b.mark_failed(1); // no transition, no callback
+        b.begin_rebuild(1);
+        assert!(b.complete_rebuild(1));
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![
+                (1, HealthState::Failed),
+                (1, HealthState::Rebuilding),
+                (1, HealthState::Healthy)
+            ]
+        );
     }
 
     #[test]

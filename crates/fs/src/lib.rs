@@ -57,4 +57,5 @@ pub use file::RawFile;
 pub use global::{copy_global, ByteReader, ByteWriter, GlobalReader, GlobalWriter};
 pub use health::{legal_transition, DeviceHealth, HealthBoard, HealthPolicy, HealthState};
 pub use meta::FileMeta;
+pub use pario_buffer::{VolumeCache, VolumeCacheConfig, VolumeCacheStats};
 pub use volume::{FileSpec, FileState, Volume, VolumeConfig};

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use pario_check::{LockLevel, Mutex, RwLock};
 
+use pario_buffer::{VolumeCache, VolumeCacheConfig, VolumeCacheStats};
 use pario_disk::{mem_array, DeviceRef, IoNode, IoNodeStats, SchedPolicy};
 use pario_layout::LayoutSpec;
 
@@ -144,6 +145,10 @@ pub(crate) struct VolInner {
     /// Per-device health state machine, fed by executor error feedback
     /// from every `RawFile` I/O path.
     pub(crate) health: HealthBoard,
+    /// The volume-wide block cache tier fronting the executor bank.
+    /// Set at most once by [`Volume::enable_cache`]; absent, every span
+    /// path submits straight to the executor (the seed behavior).
+    pub(crate) cache: std::sync::OnceLock<Arc<VolumeCache>>,
 }
 
 /// A mounted volume: cheap to clone, shared across threads.
@@ -222,6 +227,7 @@ impl Volume {
                 files: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
                 health,
+                cache: std::sync::OnceLock::new(),
             }),
         })
     }
@@ -328,6 +334,52 @@ impl Volume {
             }
         }
         agg
+    }
+
+    /// Attach the volume-wide block cache tier per `cfg`, fronting the
+    /// I/O executor for every span path (reads fill frames, write-back
+    /// absorbs and coalesces, write-through keeps the seed's durability
+    /// and fault visibility). Device health transitions drop the
+    /// affected device's frames automatically. Fails if a cache is
+    /// already attached.
+    pub fn enable_cache(&self, cfg: VolumeCacheConfig) -> Result<Volume> {
+        let cache = Arc::new(VolumeCache::new(self.inner.io_devices.clone(), cfg));
+        if self.inner.cache.set(Arc::clone(&cache)).is_err() {
+            return Err(FsError::BadSpec("volume cache already enabled".into()));
+        }
+        // Failed media must error (or reconstruct) instead of serving
+        // frames, and Rebuilding frames predate the resync sweep. The
+        // listener runs after the board mutex is released, so dropping
+        // frames here respects the lock hierarchy (75 < 80 means the
+        // cache lock may never be taken *under* the board).
+        let weak = Arc::downgrade(&cache);
+        self.inner.health.set_listener(Arc::new(move |d, to| {
+            if to.is_down() {
+                if let Some(c) = weak.upgrade() {
+                    c.drop_device(d);
+                }
+            }
+        }));
+        Ok(self.clone())
+    }
+
+    /// The volume's cache tier, if [`Volume::enable_cache`] attached one.
+    pub fn cache(&self) -> Option<&Arc<VolumeCache>> {
+        self.inner.cache.get()
+    }
+
+    /// Cache traffic counters, if a cache is attached.
+    pub fn cache_stats(&self) -> Option<VolumeCacheStats> {
+        self.inner.cache.get().map(|c| c.stats())
+    }
+
+    /// Write every dirty cached block to its home device (no-op without
+    /// a cache or under write-through).
+    pub fn flush_cache(&self) -> Result<()> {
+        match self.inner.cache.get() {
+            Some(c) => Ok(c.flush()?),
+            None => Ok(()),
+        }
     }
 
     /// The volume's device health board: the per-device state machine
@@ -450,6 +502,17 @@ impl Volume {
             .remove(name)
             .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         let meta = state.meta.read();
+        // Cached frames of the released blocks must die with the file: a
+        // dirty write-back frame flushed later would clobber whoever the
+        // allocator hands these blocks to next.
+        if let Some(cache) = self.inner.cache.get() {
+            for (slot, extents) in meta.extents.iter().enumerate() {
+                let dev = meta.device_map[slot];
+                for &e in extents {
+                    cache.invalidate_range(dev, e.start, e.len);
+                }
+            }
+        }
         let mut alloc = self.inner.alloc.lock();
         for (slot, extents) in meta.extents.iter().enumerate() {
             let dev = meta.device_map[slot];
@@ -576,6 +639,11 @@ impl Volume {
                     self.inner.devices[dev]
                         .write_blocks_at(b, &zero[..n as usize * self.block_size()])?;
                     b += n;
+                }
+                // The zero-fill bypassed the cache; any frame left over
+                // from a previous owner of these blocks is now stale.
+                if let Some(cache) = self.inner.cache.get() {
+                    cache.invalidate_range(dev, e.start, e.len);
                 }
             }
             // Merge extents that continue the previous one, so span I/O

@@ -1,0 +1,266 @@
+//! Property tests: the volume cache tier is semantically invisible.
+//! Concurrent multi-threaded writers and readers through a cached
+//! volume must produce bytes — both through span reads and on the raw
+//! media after a flush — identical to the same workload on an uncached
+//! volume, under every policy (write-through, write-back, write-back
+//! with spill). A separate torn-write schedule pins the fault
+//! invariant: after a failed write-through, the cache agrees with the
+//! media, torn prefix included.
+
+use proptest::prelude::*;
+
+use pario_disk::{mem_array, FaultDevice, FaultPlan};
+use pario_fs::{resolve, FileSpec, Volume, VolumeCacheConfig, VolumeConfig};
+use pario_layout::LayoutSpec;
+
+const BS: usize = 256;
+const THREADS: u64 = 4;
+/// Each writer thread owns a disjoint region so the concurrent outcome
+/// is deterministic and comparable against the sequential reference.
+const REGION: u64 = 8 * BS as u64;
+const CAP_BYTES: u64 = THREADS * REGION;
+
+fn new_volume() -> Volume {
+    Volume::create_in_memory(VolumeConfig {
+        devices: 4,
+        device_blocks: 512,
+        block_size: BS,
+    })
+    .unwrap()
+}
+
+fn cache_config(pick: usize, frames: usize) -> VolumeCacheConfig {
+    match pick % 3 {
+        0 => VolumeCacheConfig::write_through(frames),
+        1 => VolumeCacheConfig::write_back(frames),
+        _ => VolumeCacheConfig::write_back(frames).with_spill(mem_array(1, 1024, BS).remove(0)),
+    }
+}
+
+/// The file's physical blocks as `(device, abs_block)` in logical order.
+fn phys_blocks(f: &pario_fs::RawFile) -> Vec<(usize, u64)> {
+    let layout = f.layout();
+    let meta = f.meta_snapshot();
+    let nblocks = CAP_BYTES / BS as u64;
+    (0..nblocks)
+        .map(|l| {
+            let p = layout.map(l);
+            let dev = meta.device_map[p.device];
+            (dev, resolve(&meta.extents[p.device], p.block))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent writers in disjoint regions plus concurrent readers,
+    /// on a cached and an uncached volume: span reads agree with the
+    /// sequential reference on both, and after a flush the cached
+    /// volume's media is block-for-block identical to the uncached one.
+    #[test]
+    fn cached_volume_matches_uncached(
+        pick in 0usize..3,
+        frames in 2usize..24,
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec((0u64..REGION, 1usize..900, any::<u8>()), 1..6),
+            THREADS as usize..=THREADS as usize,
+        ),
+        reads in proptest::collection::vec((0u64..CAP_BYTES, 1usize..1200), 1..8),
+    ) {
+        let spec = || {
+            FileSpec::new(
+                "f",
+                64,
+                4,
+                LayoutSpec::Striped { devices: 4, unit: 2 },
+            )
+            .initial_records(CAP_BYTES / 64)
+        };
+        let cached_vol = new_volume().enable_cache(cache_config(pick, frames)).unwrap();
+        let cached = cached_vol.create_file(spec()).unwrap();
+        let plain_vol = new_volume();
+        let plain = plain_vol.create_file(spec()).unwrap();
+
+        // Concurrent writers (and racing readers) on the cached volume.
+        crossbeam::thread::scope(|s| {
+            for (t, writes) in per_thread.iter().enumerate() {
+                let f = cached.clone();
+                s.spawn(move |_| {
+                    let base = t as u64 * REGION;
+                    for &(off, len, tag) in writes {
+                        let off = base + off;
+                        let len = len.min((base + REGION - off) as usize);
+                        let data: Vec<u8> =
+                            (0..len).map(|i| tag.wrapping_add(i as u8)).collect();
+                        f.write_span(off, &data).unwrap();
+                    }
+                });
+            }
+            let f = cached.clone();
+            let reads = &reads;
+            s.spawn(move |_| {
+                let mut buf = vec![0u8; 1200];
+                for &(off, len) in reads {
+                    let len = len.min((CAP_BYTES - off) as usize);
+                    // Unsynchronised racing read: bytes are unspecified,
+                    // it just must not fail or deadlock.
+                    f.read_span(off, &mut buf[..len]).unwrap();
+                }
+            });
+        })
+        .unwrap();
+
+        // Same writes, sequentially, on the uncached reference.
+        for (t, writes) in per_thread.iter().enumerate() {
+            let base = t as u64 * REGION;
+            for &(off, len, tag) in writes {
+                let off = base + off;
+                let len = len.min((base + REGION - off) as usize);
+                let data: Vec<u8> = (0..len).map(|i| tag.wrapping_add(i as u8)).collect();
+                plain.write_span(off, &data).unwrap();
+            }
+        }
+
+        // Span reads agree while dirty frames are still resident.
+        for &(off, len) in &reads {
+            let len = len.min((CAP_BYTES - off) as usize);
+            let mut a = vec![0u8; len];
+            cached.read_span(off, &mut a).unwrap();
+            let mut b = vec![0u8; len];
+            plain.read_span(off, &mut b).unwrap();
+            prop_assert_eq!(&a[..], &b[..], "cached read diverged at {}+{}", off, len);
+        }
+
+        // After a flush the media itself must be identical.
+        cached_vol.flush_cache().unwrap();
+        let pb_cached = phys_blocks(&cached);
+        let pb_plain = phys_blocks(&plain);
+        prop_assert_eq!(&pb_cached, &pb_plain, "allocation diverged");
+        for (l, &(dev, abs)) in pb_cached.iter().enumerate() {
+            let mut a = vec![0u8; BS];
+            cached_vol.device(dev).read_block(abs, &mut a).unwrap();
+            let mut b = vec![0u8; BS];
+            plain_vol.device(dev).read_block(abs, &mut b).unwrap();
+            prop_assert_eq!(&a, &b, "media diverged at logical block {}", l);
+        }
+    }
+
+    /// Write-through under a torn-write schedule: when a span write
+    /// fails mid-transfer, every later cached read of the file returns
+    /// exactly what is on the media — the cache may not resurrect the
+    /// untorn bytes it briefly held in frames.
+    #[test]
+    fn torn_write_through_leaves_cache_agreeing_with_media(
+        seed in any::<u64>(),
+        torn_rate in 0.3f64..1.0,
+        writes in proptest::collection::vec((0u64..CAP_BYTES, 1usize..1500, any::<u8>()), 2..8),
+    ) {
+        let mut devices = mem_array(4, 512, BS);
+        let (fault, wrapped) = FaultDevice::wrap(
+            devices[1].clone(),
+            FaultPlan {
+                seed,
+                transient_rate: 0.0,
+                spike_rate: 0.0,
+                spike: std::time::Duration::ZERO,
+                torn_write_rate: torn_rate,
+                fail_after: None,
+            },
+        );
+        devices[1] = wrapped;
+        fault.set_armed(false);
+        let v = Volume::new(devices)
+            .unwrap()
+            .enable_cache(VolumeCacheConfig::write_through(16))
+            .unwrap();
+        let f = v
+            .create_file(
+                FileSpec::new("f", 64, 4, LayoutSpec::Striped { devices: 4, unit: 1 })
+                    .initial_records(CAP_BYTES / 64),
+            )
+            .unwrap();
+
+        fault.set_armed(true);
+        for &(off, len, tag) in &writes {
+            let len = len.min((CAP_BYTES - off) as usize);
+            let data: Vec<u8> = (0..len).map(|i| tag.wrapping_add(i as u8)).collect();
+            // Torn writes surface as errors; both outcomes are legal,
+            // the invariant below is what matters.
+            let _ = f.write_span(off, &data);
+        }
+        fault.set_armed(false);
+
+        for (l, &(dev, abs)) in phys_blocks(&f).iter().enumerate() {
+            let mut media = vec![0u8; BS];
+            v.device(dev).read_block(abs, &mut media).unwrap();
+            let mut through_cache = vec![0u8; BS];
+            f.read_span(l as u64 * BS as u64, &mut through_cache).unwrap();
+            prop_assert_eq!(
+                &through_cache,
+                &media,
+                "cache disagrees with media at logical block {} (torn_writes={})",
+                l,
+                fault.counts().torn_writes
+            );
+        }
+    }
+}
+
+/// Write-back with spill: producers overflowing the frame budget keep
+/// completing without a single home-device writeback — overflow goes to
+/// the scratch device — and a final flush lands every byte.
+#[test]
+fn spill_keeps_writers_unblocked_past_frame_budget() {
+    let scratch = mem_array(1, 1024, BS).remove(0);
+    let v = new_volume()
+        .enable_cache(VolumeCacheConfig::write_back(4).with_spill(scratch))
+        .unwrap();
+    let f = v
+        .create_file(
+            FileSpec::new(
+                "f",
+                64,
+                4,
+                LayoutSpec::Striped {
+                    devices: 4,
+                    unit: 1,
+                },
+            )
+            .initial_records(CAP_BYTES / 64),
+        )
+        .unwrap();
+
+    let nblocks = CAP_BYTES / BS as u64;
+    crossbeam::thread::scope(|s| {
+        for t in 0..4u64 {
+            let f = f.clone();
+            s.spawn(move |_| {
+                for b in (t..nblocks).step_by(4) {
+                    f.write_span(b * BS as u64, &vec![b as u8 + 1; BS]).unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let stats = v.cache_stats().unwrap();
+    assert!(
+        stats.spills > 0,
+        "frame budget 4 with {nblocks} dirty blocks must spill: {stats:?}"
+    );
+    assert_eq!(
+        stats.base.writebacks, 0,
+        "spill must absorb overflow instead of home writebacks: {stats:?}"
+    );
+
+    v.flush_cache().unwrap();
+    let mut out = vec![0u8; BS];
+    for b in 0..nblocks {
+        f.read_span(b * BS as u64, &mut out).unwrap();
+        assert!(
+            out.iter().all(|&x| x == b as u8 + 1),
+            "block {b} lost through the spill path"
+        );
+    }
+}

@@ -155,6 +155,7 @@ impl Server {
             self.inner.volume.io_node_stats(),
             self.inner.volume.executor_stats(),
             self.inner.volume.health_snapshot(),
+            self.inner.volume.cache_stats(),
         )
     }
 
@@ -601,11 +602,16 @@ impl DirectClient {
     }
 
     /// Write record `r` under a byte-range lock (extends the file).
+    ///
+    /// On a volume with a write-back cache tier the written span is
+    /// flushed to the devices before the range lock releases, so
+    /// cross-session readers keep the uncached durability semantics.
     pub fn write_record(&self, r: u64, data: &[u8]) -> Result<()> {
         let (lo, hi) = self.byte_range(r);
         self.sess.run(true, || {
             let _g = self.entry.ranges.acquire(lo, hi);
-            Ok(self.handle.write_record(r, data)?)
+            self.handle.write_record(r, data)?;
+            self.flush_span(lo, hi)
         })
     }
 
@@ -622,7 +628,18 @@ impl DirectClient {
                 self.handle.read_record(r, &mut buf)?;
             }
             f(&mut buf);
-            Ok(self.handle.write_record(r, &buf)?)
+            self.handle.write_record(r, &buf)?;
+            self.flush_span(lo, hi)
         })
+    }
+
+    /// Push the byte span `[lo, hi)` out of the volume cache tier while
+    /// the caller still holds its range lock; a no-op without a cache.
+    fn flush_span(&self, lo: u64, hi: u64) -> Result<()> {
+        let raw = self.entry.pfile.raw();
+        if raw.volume().cache().is_some() {
+            raw.flush_span(lo, hi - lo)?;
+        }
+        Ok(())
     }
 }

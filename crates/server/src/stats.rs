@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use pario_disk::IoNodeStats;
-use pario_fs::{DeviceHealth, HealthState};
+use pario_fs::{DeviceHealth, HealthState, VolumeCacheStats};
 
 use crate::admission::AdmissionStats;
 
@@ -136,6 +136,10 @@ pub struct ServerStats {
     /// device order: state, error tallies, and the transition history
     /// (Healthy → Suspect → Failed → Rebuilding → Healthy).
     pub health: Vec<DeviceHealth>,
+    /// Volume cache tier counters (hits, misses, coalesced submits,
+    /// spills), when the volume has a [`VolumeCacheStats`] tier enabled;
+    /// `None` on an uncached volume.
+    pub cache: Option<VolumeCacheStats>,
 }
 
 impl ServerStats {
@@ -173,6 +177,7 @@ impl ServerStats {
         io: Option<IoNodeStats>,
         executor: IoNodeStats,
         health: Vec<DeviceHealth>,
+        cache: Option<VolumeCacheStats>,
     ) -> ServerStats {
         ServerStats {
             sessions,
@@ -184,6 +189,7 @@ impl ServerStats {
             io,
             executor,
             health,
+            cache,
         }
     }
 }
