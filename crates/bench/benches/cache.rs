@@ -1,13 +1,12 @@
-//! Block-cache path costs: hit, miss, and a Zipf-skewed PDA-style
+//! Cache-tier path costs: hit, miss, and a Zipf-skewed PDA-style
 //! workload where locality determines the hit ratio (the paper's §4
 //! "buffer caching techniques would be helpful when there is some
-//! locality of reference"). Benches the legacy per-file `BlockCache`;
-//! the volume-wide tier is covered by `volume_cache.rs`.
-#![allow(deprecated)]
+//! locality of reference"). Benches the raw `VolumeCache` over bare
+//! devices; the mounted-volume integration is in `volume_cache.rs`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use pario_buffer::{BlockCache, WritePolicy};
+use pario_buffer::{VolumeCache, VolumeCacheConfig};
 use pario_disk::mem_array;
 use pario_workloads::Zipf;
 use rand::rngs::StdRng;
@@ -17,14 +16,17 @@ const BLOCK: usize = 4096;
 
 fn bench_hit_miss(c: &mut Criterion) {
     let devs = mem_array(1, 4096, BLOCK);
-    let cache = BlockCache::new(devs, 64, WritePolicy::WriteBack);
-    cache.read(0, 0).unwrap();
-    c.bench_function("cache_hit", |b| b.iter(|| cache.read(0, 0).unwrap().len()));
+    let cache = VolumeCache::new(devs, VolumeCacheConfig::write_back(64));
+    let mut buf = vec![0u8; BLOCK];
+    cache.read_block(0, 0, &mut buf).unwrap();
+    c.bench_function("cache_hit", |b| {
+        b.iter(|| cache.read_block(0, 0, &mut buf).unwrap())
+    });
     let mut blk = 64u64;
     c.bench_function("cache_miss_evict", |b| {
         b.iter(|| {
             blk = (blk + 1) % 4096;
-            cache.read(0, blk).unwrap().len()
+            cache.read_block(0, blk, &mut buf).unwrap()
         })
     });
 }
@@ -33,15 +35,17 @@ fn bench_zipf_workload(c: &mut Criterion) {
     let mut g = c.benchmark_group("cache_zipf_1000_reads");
     for &(theta, name) in &[(0.0, "uniform"), (1.1, "skewed")] {
         let devs = mem_array(1, 4096, BLOCK);
-        let cache = BlockCache::new(devs, 128, WritePolicy::WriteBack);
+        let cache = VolumeCache::new(devs, VolumeCacheConfig::write_back(128));
         let zipf = Zipf::new(4096, theta);
         g.bench_with_input(BenchmarkId::from_parameter(name), &zipf, |b, z| {
             let mut rng = StdRng::seed_from_u64(5);
+            let mut buf = vec![0u8; BLOCK];
             b.iter(|| {
                 let mut total = 0usize;
                 for _ in 0..1000 {
                     let blk = z.sample(&mut rng) as u64;
-                    total += cache.read(0, blk).unwrap().len();
+                    cache.read_block(0, blk, &mut buf).unwrap();
+                    total += buf.len();
                 }
                 total
             })

@@ -33,7 +33,7 @@ use pario_bench::{banner, BS};
 use pario_core::{Organization, ParallelFile};
 use pario_disk::{DeviceRef, MemDisk};
 use pario_fs::Volume;
-use pario_server::{quantile_nanos, Saturation, Server, ServerConfig, ServerError, ServerStats};
+use pario_server::{Saturation, Server, ServerConfig, ServerError, ServerStats};
 use pario_workloads::ClosedLoop;
 
 /// Modelled service time per device request. At 400µs the device sleeps
@@ -130,8 +130,8 @@ fn drain_ss(server: &Server, clients: usize, naive: bool, retry_busy: bool) -> (
     (secs, server.stats())
 }
 
-fn fmt_quantile(stats: &ServerStats, q: f64) -> String {
-    match quantile_nanos(&stats.latency, q) {
+fn fmt_ns(ns: Option<u64>) -> String {
+    match ns {
         Some(ns) => format!("{:.0}us", ns as f64 / 1e3),
         None => "-".to_string(),
     }
@@ -146,8 +146,9 @@ fn sweep_row(t: &mut Table, label: &str, clients: usize, secs: f64, base: f64, s
         format!("{:.0}", RECORDS as f64 / secs),
         format!("{:.2}x", base / secs),
         st.queue_depth_high_water.to_string(),
-        fmt_quantile(st, 0.5),
-        fmt_quantile(st, 0.99),
+        fmt_ns(st.p50()),
+        fmt_ns(st.p99()),
+        fmt_ns(st.p999()),
         format!(
             "{:.0}/{:.0}ms",
             io.queue_wait_nanos as f64 / 1e6,
@@ -225,8 +226,9 @@ fn gda_closed_loop(t: &mut Table, clients: u32) {
         format!("{:.0}", wl.total_ops() as f64 / secs),
         "-".to_string(),
         st.queue_depth_high_water.to_string(),
-        fmt_quantile(&st, 0.5),
-        fmt_quantile(&st, 0.99),
+        fmt_ns(st.p50()),
+        fmt_ns(st.p99()),
+        fmt_ns(st.p999()),
         format!(
             "{:.0}/{:.0}ms",
             io.queue_wait_nanos as f64 / 1e6,
@@ -253,6 +255,7 @@ fn main() {
         "qd high",
         "p50",
         "p99",
+        "p999",
         "dev wait/svc",
         "fairness",
     ]);
@@ -358,14 +361,9 @@ fn main() {
         )
         .int("oversub_wait_high_water", over_stats.wait_high_water as u64)
         .int("busy_rejections", reject_stats.rejected)
-        .int(
-            "oversub_p50_nanos",
-            quantile_nanos(&over_stats.latency, 0.5).unwrap_or(0),
-        )
-        .int(
-            "oversub_p99_nanos",
-            quantile_nanos(&over_stats.latency, 0.99).unwrap_or(0),
-        )
+        .int("oversub_p50_nanos", over_stats.p50().unwrap_or(0))
+        .int("oversub_p99_nanos", over_stats.p99().unwrap_or(0))
+        .int("oversub_p999_nanos", over_stats.p999().unwrap_or(0))
         .save("e14_server");
 
     assert!(

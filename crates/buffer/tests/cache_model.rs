@@ -1,13 +1,12 @@
-//! Property test: the block cache, under arbitrary interleavings of
-//! reads, writes, updates, flushes and discards, behaves exactly like
-//! the obvious model — and never lets dirty data reach the device before
-//! it should under write-back, nor later than immediately under
+//! Property test: the volume cache tier, under arbitrary interleavings
+//! of reads, writes, updates and flushes, behaves exactly like the
+//! obvious model — and never lets dirty data reach the device before it
+//! should under write-back, nor later than immediately under
 //! write-through.
-#![allow(deprecated)] // models the legacy per-file BlockCache tier
 
 use proptest::prelude::*;
 
-use pario_buffer::{BlockCache, WritePolicy};
+use pario_buffer::{VolumeCache, VolumeCacheConfig, WritePolicy};
 use pario_disk::{mem_array, DeviceRef};
 
 const BS: usize = 64;
@@ -32,21 +31,26 @@ fn op_strategy() -> impl Strategy<Value = OpKind> {
 
 fn run_model(policy: WritePolicy, capacity: usize, ops: &[OpKind]) {
     let devs: Vec<DeviceRef> = mem_array(1, BLOCKS, BS);
-    let cache = BlockCache::new(devs.clone(), capacity, policy);
+    let cfg = match policy {
+        WritePolicy::WriteThrough => VolumeCacheConfig::write_through(capacity),
+        WritePolicy::WriteBack => VolumeCacheConfig::write_back(capacity),
+    };
+    let cache = VolumeCache::new(devs.clone(), cfg);
     // The logical content model (what reads must return).
     let mut logical: Vec<u8> = vec![0; BLOCKS as usize];
     let mut buf = vec![0u8; BS];
+    let mut got = vec![0u8; BS];
     for op in ops {
         match *op {
             OpKind::Read(b) => {
-                let got = cache.read(0, b).unwrap();
+                cache.read_block(0, b, &mut got).unwrap();
                 assert!(
                     got.iter().all(|&x| x == logical[b as usize]),
                     "read {b}: cache returned stale data ({policy:?})"
                 );
             }
             OpKind::Write(b, v) => {
-                cache.write(0, b, &[v; BS]).unwrap();
+                cache.write_block(0, b, &[v; BS]).unwrap();
                 logical[b as usize] = v;
                 if policy == WritePolicy::WriteThrough {
                     devs[0].read_block(b, &mut buf).unwrap();
@@ -108,11 +112,12 @@ proptest! {
         capacity in 1usize..8,
     ) {
         let devs: Vec<DeviceRef> = mem_array(1, BLOCKS, BS);
-        let cache = BlockCache::new(devs, capacity, WritePolicy::WriteBack);
+        let cache = VolumeCache::new(devs, VolumeCacheConfig::write_back(capacity));
         let mut lookups = 0u64;
+        let mut got = vec![0u8; BS];
         for (b, is_read) in ops {
             if is_read {
-                cache.read(0, b).unwrap();
+                cache.read_block(0, b, &mut got).unwrap();
             } else {
                 cache.update(0, b, |f| f[0] ^= 1).unwrap();
             }
@@ -120,6 +125,6 @@ proptest! {
             prop_assert!(cache.len() <= capacity);
         }
         let s = cache.stats();
-        prop_assert_eq!(s.hits + s.misses, lookups);
+        prop_assert_eq!(s.base.hits + s.base.misses, lookups);
     }
 }

@@ -1,11 +1,10 @@
 //! Composition tests: the buffering layer over dedicated I/O processors
 //! (pipeline threads feeding node threads), and pipelines racing on a
 //! shared device — stacking the paper's §4 mechanisms.
-#![allow(deprecated)] // exercises the legacy per-file BlockCache tier
 
 use std::sync::Arc;
 
-use pario_buffer::{BlockCache, ReadAhead, WriteBehind, WritePolicy};
+use pario_buffer::{ReadAhead, VolumeCache, VolumeCacheConfig, WriteBehind};
 use pario_disk::{BlockDevice, IoNode, MemDisk};
 
 const BS: usize = 256;
@@ -41,18 +40,20 @@ fn writebehind_over_an_io_node_then_cache_reads() {
         wb.submit(b, buf);
     }
     assert_eq!(wb.finish().unwrap(), 16);
-    // Read back through a cache layered on the same node.
-    let cache = BlockCache::new(vec![node.device()], 16, WritePolicy::WriteThrough);
+    // Read back through the volume-wide cache tier layered on the node.
+    let cache = VolumeCache::new(vec![node.device()], VolumeCacheConfig::write_through(16));
+    let mut got = vec![0u8; BS];
     for b in 0..16u64 {
-        let got = cache.read(0, b).unwrap();
+        cache.read_block(0, b, &mut got).unwrap();
         assert!(got.iter().all(|&x| x == b as u8 + 1), "block {b}");
     }
     // Re-reads hit the cache, not the node.
     let before = node.stats().serviced;
     for b in 0..8u64 {
-        cache.read(0, b).unwrap();
+        cache.read_block(0, b, &mut got).unwrap();
     }
     assert_eq!(node.stats().serviced, before);
+    assert_eq!(cache.stats().base.hits, 8);
 }
 
 #[test]

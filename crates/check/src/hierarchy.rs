@@ -13,6 +13,9 @@
 //!
 //! | level | lock | crate | protects |
 //! |------:|------|-------|----------|
+//! |  3 | `NetClient` credits | pario-net | per-connection flow-control window |
+//! |  5 | `NetClient` reply table | pario-net | in-flight request id -> reply slot |
+//! |  7 | `NetClient` send half | pario-net | serialised frame writes to the socket |
 //! | 10 | `SsState::big_lock` | pario-core | naive big-lock SS baseline |
 //! | 20 | `Admission::m` | pario-server | admission queue + rotation state |
 //! | 30 | `ByteRangeLocks::held` | pario-server | GDA byte-range lock table |
@@ -31,6 +34,15 @@
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum LockLevel {
+    /// `pario-net` client flow-control credit window. The outermost
+    /// lock a network call can touch: a request first takes a credit,
+    /// with no other ranked lock held.
+    NetCredits = 3,
+    /// `pario-net` client in-flight reply table (request id -> slot).
+    NetReplies = 5,
+    /// `pario-net` client send half: frames are written to the socket
+    /// under this lock so pipelined requests never interleave bytes.
+    NetSend = 7,
     /// `pario-core` naive self-scheduled baseline big lock.
     CoreBigLock = 10,
     /// `pario-server` admission queue state.
@@ -65,6 +77,9 @@ impl LockLevel {
     /// Stable display name used in reports and the DESIGN table.
     pub fn name(self) -> &'static str {
         match self {
+            LockLevel::NetCredits => "net.credits",
+            LockLevel::NetReplies => "net.replies",
+            LockLevel::NetSend => "net.send",
             LockLevel::CoreBigLock => "core.big_lock",
             LockLevel::Admission => "server.admission",
             LockLevel::RangeLock => "server.range_lock",

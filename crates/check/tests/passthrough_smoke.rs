@@ -56,6 +56,9 @@ fn lock_levels_have_stable_names_and_ranks() {
     // The hierarchy table in DESIGN.md §8 documents these exact pairs;
     // keep them in lockstep.
     let table = [
+        (LockLevel::NetCredits, "net.credits", 3),
+        (LockLevel::NetReplies, "net.replies", 5),
+        (LockLevel::NetSend, "net.send", 7),
         (LockLevel::CoreBigLock, "core.big_lock", 10),
         (LockLevel::Admission, "server.admission", 20),
         (LockLevel::RangeLock, "server.range_lock", 30),

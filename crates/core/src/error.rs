@@ -62,6 +62,25 @@ impl From<pario_disk::DiskError> for CoreError {
     }
 }
 
+/// Intern a [`CoreError::WrongOrganization`] `expected` string back to
+/// the `&'static str` values this library produces. This is the
+/// wire-decode hook for `pario-net`: the variant carries a static
+/// string, so a lossless round-trip over a byte protocol needs a way to
+/// recover the original static. Unknown strings (which this workspace
+/// never emits) map to `"unknown organization"`.
+pub fn intern_expected(s: &str) -> &'static str {
+    match s {
+        "S" => "S",
+        "PS" => "PS",
+        "IS" => "IS",
+        "SS" => "SS",
+        "GDA" => "GDA",
+        "PDA" => "PDA",
+        "PS or PDA" => "PS or PDA",
+        _ => "unknown organization",
+    }
+}
+
 /// Result alias for parallel-file operations.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
@@ -79,5 +98,13 @@ mod tests {
         assert!(e.to_string().contains('S'));
         let e: CoreError = FsError::NotFound("f".into()).into();
         assert!(e.to_string().contains("'f'"));
+    }
+
+    #[test]
+    fn expected_strings_intern_round_trip() {
+        for s in ["S", "PS", "IS", "SS", "GDA", "PDA", "PS or PDA"] {
+            assert_eq!(intern_expected(s), s);
+        }
+        assert_eq!(intern_expected("bogus"), "unknown organization");
     }
 }

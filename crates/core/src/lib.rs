@@ -60,7 +60,7 @@ pub mod views;
 pub use boundary::{create_replicated, read_partition_with_halo, HaloRegion, ReplicatedBoundary};
 pub use convert::{convert, convert_parallel};
 pub use direct::DirectHandle;
-pub use error::{CoreError, Result};
+pub use error::{intern_expected, CoreError, Result};
 pub use interleaved::InterleavedHandle;
 pub use organization::Organization;
 pub use partitioned::{BlockCursor, PartitionHandle};

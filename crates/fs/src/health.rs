@@ -69,6 +69,25 @@ impl HealthState {
         matches!(self, HealthState::Failed | HealthState::Rebuilding)
     }
 
+    /// Stable single-byte tag for wire protocols (`pario-net` carries
+    /// the server's `Degraded` advisory across processes). Round-trips
+    /// through [`from_wire_tag`](HealthState::from_wire_tag).
+    pub fn wire_tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a [`wire_tag`](HealthState::wire_tag); `None` for bytes no
+    /// version of this enum ever produced.
+    pub fn from_wire_tag(tag: u8) -> Option<HealthState> {
+        match tag {
+            0 => Some(HealthState::Healthy),
+            1 => Some(HealthState::Suspect),
+            2 => Some(HealthState::Failed),
+            3 => Some(HealthState::Rebuilding),
+            _ => None,
+        }
+    }
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -517,6 +536,16 @@ mod tests {
                 (1, HealthState::Healthy)
             ]
         );
+    }
+
+    #[test]
+    fn wire_tags_round_trip() {
+        use HealthState::*;
+        for s in [Healthy, Suspect, Failed, Rebuilding] {
+            assert_eq!(HealthState::from_wire_tag(s.wire_tag()), Some(s));
+        }
+        assert_eq!(HealthState::from_wire_tag(4), None);
+        assert_eq!(HealthState::from_wire_tag(255), None);
     }
 
     #[test]

@@ -1,0 +1,867 @@
+//! The network client: a [`NetClient`] mirrors the [`Session`] API of
+//! `pario-server` over a socket, with **pipelined** requests under a
+//! credit window.
+//!
+//! Three locks, ranked in DESIGN.md §8 and acquired strictly in this
+//! order (rank ascends):
+//!
+//! * `credits` (net.credits, 3) — the flow-control window granted at
+//!   handshake; `submit` blocks here when the window is exhausted.
+//! * `replies` (net.replies, 5) — the pending-request map, request id →
+//!   reply slot.
+//! * `wire` (net.send, 7) — the send half of the socket plus its frame
+//!   staging buffer; holds exactly one `write_all` per request.
+//!
+//! A dedicated reader thread dispatches reply frames by request id:
+//! releases a credit, removes the slot, fills it, wakes the waiter.
+//! Requests submitted back-to-back overlap their network round trips —
+//! the server executes them in order, but the wire carries many at
+//! once.
+//!
+//! [`Session`]: pario_server::Session
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use pario_check::{AtomicU64, Condvar, LockLevel, Mutex};
+use std::sync::atomic::Ordering;
+
+use crate::error::{NetError, Result};
+use crate::frame::{client_handshake, encode_frame, read_frame, Grant, FRAME_OVERHEAD};
+use crate::proto::{decode_reply_error, Opened, Request, StatsSummary, STATUS_ERR, STATUS_OK};
+use crate::sock::{self, Sock};
+use crate::wire::{WireReader, WireWriter};
+
+struct Credits {
+    avail: u32,
+    dead: Option<NetError>,
+}
+
+struct PendingMap {
+    slots: HashMap<u64, Arc<ReplySlot>>,
+    dead: Option<NetError>,
+}
+
+struct ReplySlot {
+    cell: Mutex<Option<Result<Vec<u8>>>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> ReplySlot {
+        ReplySlot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+struct WireHalf {
+    sock: Sock,
+    frame: Vec<u8>,
+}
+
+struct ClientCore {
+    credits: Mutex<Credits>,
+    credits_cv: Condvar,
+    replies: Mutex<PendingMap>,
+    wire: Mutex<WireHalf>,
+    next_id: AtomicU64,
+    max_payload: usize,
+}
+
+/// One request in flight. Dropping it abandons the reply (the reader
+/// thread still consumes and discards it); [`Pending::wait`] blocks for
+/// it.
+#[must_use = "a pending request resolves only through wait()"]
+pub struct Pending {
+    slot: Arc<ReplySlot>,
+}
+
+impl Pending {
+    /// Block until the reply arrives; returns the raw OK body, or the
+    /// decoded error.
+    pub fn wait(self) -> Result<Vec<u8>> {
+        let mut cell = self.slot.cell.lock();
+        while cell.is_none() {
+            self.slot.ready.wait(&mut cell);
+        }
+        // invariant: the loop above exits only once the slot is filled.
+        cell.take().expect("slot filled")
+    }
+}
+
+impl ClientCore {
+    /// Acquire a credit, register a reply slot, and send the frame.
+    /// This is the only path that touches the three ranked locks; they
+    /// are taken in ascending rank order and never nested.
+    fn submit(&self, req: &Request) -> Result<Pending> {
+        let mut payload = WireWriter::new();
+        req.encode_payload(&mut payload);
+        if payload.bytes().len() > self.max_payload {
+            return Err(NetError::TooLarge {
+                len: payload.bytes().len(),
+                max: self.max_payload,
+            });
+        }
+
+        {
+            let mut credits = self.credits.lock();
+            loop {
+                if let Some(e) = &credits.dead {
+                    return Err(e.clone());
+                }
+                if credits.avail > 0 {
+                    credits.avail -= 1;
+                    break;
+                }
+                self.credits_cv.wait(&mut credits);
+            }
+        }
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(ReplySlot::new());
+        {
+            let mut map = self.replies.lock();
+            if let Some(e) = map.dead.clone() {
+                drop(map);
+                // lock-order: released above
+                self.release_credit();
+                return Err(e);
+            }
+            map.slots.insert(id, Arc::clone(&slot));
+        }
+
+        let sent = {
+            let mut wire = self.wire.lock();
+            wire.frame.clear();
+            // Move the staging buffer out so the borrow of `wire.frame`
+            // and the write on `wire.sock` do not overlap.
+            let mut frame = std::mem::take(&mut wire.frame);
+            encode_frame(&mut frame, id, req.opcode(), payload.bytes());
+            let r = wire.sock.write_all(&frame);
+            wire.frame = frame;
+            r
+        };
+        if let Err(e) = sent {
+            // lock-order: released above
+            self.release_credit();
+            // lock-order: released above
+            self.replies.lock().slots.remove(&id);
+            return Err(NetError::Io(e.to_string()));
+        }
+        Ok(Pending { slot })
+    }
+
+    fn release_credit(&self) {
+        let mut credits = self.credits.lock();
+        credits.avail += 1;
+        self.credits_cv.notify_one();
+    }
+
+    fn call(&self, req: &Request) -> Result<Vec<u8>> {
+        self.submit(req)?.wait()
+    }
+}
+
+/// The reader thread: dispatch one reply frame.
+fn dispatch(core: &ClientCore, request_id: u64, code: u8, body: Vec<u8>) {
+    {
+        let mut credits = core.credits.lock();
+        credits.avail += 1;
+        core.credits_cv.notify_one();
+    }
+    let slot = core.replies.lock().slots.remove(&request_id);
+    let Some(slot) = slot else {
+        return; // an abandoned or already-failed request
+    };
+    let result = match code {
+        STATUS_OK => Ok(body),
+        STATUS_ERR => Err(match decode_reply_error(&body) {
+            Ok(e) => e,
+            Err(wire) => wire.into(),
+        }),
+        other => Err(NetError::Protocol(format!("bad reply status {other}"))),
+    };
+    *slot.cell.lock() = Some(result);
+    slot.ready.notify_all();
+}
+
+/// The reader thread: the connection died — fail every waiter.
+fn fail_all(core: &ClientCore, err: NetError) {
+    {
+        let mut credits = core.credits.lock();
+        credits.dead = Some(err.clone());
+        core.credits_cv.notify_all();
+    }
+    let drained: Vec<Arc<ReplySlot>> = {
+        let mut map = core.replies.lock();
+        map.dead = Some(err.clone());
+        map.slots.drain().map(|(_, s)| s).collect()
+    };
+    for slot in drained {
+        *slot.cell.lock() = Some(Err(err.clone()));
+        slot.ready.notify_all();
+    }
+}
+
+/// A connection to a [`NetServer`](crate::NetServer), exposing the
+/// session surface remotely. Open handles borrow the client's
+/// connection; the client itself is cheap to share behind an `Arc`.
+pub struct NetClient {
+    core: Arc<ClientCore>,
+    grant: Grant,
+    ctl: Sock,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetClient {
+    /// Connect over TCP (e.g. `"127.0.0.1:9630"`).
+    pub fn connect_tcp(addr: &str) -> Result<NetClient> {
+        NetClient::connect(sock::connect_tcp(addr)?)
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_unix(path: &std::path::Path) -> Result<NetClient> {
+        NetClient::connect(sock::connect_unix(path)?)
+    }
+
+    fn connect(mut s: Sock) -> Result<NetClient> {
+        let grant = client_handshake(&mut s)?;
+        let read_half = s.try_clone()?;
+        let ctl = s.try_clone()?;
+        let core = Arc::new(ClientCore {
+            credits: Mutex::new_named(
+                Credits {
+                    avail: grant.credits,
+                    dead: None,
+                },
+                LockLevel::NetCredits,
+            ),
+            credits_cv: Condvar::new(),
+            replies: Mutex::new_named(
+                PendingMap {
+                    slots: HashMap::new(),
+                    dead: None,
+                },
+                LockLevel::NetReplies,
+            ),
+            wire: Mutex::new_named(
+                WireHalf {
+                    sock: s,
+                    frame: Vec::new(),
+                },
+                LockLevel::NetSend,
+            ),
+            next_id: AtomicU64::new(1),
+            max_payload: grant.max_payload as usize,
+        });
+        let reader_core = Arc::clone(&core);
+        let max_frame = grant.max_payload as usize + FRAME_OVERHEAD + 64;
+        let reader = std::thread::Builder::new()
+            .name("pario-net-client-recv".to_string())
+            .spawn(move || reader_loop(reader_core, read_half, max_frame))
+            .map_err(|e| NetError::Io(format!("spawn reader: {e}")))?;
+        Ok(NetClient {
+            core,
+            grant,
+            ctl,
+            reader: Some(reader),
+        })
+    }
+
+    /// The flow-control grant the server issued at handshake.
+    pub fn grant(&self) -> Grant {
+        self.grant
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&self) -> Result<()> {
+        self.core.call(&Request::Ping).map(|_| ())
+    }
+
+    /// The server's statistics snapshot, latency percentiles included.
+    pub fn stats(&self) -> Result<StatsSummary> {
+        let body = self.core.call(&Request::Stats)?;
+        Ok(StatsSummary::decode(&body)?)
+    }
+
+    fn open(&self, req: Request) -> Result<(Arc<ClientCore>, Opened)> {
+        let body = self.core.call(&req)?;
+        Ok((Arc::clone(&self.core), Opened::decode(&body)?))
+    }
+
+    /// Open a type-S file exclusively (see `Session::open_sequential`).
+    pub fn open_sequential(&self, name: &str) -> Result<RemoteSeq> {
+        let (core, opened) = self.open(Request::OpenSeq { name: name.into() })?;
+        Ok(RemoteSeq {
+            h: RemoteHandle { core, opened },
+        })
+    }
+
+    /// Open an SS file; the record cursor is shared server-wide, so
+    /// records are delivered exactly once across every client and
+    /// in-process session (see `Session::open_self_sched`).
+    pub fn open_self_sched(&self, name: &str) -> Result<RemoteSs> {
+        let (core, opened) = self.open(Request::OpenSs { name: name.into() })?;
+        Ok(RemoteSs {
+            h: RemoteHandle { core, opened },
+        })
+    }
+
+    /// The big-lock SS baseline (see `Session::open_self_sched_naive`).
+    pub fn open_self_sched_naive(&self, name: &str) -> Result<RemoteSs> {
+        let (core, opened) = self.open(Request::OpenSsNaive { name: name.into() })?;
+        Ok(RemoteSs {
+            h: RemoteHandle { core, opened },
+        })
+    }
+
+    /// Claim partition `p` of a PS/PDA file; refused with
+    /// `ServerError::Claimed` while any other client holds it.
+    pub fn open_partition(&self, name: &str, p: u32) -> Result<RemotePartition> {
+        let (core, opened) = self.open(Request::OpenPartition {
+            name: name.into(),
+            partition: p,
+        })?;
+        Ok(RemotePartition {
+            h: RemoteHandle { core, opened },
+            partition: p,
+        })
+    }
+
+    /// Claim interleave slot `p` of an IS file.
+    pub fn open_interleaved(&self, name: &str, p: u32) -> Result<RemoteInterleaved> {
+        let (core, opened) = self.open(Request::OpenInterleaved {
+            name: name.into(),
+            process: p,
+        })?;
+        Ok(RemoteInterleaved {
+            h: RemoteHandle { core, opened },
+        })
+    }
+
+    /// Open a GDA file for direct access with byte-range locking.
+    pub fn open_direct(&self, name: &str) -> Result<RemoteDirect> {
+        let (core, opened) = self.open(Request::OpenDirect { name: name.into() })?;
+        Ok(RemoteDirect {
+            h: RemoteHandle { core, opened },
+        })
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        self.ctl.shutdown();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reader_loop(core: Arc<ClientCore>, read_half: Sock, max_frame: usize) {
+    let mut r = BufReader::with_capacity(64 * 1024, read_half);
+    loop {
+        match read_frame(&mut r, max_frame) {
+            Ok(Some(f)) => dispatch(&core, f.request_id, f.code, f.body),
+            Ok(None) => {
+                fail_all(
+                    &core,
+                    NetError::ConnectionLost("server closed the connection".to_string()),
+                );
+                return;
+            }
+            Err(e) => {
+                fail_all(&core, e);
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remote handles
+// ---------------------------------------------------------------------
+
+struct RemoteHandle {
+    core: Arc<ClientCore>,
+    opened: Opened,
+}
+
+impl std::fmt::Debug for RemoteHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteHandle")
+            .field("opened", &self.opened)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteHandle {
+    fn id(&self) -> u64 {
+        self.opened.handle
+    }
+}
+
+impl Drop for RemoteHandle {
+    fn drop(&mut self) {
+        // Fire-and-forget close; the reader thread consumes the reply.
+        // On a dead connection the server-side drop already happened.
+        let _ = self.core.submit(&Request::Close { handle: self.id() });
+    }
+}
+
+/// Decode a `u8` flag + record body into `out`.
+fn take_flagged(body: &[u8], out: &mut [u8]) -> Result<bool> {
+    let mut r = WireReader::new(body);
+    match r.u8()? {
+        0 => {
+            r.finish()?;
+            Ok(false)
+        }
+        1 => {
+            copy_record(r.rest(), out)?;
+            Ok(true)
+        }
+        other => Err(NetError::Protocol(format!("bad reply flag {other}"))),
+    }
+}
+
+fn copy_record(rec: &[u8], out: &mut [u8]) -> Result<()> {
+    if rec.len() != out.len() {
+        return Err(NetError::Protocol(format!(
+            "reply carries {} record bytes, caller expected {}",
+            rec.len(),
+            out.len()
+        )));
+    }
+    out.copy_from_slice(rec);
+    Ok(())
+}
+
+fn take_u64(body: &[u8]) -> Result<u64> {
+    let mut r = WireReader::new(body);
+    let v = r.u64()?;
+    r.finish()?;
+    Ok(v)
+}
+
+/// Exclusive sequential access to a remote type-S file.
+#[derive(Debug)]
+pub struct RemoteSeq {
+    h: RemoteHandle,
+}
+
+impl RemoteSeq {
+    /// Record size in bytes.
+    pub fn record_size(&self) -> usize {
+        self.h.opened.record_size as usize
+    }
+
+    /// File length in records at open time.
+    pub fn len_records(&self) -> u64 {
+        self.h.opened.len_records
+    }
+
+    /// Read the next record; `false` at end of file.
+    pub fn read_next(&self, out: &mut [u8]) -> Result<bool> {
+        let body = self.h.core.call(&Request::SeqRead {
+            handle: self.h.id(),
+        })?;
+        take_flagged(&body, out)
+    }
+
+    /// Append the next record.
+    pub fn write_next(&self, data: &[u8]) -> Result<()> {
+        self.h
+            .core
+            .call(&Request::SeqWrite {
+                handle: self.h.id(),
+                data: Bytes::copy_from_slice(data),
+            })
+            .map(|_| ())
+    }
+
+    /// Flush buffered appends and publish the length.
+    pub fn finish(&self) -> Result<u64> {
+        take_u64(&self.h.core.call(&Request::SeqFinish {
+            handle: self.h.id(),
+        })?)
+    }
+
+    /// Rewind the read cursor.
+    pub fn rewind(&self) -> Result<()> {
+        self.h
+            .core
+            .call(&Request::SeqRewind {
+                handle: self.h.id(),
+            })
+            .map(|_| ())
+    }
+}
+
+/// A claimed read from a remote SS cursor (see [`RemoteSs::submit_read_next`]).
+pub struct SsReadTicket {
+    pending: Pending,
+}
+
+/// A submitted SS write (see [`RemoteSs::submit_write_next`]).
+pub struct SsWriteTicket {
+    pending: Pending,
+}
+
+/// A self-scheduled client over the wire: reads claim the globally next
+/// record across all sessions — local or remote — of the file.
+#[derive(Debug)]
+pub struct RemoteSs {
+    h: RemoteHandle,
+}
+
+impl RemoteSs {
+    /// Record size in bytes.
+    pub fn record_size(&self) -> usize {
+        self.h.opened.record_size as usize
+    }
+
+    /// File length in records at open time.
+    pub fn len_records(&self) -> u64 {
+        self.h.opened.len_records
+    }
+
+    /// Claim and read the next unclaimed record; the index served, or
+    /// `None` once the file is drained.
+    pub fn read_next(&self, out: &mut [u8]) -> Result<Option<u64>> {
+        let t = self.submit_read_next()?;
+        self.finish_read_next(t, out)
+    }
+
+    /// Pipelined read: send the claim without waiting. Issue several,
+    /// then [`finish_read_next`](RemoteSs::finish_read_next) them in
+    /// order — the round trips overlap, which is where remote SS
+    /// throughput comes from.
+    pub fn submit_read_next(&self) -> Result<SsReadTicket> {
+        Ok(SsReadTicket {
+            pending: self.h.core.submit(&Request::SsRead {
+                handle: self.h.id(),
+            })?,
+        })
+    }
+
+    /// Resolve a pipelined read into `out`.
+    pub fn finish_read_next(&self, t: SsReadTicket, out: &mut [u8]) -> Result<Option<u64>> {
+        let body = t.pending.wait()?;
+        let mut r = WireReader::new(&body);
+        match r.u8()? {
+            0 => {
+                r.finish()?;
+                Ok(None)
+            }
+            1 => {
+                let idx = r.u64()?;
+                copy_record(r.rest(), out)?;
+                Ok(Some(idx))
+            }
+            other => Err(NetError::Protocol(format!("bad reply flag {other}"))),
+        }
+    }
+
+    /// Claim the next free slot and write `data` there; the slot index.
+    pub fn write_next(&self, data: &[u8]) -> Result<u64> {
+        let t = self.submit_write_next(Bytes::copy_from_slice(data))?;
+        self.finish_write_next(t)
+    }
+
+    /// Pipelined write; `data` is [`Bytes`], so replaying one payload
+    /// across thousands of submissions clones a reference, not bytes.
+    pub fn submit_write_next(&self, data: Bytes) -> Result<SsWriteTicket> {
+        Ok(SsWriteTicket {
+            pending: self.h.core.submit(&Request::SsWrite {
+                handle: self.h.id(),
+                data,
+            })?,
+        })
+    }
+
+    /// Resolve a pipelined write into its slot index.
+    pub fn finish_write_next(&self, t: SsWriteTicket) -> Result<u64> {
+        take_u64(&t.pending.wait()?)
+    }
+
+    /// Publish the final length once all writers are done.
+    pub fn finish_writes(&self) -> Result<u64> {
+        take_u64(&self.h.core.call(&Request::SsFinish {
+            handle: self.h.id(),
+        })?)
+    }
+
+    /// Records claimed so far across all sessions of the file.
+    pub fn claimed(&self) -> Result<u64> {
+        take_u64(&self.h.core.call(&Request::SsClaimed {
+            handle: self.h.id(),
+        })?)
+    }
+}
+
+/// A claimed partition of a remote PS/PDA file; addresses records by
+/// their global index, refused outside the claimed range.
+#[derive(Debug)]
+pub struct RemotePartition {
+    h: RemoteHandle,
+    partition: u32,
+}
+
+impl RemotePartition {
+    /// The claimed partition index.
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    /// The global record range `[start, end)` this client may touch.
+    pub fn range(&self) -> (u64, u64) {
+        (self.h.opened.start, self.h.opened.end)
+    }
+
+    /// Record size in bytes.
+    pub fn record_size(&self) -> usize {
+        self.h.opened.record_size as usize
+    }
+
+    /// Read global record `r` (must lie inside the partition).
+    pub fn read_record(&self, r: u64, out: &mut [u8]) -> Result<()> {
+        let body = self.h.core.call(&Request::PartRead {
+            handle: self.h.id(),
+            record: r,
+        })?;
+        copy_record(&body, out)
+    }
+
+    /// Write global record `r` (must lie inside the partition).
+    pub fn write_record(&self, r: u64, data: &[u8]) -> Result<()> {
+        self.h
+            .core
+            .call(&Request::PartWrite {
+                handle: self.h.id(),
+                record: r,
+                data: Bytes::copy_from_slice(data),
+            })
+            .map(|_| ())
+    }
+
+    /// Read the next record of the partition; `false` at its end.
+    pub fn read_next(&self, out: &mut [u8]) -> Result<bool> {
+        let body = self.h.core.call(&Request::PartReadNext {
+            handle: self.h.id(),
+        })?;
+        take_flagged(&body, out)
+    }
+
+    /// Append at the partition cursor.
+    pub fn write_next(&self, data: &[u8]) -> Result<()> {
+        self.h
+            .core
+            .call(&Request::PartWriteNext {
+                handle: self.h.id(),
+                data: Bytes::copy_from_slice(data),
+            })
+            .map(|_| ())
+    }
+
+    /// Rewind the partition cursor.
+    pub fn rewind(&self) -> Result<()> {
+        self.h
+            .core
+            .call(&Request::PartRewind {
+                handle: self.h.id(),
+            })
+            .map(|_| ())
+    }
+}
+
+/// A claimed interleave slot of a remote IS file.
+#[derive(Debug)]
+pub struct RemoteInterleaved {
+    h: RemoteHandle,
+}
+
+impl RemoteInterleaved {
+    /// Record size in bytes.
+    pub fn record_size(&self) -> usize {
+        self.h.opened.record_size as usize
+    }
+
+    /// Bytes in one file block (for [`read_next_block`](Self::read_next_block)).
+    pub fn block_bytes(&self) -> usize {
+        (self.h.opened.record_size * self.h.opened.records_per_block) as usize
+    }
+
+    /// Read this slot's next record; `false` when the stride passes the
+    /// end of the file.
+    pub fn read_next(&self, out: &mut [u8]) -> Result<bool> {
+        let body = self.h.core.call(&Request::IlvReadNext {
+            handle: self.h.id(),
+        })?;
+        take_flagged(&body, out)
+    }
+
+    /// Write this slot's next record; the global record index written.
+    pub fn write_next(&self, data: &[u8]) -> Result<u64> {
+        take_u64(&self.h.core.call(&Request::IlvWriteNext {
+            handle: self.h.id(),
+            data: Bytes::copy_from_slice(data),
+        })?)
+    }
+
+    /// Read this slot's next whole block into `out` (one block); the
+    /// block index, or `None` past the end.
+    pub fn read_next_block(&self, out: &mut [u8]) -> Result<Option<u64>> {
+        let body = self.h.core.call(&Request::IlvReadBlock {
+            handle: self.h.id(),
+        })?;
+        let mut r = WireReader::new(&body);
+        match r.u8()? {
+            0 => {
+                r.finish()?;
+                Ok(None)
+            }
+            1 => {
+                let b = r.u64()?;
+                copy_record(r.rest(), out)?;
+                Ok(Some(b))
+            }
+            other => Err(NetError::Protocol(format!("bad reply flag {other}"))),
+        }
+    }
+
+    /// Write this slot's next whole block; the block index written.
+    pub fn write_next_block(&self, data: &[u8]) -> Result<u64> {
+        take_u64(&self.h.core.call(&Request::IlvWriteBlock {
+            handle: self.h.id(),
+            data: Bytes::copy_from_slice(data),
+        })?)
+    }
+}
+
+/// A held remote byte-range lock (see [`RemoteDirect::lock_range`]).
+/// Release it with [`RemoteDirect::unlock`] — that flushes the span on
+/// the server before the release (durable-at-unlock). If it is simply
+/// dropped, the server releases the range without the flush when the
+/// handle or connection closes, same as dropping an in-process
+/// `LockedRange`.
+#[must_use = "locks must be released with RemoteDirect::unlock"]
+#[derive(Debug)]
+pub struct RemoteLock {
+    id: u64,
+}
+
+/// Direct (GDA) access to a remote file: any record, any order, with
+/// explicit byte-range locks for cross-record atomicity.
+#[derive(Debug)]
+pub struct RemoteDirect {
+    h: RemoteHandle,
+}
+
+impl RemoteDirect {
+    /// Record size in bytes.
+    pub fn record_size(&self) -> usize {
+        self.h.opened.record_size as usize
+    }
+
+    /// Current file length in records (a server round trip).
+    pub fn len_records(&self) -> Result<u64> {
+        take_u64(&self.h.core.call(&Request::DirLen {
+            handle: self.h.id(),
+        })?)
+    }
+
+    /// Read record `r`.
+    pub fn read_record(&self, r: u64, out: &mut [u8]) -> Result<()> {
+        let body = self.h.core.call(&Request::DirRead {
+            handle: self.h.id(),
+            record: r,
+        })?;
+        copy_record(&body, out)
+    }
+
+    /// Write record `r` (takes the record's byte-range lock server-side
+    /// for the duration of the write).
+    pub fn write_record(&self, r: u64, data: &[u8]) -> Result<()> {
+        self.h
+            .core
+            .call(&Request::DirWrite {
+                handle: self.h.id(),
+                record: r,
+                data: Bytes::copy_from_slice(data),
+            })
+            .map(|_| ())
+    }
+
+    /// Pipelined write: send without waiting.
+    pub fn submit_write(&self, r: u64, data: Bytes) -> Result<Pending> {
+        self.h.core.submit(&Request::DirWrite {
+            handle: self.h.id(),
+            record: r,
+            data,
+        })
+    }
+
+    /// Lock records `[r_lo, r_hi)` exclusively across every client of
+    /// the file, local or remote. Writes under the lock go through
+    /// [`write_record_locked`](Self::write_record_locked); release with
+    /// [`unlock`](Self::unlock).
+    pub fn lock_range(&self, r_lo: u64, r_hi: u64) -> Result<RemoteLock> {
+        let body = self.h.core.call(&Request::DirLock {
+            handle: self.h.id(),
+            r_lo,
+            r_hi,
+        })?;
+        Ok(RemoteLock {
+            id: take_u64(&body)?,
+        })
+    }
+
+    /// Write record `r` under a held lock; refused with
+    /// `ServerError::RangeNotLocked` if `r` lies outside it.
+    pub fn write_record_locked(&self, lock: &RemoteLock, r: u64, data: &[u8]) -> Result<()> {
+        self.h
+            .core
+            .call(&Request::DirWriteLocked {
+                handle: self.h.id(),
+                lock: lock.id,
+                record: r,
+                data: Bytes::copy_from_slice(data),
+            })
+            .map(|_| ())
+    }
+
+    /// Flush the locked span to the devices, then release the lock: a
+    /// reader that observes the release observes the data (the paper's
+    /// durable-at-unlock contract for GDA files).
+    pub fn unlock(&self, lock: RemoteLock) -> Result<()> {
+        self.h
+            .core
+            .call(&Request::DirUnlock {
+                handle: self.h.id(),
+                lock: lock.id,
+            })
+            .map(|_| ())
+    }
+
+    /// Locked read-modify-write of record `r`: lock, read, apply `f`
+    /// locally, write back, flush, unlock.
+    pub fn update(&self, r: u64, f: impl FnOnce(&mut [u8])) -> Result<()> {
+        let lock = self.lock_range(r, r + 1)?;
+        let mut rec = vec![0u8; self.record_size()];
+        match self.read_record(r, &mut rec).and_then(|()| {
+            f(&mut rec);
+            self.write_record_locked(&lock, r, &rec)
+        }) {
+            Ok(()) => self.unlock(lock),
+            Err(e) => {
+                // Best-effort release; the read-modify-write error wins.
+                let _ = self.unlock(lock);
+                Err(e)
+            }
+        }
+    }
+}

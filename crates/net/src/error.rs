@@ -1,0 +1,105 @@
+//! The network-layer error type. [`NetError`] is `Clone` on purpose:
+//! when a connection dies, the client fans the same terminal error out
+//! to every request still pending on it.
+
+use std::fmt;
+
+use pario_server::ServerError;
+
+use crate::wire::WireError;
+
+/// Errors surfaced by the network service layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The server executed the request and it failed with a typed
+    /// service error — decoded losslessly, so remote callers match on
+    /// the same variants in-process callers do.
+    Server(ServerError),
+    /// The peer violated the protocol (malformed frame, unknown opcode,
+    /// stale handle, trailing bytes). Frame-level violations close the
+    /// connection; request-level ones (a bad handle id) fail only that
+    /// request.
+    Protocol(String),
+    /// The peers speak different protocol versions.
+    Handshake {
+        /// Version this endpoint speaks.
+        ours: u16,
+        /// Version the peer announced.
+        theirs: u16,
+    },
+    /// The connection died with requests still outstanding; those
+    /// requests may or may not have executed on the server.
+    ConnectionLost(String),
+    /// An OS-level socket error (message form, so the error stays
+    /// cloneable).
+    Io(String),
+    /// A payload exceeds the limit the handshake advertised.
+    TooLarge {
+        /// Offending payload length.
+        len: usize,
+        /// Advertised maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Server(e) => write!(f, "{e}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Handshake { ours, theirs } => {
+                write!(
+                    f,
+                    "version mismatch: we speak v{ours}, peer speaks v{theirs}"
+                )
+            }
+            NetError::ConnectionLost(msg) => write!(f, "connection lost: {msg}"),
+            NetError::Io(msg) => write!(f, "socket error: {msg}"),
+            NetError::TooLarge { len, max } => {
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the advertised limit {max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<ServerError> for NetError {
+    fn from(e: ServerError) -> NetError {
+        NetError::Server(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        NetError::Protocol(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e.to_string())
+    }
+}
+
+/// Result alias for network operations.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable() {
+        assert_eq!(
+            NetError::Handshake { ours: 1, theirs: 2 }.to_string(),
+            "version mismatch: we speak v1, peer speaks v2"
+        );
+        assert!(NetError::Server(ServerError::Busy)
+            .to_string()
+            .contains("busy"));
+    }
+}

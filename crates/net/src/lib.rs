@@ -1,0 +1,52 @@
+//! pario-net: a framed wire protocol and network service layer in
+//! front of `pario-server`.
+//!
+//! The paper's file concepts assume the I/O system is a *service*:
+//! compute processes on other nodes reach the file system through
+//! messages, not shared memory. This crate supplies that boundary for
+//! the in-process [`Server`](pario_server::Server):
+//!
+//! * [`wire`] / [`proto`] — a small length-prefixed, versioned binary
+//!   codec (no serde, no async runtime) carrying the full session
+//!   surface: every file organization's open, read, write and cursor
+//!   operations, SS shared-cursor claims, partition claims, and GDA
+//!   byte-range locks, plus a lossless encoding of the typed
+//!   `ServerError` taxonomy so remote callers match on the very same
+//!   variants.
+//! * [`frame`] — framing, bounds-checked lengths, and the handshake
+//!   that grants each connection its flow-control credits.
+//! * [`NetServer`] — a listener (TCP or Unix-domain) with one reader
+//!   and one writer thread per connection. Each connection multiplexes
+//!   onto one `Session`, so the existing bounded admission and
+//!   `ServerStats` remain the backpressure story; read replies are
+//!   written straight from pool frames into the socket (zero copy on
+//!   the serve path).
+//! * [`NetClient`] — the remote mirror of `Session`: typed handles
+//!   ([`RemoteSeq`], [`RemoteSs`], [`RemotePartition`],
+//!   [`RemoteInterleaved`], [`RemoteDirect`]) with pipelined submission
+//!   under the credit window.
+//!
+//! Concurrency follows the workspace rules: locks are
+//! `pario_check`-ranked (`net.credits` < `net.replies` < `net.send`),
+//! threads are named, and every blocking wait has a shutdown path that
+//! unblocks it (socket shutdown wakes parked readers and writers).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod sock;
+pub mod wire;
+
+pub use client::{
+    NetClient, Pending, RemoteDirect, RemoteInterleaved, RemoteLock, RemotePartition, RemoteSeq,
+    RemoteSs, SsReadTicket, SsWriteTicket,
+};
+pub use error::{NetError, Result};
+pub use frame::Grant;
+pub use proto::StatsSummary;
+pub use server::{NetConfig, NetServer};
+pub use sock::Sock;

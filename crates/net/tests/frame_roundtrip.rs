@@ -1,0 +1,160 @@
+//! Property tests for the wire codec: frames round-trip through
+//! arbitrary split/partial reads, every request variant survives
+//! encode→decode exactly, and the full `ServerError` taxonomy maps
+//! losslessly both ways.
+
+use std::io::Read;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use pario_core::{CoreError, Organization};
+use pario_disk::DiskError;
+use pario_fs::{FsError, HealthState};
+use pario_net::frame::{encode_frame, read_frame, RawFrame};
+use pario_net::proto::{decode_server_error, encode_server_error, Request};
+use pario_net::wire::WireWriter;
+use pario_server::ServerError;
+
+/// A reader that hands out at most `chunk` bytes per call — the
+/// severest form of short reads a socket can produce.
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any frame survives any split of the byte stream.
+    #[test]
+    fn frames_survive_arbitrary_split_reads(
+        request_id in any::<u64>(),
+        code in any::<u8>(),
+        body in proptest::collection::vec(any::<u8>(), 0..2048),
+        chunk in 1usize..13,
+    ) {
+        let mut wire = Vec::new();
+        encode_frame(&mut wire, request_id, code, &body);
+        let mut r = Trickle { data: &wire, pos: 0, chunk };
+        let f = read_frame(&mut r, 1 << 20).unwrap().expect("one frame");
+        prop_assert_eq!(f, RawFrame { request_id, code, body });
+        // And the stream then ends cleanly at the frame boundary.
+        prop_assert_eq!(read_frame(&mut r, 1 << 20).unwrap(), None);
+    }
+
+    /// Several frames back to back parse one by one, whatever the
+    /// chunking.
+    #[test]
+    fn back_to_back_frames_parse_in_order(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+        chunk in 1usize..5,
+    ) {
+        let mut wire = Vec::new();
+        for (i, b) in bodies.iter().enumerate() {
+            encode_frame(&mut wire, i as u64, 1, b);
+        }
+        let mut r = Trickle { data: &wire, pos: 0, chunk };
+        for (i, b) in bodies.iter().enumerate() {
+            let f = read_frame(&mut r, 1 << 20).unwrap().expect("frame");
+            prop_assert_eq!(f.request_id, i as u64);
+            prop_assert_eq!(&f.body, b);
+        }
+        prop_assert_eq!(read_frame(&mut r, 1 << 20).unwrap(), None);
+    }
+
+    /// Data-carrying requests round-trip arbitrary payloads byte-exact.
+    #[test]
+    fn write_requests_round_trip_arbitrary_payloads(
+        handle in any::<u64>(),
+        record in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let reqs = [
+            Request::SeqWrite { handle, data: Bytes::copy_from_slice(&data) },
+            Request::SsWrite { handle, data: Bytes::copy_from_slice(&data) },
+            Request::PartWrite { handle, record, data: Bytes::copy_from_slice(&data) },
+            Request::DirWrite { handle, record, data: Bytes::copy_from_slice(&data) },
+        ];
+        for req in reqs {
+            let mut w = WireWriter::new();
+            req.encode_payload(&mut w);
+            let back = Request::decode(req.opcode(), w.bytes()).unwrap();
+            prop_assert_eq!(back, req);
+        }
+    }
+
+    /// A truncated payload never decodes and never panics, for every
+    /// opcode the protocol defines.
+    #[test]
+    fn truncated_payloads_fail_closed_for_every_opcode(cut in 0usize..16) {
+        for &op in Request::ALL_OPCODES {
+            // A payload of `cut` arbitrary bytes: far too short for most
+            // requests, trailing garbage for no-payload ones.
+            let junk = vec![0xEEu8; cut];
+            if let Ok(req) = Request::decode(op, &junk) {
+                // If it decodes, re-encoding must reproduce the
+                // bytes — decode accepts nothing an encoder would
+                // not produce.
+                let mut w = WireWriter::new();
+                req.encode_payload(&mut w);
+                prop_assert_eq!(w.bytes(), &junk[..]);
+            }
+        }
+    }
+}
+
+/// Every `ServerError` variant — including the nested Core/Fs/Disk
+/// chains — crosses the wire without losing a field.
+#[test]
+fn server_error_taxonomy_is_lossless() {
+    let samples = vec![
+        ServerError::Busy,
+        ServerError::Exclusive {
+            name: "a file".into(),
+            by: 7,
+        },
+        ServerError::Claimed {
+            name: "part".into(),
+            index: 3,
+            by: 9,
+        },
+        ServerError::OutsidePartition {
+            record: 55,
+            partition: 1,
+            start: 56,
+            end: 108,
+        },
+        ServerError::RangeNotLocked { lo: 20, hi: 24 },
+        ServerError::Degraded {
+            device: 2,
+            state: HealthState::Rebuilding,
+        },
+        ServerError::Core(CoreError::Fs(FsError::NotFound("x".into()))),
+        ServerError::Core(CoreError::Fs(FsError::Disk(DiskError::Timeout {
+            device: "mem-1".into(),
+        }))),
+        ServerError::Core(CoreError::WrongOrganization {
+            expected: "SS",
+            actual: Organization::PartitionedSeq { partitions: 8 },
+        }),
+        ServerError::Core(CoreError::BadProcess { process: 9, of: 4 }),
+    ];
+    for e in samples {
+        let mut w = WireWriter::new();
+        encode_server_error(&mut w, &e);
+        let back = decode_server_error(&mut pario_net::wire::WireReader::new(w.bytes())).unwrap();
+        assert_eq!(back, e, "taxonomy lost a field crossing the wire");
+    }
+}

@@ -1,0 +1,167 @@
+//! Garbage in, connection closed — server intact. A peer that violates
+//! the protocol (bad magic, absurd frame lengths, unknown opcodes,
+//! malformed payloads) loses *its* connection, fail-closed; the server
+//! keeps serving well-behaved clients on the same volume throughout.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use pario_core::{Organization, ParallelFile};
+use pario_fs::{Volume, VolumeConfig};
+use pario_net::frame::{encode_frame, read_frame, FRAME_OVERHEAD};
+use pario_net::proto::{MAGIC, STATUS_ERR, VERSION};
+use pario_net::{NetClient, NetConfig, NetServer};
+use pario_server::{Server, ServerConfig};
+
+const REC: usize = 64;
+
+fn serve() -> (NetServer, String) {
+    let volume = Volume::create_in_memory(VolumeConfig {
+        devices: 4,
+        device_blocks: 512,
+        block_size: 256,
+    })
+    .unwrap();
+    let pf =
+        ParallelFile::create(&volume, "queue", Organization::SelfScheduledSeq, REC, 4).unwrap();
+    let w = pf.self_sched_writer().unwrap();
+    for i in 0..8u64 {
+        w.write_next(&[i as u8; REC]).unwrap();
+    }
+    w.finish().unwrap();
+    drop(pf);
+    let net = NetServer::bind_tcp(
+        "127.0.0.1:0",
+        Server::new(volume, ServerConfig::default()),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let addr = net.local_addr().unwrap().to_string();
+    (net, addr)
+}
+
+/// Drain the socket until the peer closes it; the bytes read (if any).
+fn read_until_eof(s: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => return out,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(_) => return out,
+        }
+    }
+}
+
+fn hello() -> Vec<u8> {
+    let mut h = Vec::new();
+    h.extend_from_slice(&MAGIC);
+    h.extend_from_slice(&VERSION.to_le_bytes());
+    h
+}
+
+/// The server still answers a real client — the poisoning attempt died
+/// with its own connection, nothing more.
+fn assert_server_alive(addr: &str) {
+    let client = NetClient::connect_tcp(addr).unwrap();
+    client.ping().unwrap();
+    let q = client.open_self_sched("queue").unwrap();
+    let mut buf = [0u8; REC];
+    // At least one record is still claimable through the shared cursor.
+    q.read_next(&mut buf).unwrap();
+}
+
+#[test]
+fn garbage_handshake_closes_only_that_connection() {
+    let (_net, addr) = serve();
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(b"NOT-THE-PROTOCOL-YOU-ARE-LOOKING-FOR")
+        .unwrap();
+    let _ = read_until_eof(&mut s); // server hangs up
+    assert_server_alive(&addr);
+}
+
+#[test]
+fn absurd_frame_length_closes_the_connection() {
+    let (_net, addr) = serve();
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(&hello()).unwrap();
+    let mut welcome = [0u8; 14];
+    s.read_exact(&mut welcome).unwrap();
+    // Declare a 4 GiB frame; the reader must refuse the length, not
+    // attempt the allocation.
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let _ = read_until_eof(&mut s);
+    assert_server_alive(&addr);
+}
+
+#[test]
+fn unknown_opcode_gets_an_error_frame_then_the_boot() {
+    let (_net, addr) = serve();
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(&hello()).unwrap();
+    let mut welcome = [0u8; 14];
+    s.read_exact(&mut welcome).unwrap();
+
+    let mut f = Vec::new();
+    encode_frame(&mut f, 99, 0xEE, b""); // no such opcode
+    s.write_all(&f).unwrap();
+
+    // One final STATUS_ERR frame explains the violation, then EOF.
+    let reply = read_until_eof(&mut s);
+    let frame = read_frame(&mut &reply[..], 1 << 20)
+        .expect("parseable reply")
+        .expect("one frame");
+    assert_eq!(frame.request_id, 99);
+    assert_eq!(frame.code, STATUS_ERR);
+    assert!(reply.len() >= FRAME_OVERHEAD);
+    assert_server_alive(&addr);
+}
+
+#[test]
+fn malformed_payload_gets_an_error_frame_then_the_boot() {
+    let (_net, addr) = serve();
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(&hello()).unwrap();
+    let mut welcome = [0u8; 14];
+    s.read_exact(&mut welcome).unwrap();
+
+    // Opcode 0x10 (OpenSeq) wants a length-prefixed name; send a length
+    // that runs past the payload.
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&(1000u32).to_le_bytes());
+    bad.extend_from_slice(b"short");
+    let mut f = Vec::new();
+    encode_frame(&mut f, 7, 0x10, &bad);
+    s.write_all(&f).unwrap();
+
+    let reply = read_until_eof(&mut s);
+    let frame = read_frame(&mut &reply[..], 1 << 20)
+        .expect("parseable reply")
+        .expect("one frame");
+    assert_eq!((frame.request_id, frame.code), (7, STATUS_ERR));
+    assert_server_alive(&addr);
+}
+
+#[test]
+fn random_bytes_after_handshake_never_poison_the_server() {
+    let (_net, addr) = serve();
+    // A deterministic pseudo-random garbage stream, several rounds.
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    for _ in 0..8 {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(&hello()).unwrap();
+        let mut welcome = [0u8; 14];
+        s.read_exact(&mut welcome).unwrap();
+        let mut junk = Vec::with_capacity(256);
+        for _ in 0..256 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            junk.push((seed >> 33) as u8);
+        }
+        let _ = s.write_all(&junk);
+        let _ = read_until_eof(&mut s);
+    }
+    assert_server_alive(&addr);
+}

@@ -1,0 +1,331 @@
+//! The ISSUE acceptance scenario over real sockets: eight [`NetClient`]s
+//! on TCP connections to one [`NetServer`] over a shared volume observe
+//! the same sharing semantics the in-process suites assert — SS
+//! exactly-once delivery, exclusive partition claims, and GDA writes
+//! durable on the raw media at unlock.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use pario_core::{CoreError, Organization, ParallelFile};
+use pario_fs::{resolve, RawFile, Volume, VolumeCacheConfig, VolumeConfig};
+use pario_net::{NetClient, NetConfig, NetError, NetServer};
+use pario_server::{Server, ServerConfig, ServerError};
+
+const REC: usize = 64;
+const BS: usize = 256;
+
+fn volume() -> Volume {
+    Volume::create_in_memory(VolumeConfig {
+        devices: 4,
+        device_blocks: 1024,
+        block_size: BS,
+    })
+    .unwrap()
+}
+
+fn serve(volume: Volume) -> (NetServer, String) {
+    let net = NetServer::bind_tcp(
+        "127.0.0.1:0",
+        Server::new(volume, ServerConfig::default()),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let addr = net.local_addr().unwrap().to_string();
+    (net, addr)
+}
+
+fn fill_ss(volume: &Volume, name: &str, records: u64) {
+    let pf = ParallelFile::create(volume, name, Organization::SelfScheduledSeq, REC, 4).unwrap();
+    let w = pf.self_sched_writer().unwrap();
+    for i in 0..records {
+        w.write_next(&[i as u8; REC]).unwrap();
+    }
+    w.finish().unwrap();
+}
+
+#[test]
+fn eight_tcp_clients_drain_ss_exactly_once() {
+    const RECORDS: u64 = 400;
+    const CLIENTS: usize = 8;
+    const DEPTH: usize = 8; // pipelined claims in flight per client
+
+    let volume = volume();
+    fill_ss(&volume, "queue", RECORDS);
+    let (_net, addr) = serve(volume);
+
+    let seen = Mutex::new(HashSet::new());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let addr = addr.as_str();
+            let seen = &seen;
+            s.spawn(move |_| {
+                let client = NetClient::connect_tcp(addr).unwrap();
+                let q = client.open_self_sched("queue").unwrap();
+                assert_eq!(q.record_size(), REC);
+                // Keep a window of claims on the wire; resolve in order.
+                let mut window = std::collections::VecDeque::new();
+                for _ in 0..DEPTH {
+                    window.push_back(q.submit_read_next().unwrap());
+                }
+                let mut buf = [0u8; REC];
+                let mut draining = false;
+                while let Some(t) = window.pop_front() {
+                    match q.finish_read_next(t, &mut buf).unwrap() {
+                        Some(idx) => {
+                            assert_eq!(buf, [idx as u8; REC], "torn record {idx}");
+                            assert!(seen.lock().unwrap().insert(idx), "record {idx} twice");
+                            if !draining {
+                                window.push_back(q.submit_read_next().unwrap());
+                            }
+                        }
+                        None => draining = true,
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(seen.into_inner().unwrap().len(), RECORDS as usize);
+}
+
+#[test]
+fn partition_claims_are_exclusive_over_the_wire() {
+    let volume = volume();
+    // 160 records over 4 partitions of a PS file.
+    ParallelFile::create_sized(
+        &volume,
+        "part",
+        Organization::PartitionedSeq { partitions: 4 },
+        REC,
+        4,
+        160,
+    )
+    .unwrap();
+    let (_net, addr) = serve(volume);
+
+    let a = NetClient::connect_tcp(&addr).unwrap();
+    let b = NetClient::connect_tcp(&addr).unwrap();
+
+    let pa = a.open_partition("part", 1).unwrap();
+    // The same partition from another connection is refused with the
+    // exact typed error the in-process suite matches on.
+    match b.open_partition("part", 1) {
+        Err(NetError::Server(ServerError::Claimed { name, index, .. })) => {
+            assert_eq!(name, "part");
+            assert_eq!(index, 1);
+        }
+        other => panic!("expected Claimed, got {other:?}"),
+    }
+    // A different partition is fine, and the range travels back.
+    let pb = b.open_partition("part", 2).unwrap();
+    let (start, end) = pb.range();
+    assert!(start < end);
+
+    // Writes inside the claim work; outside the claim they are refused,
+    // never silently corrupting a neighbour's records.
+    let data = [7u8; REC];
+    pb.write_record(start, &data).unwrap();
+    let mut back = [0u8; REC];
+    pb.read_record(start, &mut back).unwrap();
+    assert_eq!(back, data);
+    match pb.write_record(end, &data) {
+        Err(NetError::Server(ServerError::OutsidePartition { record, .. })) => {
+            assert_eq!(record, end);
+        }
+        other => panic!("expected OutsidePartition, got {other:?}"),
+    }
+
+    // Dropping the remote handle releases the claim server-side. The
+    // close rides the same ordered connection, so a ping barrier on
+    // client A guarantees it has executed.
+    drop(pa);
+    a.ping().unwrap();
+    let pa2 = b.open_partition("part", 1).unwrap();
+    assert_eq!(pa2.partition(), 1);
+}
+
+/// Record `r`'s bytes assembled straight from the raw devices, bypassing
+/// the cache tier entirely (same probe as the in-process cached_gda
+/// suite).
+fn media_record(v: &Volume, f: &RawFile, r: u64) -> Vec<u8> {
+    let layout = f.layout();
+    let meta = f.meta_snapshot();
+    let mut out = vec![0u8; REC];
+    let mut byte = r * REC as u64;
+    let mut done = 0usize;
+    while done < REC {
+        let l = byte / BS as u64;
+        let within = (byte % BS as u64) as usize;
+        let take = (BS - within).min(REC - done);
+        let p = layout.map(l);
+        let dev = meta.device_map[p.device];
+        let abs = resolve(&meta.extents[p.device], p.block);
+        let mut block = vec![0u8; BS];
+        v.device(dev).read_block(abs, &mut block).unwrap();
+        out[done..done + take].copy_from_slice(&block[within..within + take]);
+        byte += take as u64;
+        done += take;
+    }
+    out
+}
+
+#[test]
+fn remote_gda_writes_are_durable_on_media_at_unlock() {
+    let volume = volume()
+        .enable_cache(VolumeCacheConfig::write_back(32))
+        .unwrap();
+    let pf = ParallelFile::create(&volume, "d", Organization::GlobalDirect, REC, 4).unwrap();
+    let raw = pf.raw().clone();
+    drop(pf);
+    let probe = volume.clone();
+    let (_net, addr) = serve(volume);
+
+    let client = NetClient::connect_tcp(&addr).unwrap();
+    let c = client.open_direct("d").unwrap();
+
+    // No flush anywhere: by the time write_record's reply arrives, the
+    // server-side range-lock release must have pushed the span out of
+    // the write-back tier (the paper's durable-at-unlock contract).
+    for r in 0..16u64 {
+        let data: Vec<u8> = (0..REC).map(|i| (r as usize * 31 + i) as u8).collect();
+        c.write_record(r, &data).unwrap();
+        assert_eq!(
+            media_record(&probe, &raw, r),
+            data,
+            "record {r} not on media after its range lock released"
+        );
+    }
+
+    // Explicit lock / locked-write / unlock over the wire: durable at
+    // the unlock reply, and writes outside the locked range are refused.
+    let lock = c.lock_range(20, 24).unwrap();
+    let data = [0xA5u8; REC];
+    c.write_record_locked(&lock, 21, &data).unwrap();
+    match c.write_record_locked(&lock, 30, &data) {
+        Err(NetError::Server(ServerError::RangeNotLocked { .. })) => {}
+        other => panic!("expected RangeNotLocked, got {other:?}"),
+    }
+    c.unlock(lock).unwrap();
+    assert_eq!(
+        media_record(&probe, &raw, 21),
+        data,
+        "not durable at unlock"
+    );
+}
+
+#[test]
+fn remote_gda_updates_never_lose_increments() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: u64 = 25;
+    let volume = volume()
+        .enable_cache(VolumeCacheConfig::write_back(32))
+        .unwrap();
+    let pf = ParallelFile::create(&volume, "shared", Organization::GlobalDirect, REC, 4).unwrap();
+    pf.direct_handle()
+        .unwrap()
+        .write_record(0, &[0; REC])
+        .unwrap();
+    drop(pf);
+    let (_net, addr) = serve(volume);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let addr = addr.as_str();
+            s.spawn(move |_| {
+                let client = NetClient::connect_tcp(addr).unwrap();
+                let c = client.open_direct("shared").unwrap();
+                for _ in 0..PER_CLIENT {
+                    c.update(0, |bytes| {
+                        let v = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                        bytes[..8].copy_from_slice(&(v + 1).to_le_bytes());
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let client = NetClient::connect_tcp(&addr).unwrap();
+    let c = client.open_direct("shared").unwrap();
+    let mut buf = [0u8; REC];
+    c.read_record(0, &mut buf).unwrap();
+    let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    assert_eq!(v, CLIENTS as u64 * PER_CLIENT, "lost increments");
+
+    // The server saw every one of these connections as a session.
+    let stats = client.stats().unwrap();
+    assert!(stats.sessions >= CLIENTS as u64);
+}
+
+#[test]
+fn unix_socket_carries_the_same_protocol() {
+    let dir = std::env::temp_dir().join(format!("pario-net-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pario.sock");
+    let _ = std::fs::remove_file(&path);
+
+    let volume = volume();
+    ParallelFile::create(&volume, "log", Organization::Sequential, REC, 4).unwrap();
+    let mut net = NetServer::bind_unix(
+        &path,
+        Server::new(volume, ServerConfig::default()),
+        NetConfig::default(),
+    )
+    .unwrap();
+
+    let client = NetClient::connect_unix(&path).unwrap();
+    client.ping().unwrap();
+
+    // Exclusive type-S over the unix transport: write, finish, read
+    // back; a second exclusive open is refused while the first is held.
+    {
+        let log = client.open_sequential("log").unwrap();
+        for i in 0..10u8 {
+            log.write_next(&[i; REC]).unwrap();
+        }
+        assert_eq!(log.finish().unwrap(), 10);
+        match NetClient::connect_unix(&path)
+            .unwrap()
+            .open_sequential("log")
+        {
+            Err(NetError::Server(ServerError::Exclusive { name, .. })) => assert_eq!(name, "log"),
+            other => panic!("expected Exclusive, got {other:?}"),
+        }
+        let mut buf = [0u8; REC];
+        for i in 0..10u8 {
+            assert!(log.read_next(&mut buf).unwrap(), "record {i} missing");
+            assert_eq!(buf, [i; REC]);
+        }
+        assert!(!log.read_next(&mut buf).unwrap(), "EOF after 10 records");
+    }
+
+    // A missing file fails with the typed FS error, not a socket error.
+    match client.open_sequential("absent") {
+        Err(NetError::Server(ServerError::Core(CoreError::Fs(_)))) => {}
+        other => panic!("open of a missing file must fail typed, got {other:?}"),
+    }
+
+    net.shutdown();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn wrong_organization_round_trips_the_full_error_chain() {
+    let volume = volume();
+    fill_ss(&volume, "queue", 4);
+    let (_net, addr) = serve(volume);
+    let client = NetClient::connect_tcp(&addr).unwrap();
+    match client.open_sequential("queue") {
+        Err(NetError::Server(ServerError::Core(CoreError::WrongOrganization {
+            expected,
+            actual,
+        }))) => {
+            assert!(!expected.is_empty());
+            assert_eq!(actual, Organization::SelfScheduledSeq);
+        }
+        other => panic!("expected WrongOrganization, got {other:?}"),
+    }
+}

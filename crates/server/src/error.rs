@@ -42,6 +42,15 @@ pub enum ServerError {
         /// One past the last record owned by the partition.
         end: u64,
     },
+    /// A locked GDA operation addressed bytes outside the byte-range
+    /// lock the caller holds (see `DirectClient::write_record_locked`):
+    /// the write is refused rather than performed unserialised.
+    RangeNotLocked {
+        /// First byte the operation needed.
+        lo: u64,
+        /// One past the last byte the operation needed.
+        hi: u64,
+    },
     /// A device-level failure surfaced while the volume is running
     /// degraded — a *brownout advisory*, not an opaque disk error: the
     /// named device is Suspect / Failed / Rebuilding, redundant layouts
@@ -78,6 +87,10 @@ impl fmt::Display for ServerError {
             } => write!(
                 f,
                 "record {record} lies outside partition {partition} [{start}, {end})"
+            ),
+            ServerError::RangeNotLocked { lo, hi } => write!(
+                f,
+                "bytes [{lo}, {hi}) are not covered by the held range lock"
             ),
             ServerError::Degraded { device, state } => write!(
                 f,
@@ -133,6 +146,8 @@ mod tests {
         assert!(e.to_string().contains("partition 2"));
         let e: ServerError = FsError::NotFound("x".into()).into();
         assert!(matches!(e, ServerError::Core(_)));
+        let e = ServerError::RangeNotLocked { lo: 64, hi: 128 };
+        assert!(e.to_string().contains("[64, 128)"));
         let e = ServerError::Degraded {
             device: 1,
             state: HealthState::Rebuilding,

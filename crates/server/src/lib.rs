@@ -81,7 +81,7 @@ pub use admission::{Admission, AdmissionStats, Permit, Saturation};
 pub use error::{Result, ServerError};
 pub use locks::{ByteRangeLocks, RangeGuard};
 pub use session::{
-    DirectClient, InterleavedClient, PartitionClient, SeqClient, Server, ServerConfig, Session,
-    SsClient,
+    DirectClient, FileStat, InterleavedClient, LockedRange, PartitionClient, SeqClient, Server,
+    ServerConfig, Session, SsClient,
 };
 pub use stats::{quantile_nanos, LatencyBucket, LatencyHistogram, ServerStats, SessionStats};

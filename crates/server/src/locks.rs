@@ -44,17 +44,36 @@ impl ByteRangeLocks {
 
     /// Block until `[start, end)` overlaps no held range, then hold it.
     pub fn acquire(&self, start: u64, end: u64) -> RangeGuard<'_> {
+        RangeGuard {
+            ticket: self.acquire_ticket(start, end),
+            locks: self,
+        }
+    }
+
+    /// Guard-free acquire: blocks like [`acquire`](ByteRangeLocks::acquire)
+    /// but returns a bare ticket the caller must hand back through
+    /// [`release_ticket`](ByteRangeLocks::release_ticket). This is the
+    /// hook for owned lock handles (the network layer parks a client's
+    /// explicit GDA lock in a table across requests, where a borrowing
+    /// guard cannot live).
+    pub fn acquire_ticket(&self, start: u64, end: u64) -> u64 {
         assert!(start < end, "empty range");
         let mut held = self.held.lock();
         loop {
             if let Some(ticket) = Self::grab(&mut held, start, end) {
-                return RangeGuard {
-                    locks: self,
-                    ticket,
-                };
+                return ticket;
             }
             self.cv.wait(&mut held);
         }
+    }
+
+    /// Release a ticket taken with
+    /// [`acquire_ticket`](ByteRangeLocks::acquire_ticket). Unknown
+    /// tickets are ignored (release is idempotent).
+    pub fn release_ticket(&self, ticket: u64) {
+        let mut held = self.held.lock();
+        held.retain(|&(_, _, t)| t != ticket);
+        self.cv.notify_all();
     }
 
     /// Take `[start, end)` if it overlaps no held range, without
@@ -85,9 +104,7 @@ impl ByteRangeLocks {
 
 impl Drop for RangeGuard<'_> {
     fn drop(&mut self) {
-        let mut held = self.locks.held.lock();
-        held.retain(|&(_, _, t)| t != self.ticket);
-        self.locks.cv.notify_all();
+        self.locks.release_ticket(self.ticket);
     }
 }
 

@@ -222,6 +222,20 @@ impl Session {
         }
     }
 
+    /// Metadata for `name` without opening a typed client — what a
+    /// remote protocol needs to size its buffers before the first
+    /// transfer. `len_records` is a point-in-time value; concurrent
+    /// writers may have moved it by the time the caller acts on it.
+    pub fn stat(&self, name: &str) -> Result<FileStat> {
+        let entry = self.inner.entry(name)?;
+        Ok(FileStat {
+            organization: entry.pfile.organization(),
+            record_size: entry.pfile.record_size(),
+            records_per_block: entry.pfile.records_per_block(),
+            len_records: entry.pfile.len_records(),
+        })
+    }
+
     /// Open a type-S file exclusively. Fails with
     /// [`ServerError::Exclusive`] while any other client holds it.
     pub fn open_sequential(&self, name: &str) -> Result<SeqClient> {
@@ -340,6 +354,19 @@ impl Session {
             record_size,
         })
     }
+}
+
+/// Point-in-time file metadata returned by [`Session::stat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStat {
+    /// The file's organization.
+    pub organization: Organization,
+    /// Fixed record size in bytes.
+    pub record_size: usize,
+    /// Records per file block.
+    pub records_per_block: usize,
+    /// Length in records when the stat was taken.
+    pub len_records: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -641,5 +668,80 @@ impl DirectClient {
             raw.flush_span(lo, hi - lo)?;
         }
         Ok(())
+    }
+
+    /// Explicitly lock records `[r_lo, r_hi)`, returning an owned lock
+    /// handle that can outlive this call (unlike the borrowed guard
+    /// inside [`write_record`](DirectClient::write_record)). This is the
+    /// wire-protocol hook: a network client acquires the lock in one
+    /// request, writes under it with
+    /// [`write_record_locked`](DirectClient::write_record_locked), and
+    /// releases it with [`unlock`](DirectClient::unlock) — the same
+    /// lock table plain `write_record`/`update` callers serialise on.
+    pub fn lock_range(&self, r_lo: u64, r_hi: u64) -> Result<LockedRange> {
+        if r_lo >= r_hi {
+            return Err(
+                CoreError::BadGeometry(format!("empty record range [{r_lo}, {r_hi})")).into(),
+            );
+        }
+        let rs = self.record_size as u64;
+        let (lo, hi) = (r_lo * rs, r_hi * rs);
+        let ticket = self.entry.ranges.acquire_ticket(lo, hi);
+        Ok(LockedRange {
+            entry: Arc::clone(&self.entry),
+            ticket,
+            lo,
+            hi,
+        })
+    }
+
+    /// Write record `r` under an explicitly held range lock. The lock
+    /// must cover the record's bytes ([`ServerError::RangeNotLocked`]
+    /// otherwise); durability is deferred to
+    /// [`unlock`](DirectClient::unlock), which flushes the whole locked
+    /// span before the lock releases — the same durable-at-unlock
+    /// contract as [`write_record`](DirectClient::write_record).
+    pub fn write_record_locked(&self, lock: &LockedRange, r: u64, data: &[u8]) -> Result<()> {
+        let (lo, hi) = self.byte_range(r);
+        if lo < lock.lo || hi > lock.hi {
+            return Err(ServerError::RangeNotLocked { lo, hi });
+        }
+        self.sess
+            .run(true, || Ok(self.handle.write_record(r, data)?))
+    }
+
+    /// Release an explicit range lock, flushing the locked span out of
+    /// any write-back cache tier *before* the lock releases so the next
+    /// lock holder (or raw-media reader) sees every locked write.
+    pub fn unlock(&self, lock: LockedRange) -> Result<()> {
+        let r = self.flush_span(lock.lo, lock.hi);
+        drop(lock);
+        r
+    }
+}
+
+/// An explicitly held GDA byte-range lock (see
+/// [`DirectClient::lock_range`]). Owned — it keeps the file entry alive
+/// and may be stored across calls. Dropping it releases the range
+/// *without* the durability flush; release through
+/// [`DirectClient::unlock`] for the durable-at-unlock contract.
+#[must_use = "the byte range is locked until this handle is unlocked or dropped"]
+pub struct LockedRange {
+    entry: Arc<FileEntry>,
+    ticket: u64,
+    lo: u64,
+    hi: u64,
+}
+
+impl LockedRange {
+    /// The locked byte span `[lo, hi)`.
+    pub fn byte_span(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+}
+
+impl Drop for LockedRange {
+    fn drop(&mut self) {
+        self.entry.ranges.release_ticket(self.ticket);
     }
 }

@@ -159,6 +159,28 @@ impl ServerStats {
             .collect()
     }
 
+    /// Approximate latency quantile over the snapshot's histogram, in
+    /// nanoseconds (upper bound of the bucket holding the q-th op);
+    /// `None` on an idle server.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        quantile_nanos(&self.latency, q)
+    }
+
+    /// Median operation latency in nanoseconds (log₂-bucket bound).
+    pub fn p50(&self) -> Option<u64> {
+        self.latency_quantile(0.5)
+    }
+
+    /// 99th-percentile operation latency in nanoseconds.
+    pub fn p99(&self) -> Option<u64> {
+        self.latency_quantile(0.99)
+    }
+
+    /// 99.9th-percentile operation latency in nanoseconds.
+    pub fn p999(&self) -> Option<u64> {
+        self.latency_quantile(0.999)
+    }
+
     /// Fairness as min/max per-session ops (1.0 = perfectly fair).
     /// `None` with fewer than two sessions or an idle server.
     pub fn fairness(&self) -> Option<f64> {
@@ -217,6 +239,28 @@ mod tests {
         assert_eq!(quantile_nanos(&snap, 0.5), Some(4));
         assert_eq!(quantile_nanos(&snap, 1.0), Some(8192));
         assert_eq!(quantile_nanos(&[], 0.5), None);
+    }
+
+    #[test]
+    fn stats_quantile_accessors() {
+        let mut s = ServerStats::default();
+        assert_eq!(s.p50(), None);
+        // 998 ops in [2,4), 2 ops in [4096,8192): p50/p99 land in the
+        // low bucket; the p999 rank (the 999th of 1000) is in the tail.
+        s.latency = vec![
+            LatencyBucket {
+                le_nanos: 4,
+                count: 998,
+            },
+            LatencyBucket {
+                le_nanos: 8192,
+                count: 2,
+            },
+        ];
+        assert_eq!(s.p50(), Some(4));
+        assert_eq!(s.p99(), Some(4));
+        assert_eq!(s.p999(), Some(8192));
+        assert_eq!(s.latency_quantile(1.0), Some(8192));
     }
 
     #[test]

@@ -31,6 +31,9 @@ impl fmt::Display for Finding {
 /// scan flags a function that acquires a lower-ranked lock after a
 /// higher-ranked one.
 const RANKED_LOCKS: &[(&str, &str, u8)] = &[
+    ("credits.lock(", "net.credits", 3),
+    ("replies.lock(", "net.replies", 5),
+    ("wire.lock(", "net.send", 7),
     ("big_lock.lock(", "core.big_lock", 10),
     ("held.lock(", "server.range_lock", 30),
     ("free.lock(", "buffer.pool", 40),

@@ -41,7 +41,7 @@ fn main() -> ExitCode {
 }
 
 /// Crates whose `src/` trees are subject to the request-path rules.
-const REQUEST_PATH_CRATES: &[&str] = &["core", "disk", "fs", "server", "buffer", "layout"];
+const REQUEST_PATH_CRATES: &[&str] = &["core", "disk", "fs", "server", "buffer", "layout", "net"];
 
 const FIXTURE: &str = "crates/xtask/fixtures/violation.rs";
 

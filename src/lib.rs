@@ -64,6 +64,7 @@ pub use pario_core as core;
 pub use pario_disk as disk;
 pub use pario_fs as fs;
 pub use pario_layout as layout;
+pub use pario_net as net;
 pub use pario_reliability as reliability;
 pub use pario_server as server;
 pub use pario_sim as sim;
