@@ -56,6 +56,7 @@ fn delayed_server(max_in_flight: usize, saturation: Saturation) -> Server {
         ServerConfig {
             max_in_flight,
             saturation,
+            ..ServerConfig::default()
         },
     )
 }
@@ -303,7 +304,17 @@ fn main() {
     // -- Reject lane: same oversubscription, clients retry on Busy ------
     let server = delayed_server(4, Saturation::Reject);
     fill_ss(&server, RECORDS);
-    let (_, reject_stats) = drain_ss(&server, 16, false, true);
+    let (reject_secs, reject_stats) = drain_ss(&server, 16, false, true);
+
+    // Offered vs achieved: every Busy was an offered op the server shed;
+    // total_admitted is what actually got through (goodput).
+    let offered_rate = (reject_stats.total_admitted + reject_stats.rejected) as f64 / reject_secs;
+    let achieved_rate = reject_stats.total_admitted as f64 / reject_secs;
+    println!(
+        "\nReject lane offered vs achieved: {offered_rate:.0} ops/s offered, \
+         {achieved_rate:.0} ops/s admitted ({:.0}% goodput)",
+        achieved_rate / offered_rate * 100.0
+    );
 
     // -- Closed-loop GDA lanes ------------------------------------------
     gda_closed_loop(&mut sweep, 2);
@@ -364,6 +375,9 @@ fn main() {
         .int("oversub_p50_nanos", over_stats.p50().unwrap_or(0))
         .int("oversub_p99_nanos", over_stats.p99().unwrap_or(0))
         .int("oversub_p999_nanos", over_stats.p999().unwrap_or(0))
+        .int("oversub_total_admitted", over_stats.total_admitted)
+        .num("reject_offered_ops_per_sec", offered_rate)
+        .num("reject_achieved_ops_per_sec", achieved_rate)
         .save("e14_server");
 
     assert!(

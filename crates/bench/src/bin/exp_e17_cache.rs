@@ -97,6 +97,7 @@ fn hot_server(cached: bool) -> Server {
         ServerConfig {
             max_in_flight: SESSIONS,
             saturation: Saturation::Block,
+            ..ServerConfig::default()
         },
     )
 }

@@ -2,22 +2,27 @@
 //! bound holds in every schedule, permits freed under contention are
 //! never lost, waiters within a session are served FIFO, and grants
 //! rotate round-robin across sessions.
+//!
+//! Both implementations are checked — the packed-atomic fast path
+//! (`AdmissionKind::Fast`, the default) and the legacy mutex+notify_all
+//! baseline it replaced — under the same properties: the rewrite must
+//! not have traded the proved invariants for throughput.
 #![cfg(pario_check)]
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use pario_check::{spawn, AtomicU64, Config, Explorer, Mutex};
-use pario_server::admission::Admission;
+use pario_server::admission::{Admission, AdmissionKind};
 use pario_server::Saturation;
 
 /// Four threads through a limit of two: the live count never exceeds
-/// the limit, and every waiter is eventually admitted (a lost permit
-/// wakeup would park the run as a model deadlock).
-#[test]
-fn limit_holds_and_no_wakeup_is_lost() {
-    let report = Explorer::new(Config::new(1500)).run(|| {
-        let adm = Arc::new(Admission::new(2, Saturation::Block));
+/// the limit, every waiter is eventually admitted (a lost permit wakeup
+/// — e.g. a release racing a waiter's announcement — would park the run
+/// as a model deadlock), and the cumulative admitted count is exact.
+fn check_limit_holds(kind: AdmissionKind, iterations: usize) -> usize {
+    let report = Explorer::new(Config::new(iterations)).run(move || {
+        let adm = Arc::new(Admission::with_kind(2, Saturation::Block, kind));
         let live = Arc::new(AtomicU64::new(0));
         let mut hs = Vec::new();
         for sess in 0..4u64 {
@@ -38,12 +43,27 @@ fn limit_holds_and_no_wakeup_is_lost() {
         assert_eq!(s.in_flight, 0);
         assert!(s.admitted_high_water <= 2);
         assert_eq!(s.rejected, 0);
+        assert_eq!(s.total_admitted, 4, "every acquisition counted once");
     });
-    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.failure.is_none(), "{kind:?}: {:?}", report.failure);
+    report.distinct
+}
+
+#[test]
+fn limit_holds_and_no_wakeup_is_lost() {
+    let distinct = check_limit_holds(AdmissionKind::Fast, 1500);
     assert!(
-        report.distinct >= 1000,
-        "only {} distinct schedules",
-        report.distinct
+        distinct >= 1000,
+        "only {distinct} distinct schedules (fast)"
+    );
+}
+
+#[test]
+fn limit_holds_on_legacy_baseline() {
+    let distinct = check_limit_holds(AdmissionKind::LegacyMutex, 1500);
+    assert!(
+        distinct >= 1000,
+        "only {distinct} distinct schedules (legacy)"
     );
 }
 
@@ -51,17 +71,16 @@ fn limit_holds_and_no_wakeup_is_lost() {
 /// spawned): two waiters of the same session are granted in FIFO order,
 /// and a third waiter from another session is granted between them —
 /// round-robin rotation, not session draining.
-#[test]
-fn grants_are_fifo_within_and_rotate_across_sessions() {
-    let report = Explorer::new(Config::new(600)).run(|| {
-        let adm = Arc::new(Admission::new(1, Saturation::Block));
+fn check_fifo_and_rotation(kind: AdmissionKind, iterations: usize) {
+    let report = Explorer::new(Config::new(iterations)).run(move || {
+        let adm = Arc::new(Admission::with_kind(1, Saturation::Block, kind));
         let order = Arc::new(Mutex::new(Vec::new()));
         let hold = adm.acquire(99).expect("first permit is free");
 
         let mut hs = Vec::new();
         // Arrival order: (session 1, tag 10), (session 1, tag 11),
         // (session 2, tag 20). Spin until each is parked before spawning
-        // the next; the admission mutex is instrumented, so the spin is
+        // the next; the admission state is instrumented, so the spin is
         // a sequence of yield points and the scheduler's fairness bound
         // guarantees the waiter actually reaches its queue.
         for (i, (sess, tag)) in [(1u64, 10u64), (1, 11), (2, 20)].into_iter().enumerate() {
@@ -85,6 +104,18 @@ fn grants_are_fifo_within_and_rotate_across_sessions() {
         // Session 1 queued first => granted first; then rotation moves
         // to session 2 before session 1's second waiter.
         assert_eq!(order, vec![10, 20, 11], "unfair grant order {order:?}");
+        // The holder plus three waiters, each admitted exactly once.
+        assert_eq!(adm.stats().total_admitted, 4);
     });
-    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.failure.is_none(), "{kind:?}: {:?}", report.failure);
+}
+
+#[test]
+fn grants_are_fifo_within_and_rotate_across_sessions() {
+    check_fifo_and_rotation(AdmissionKind::Fast, 600);
+}
+
+#[test]
+fn grants_are_fifo_and_rotate_on_legacy_baseline() {
+    check_fifo_and_rotation(AdmissionKind::LegacyMutex, 600);
 }

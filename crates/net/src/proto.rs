@@ -531,6 +531,9 @@ pub struct StatsSummary {
     pub in_flight: u64,
     /// Requests rejected with `Busy`.
     pub rejected: u64,
+    /// Cumulative operations ever admitted — remote clients compute
+    /// achieved (goodput) rates from two snapshots of this.
+    pub total_admitted: u64,
     /// Median end-to-end operation latency, nanoseconds.
     pub p50_nanos: Option<u64>,
     /// 99th-percentile latency, nanoseconds.
@@ -561,7 +564,10 @@ fn decode_opt_u64(r: &mut WireReader<'_>) -> WireResult<Option<u64>> {
 impl StatsSummary {
     /// Encode as a reply body.
     pub fn encode(&self, w: &mut WireWriter) {
-        w.u64(self.sessions).u64(self.in_flight).u64(self.rejected);
+        w.u64(self.sessions)
+            .u64(self.in_flight)
+            .u64(self.rejected)
+            .u64(self.total_admitted);
         encode_opt_u64(w, self.p50_nanos);
         encode_opt_u64(w, self.p99_nanos);
         encode_opt_u64(w, self.p999_nanos);
@@ -574,6 +580,7 @@ impl StatsSummary {
             sessions: r.u64()?,
             in_flight: r.u64()?,
             rejected: r.u64()?,
+            total_admitted: r.u64()?,
             p50_nanos: decode_opt_u64(&mut r)?,
             p99_nanos: decode_opt_u64(&mut r)?,
             p999_nanos: decode_opt_u64(&mut r)?,
@@ -931,6 +938,7 @@ mod tests {
             sessions: 9,
             in_flight: 2,
             rejected: 14,
+            total_admitted: 7_700,
             p50_nanos: Some(1_000),
             p99_nanos: Some(9_000),
             p999_nanos: None,

@@ -546,6 +546,7 @@ impl Conn {
                     sessions: s.sessions.len() as u64,
                     in_flight: s.in_flight as u64,
                     rejected: s.rejected,
+                    total_admitted: s.total_admitted,
                     p50_nanos: s.p50(),
                     p99_nanos: s.p99(),
                     p999_nanos: s.p999(),

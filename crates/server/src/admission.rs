@@ -11,11 +11,32 @@
 //! session in rotation*, not to whichever thread wakes first, so one
 //! aggressive client cannot starve the others. Within a session, waiters
 //! are served FIFO.
+//!
+//! Two implementations share that contract (selected by
+//! [`AdmissionKind`]):
+//!
+//! * [`AdmissionKind::Fast`] (the default) keeps the whole
+//!   `(in_flight, waiters)` pair packed in one atomic word. Under the
+//!   limit with nobody queued, acquire and release are a single
+//!   compare-exchange — no mutex, no syscall. Only saturated requests
+//!   fall back to a ranked mutex guarding the per-session FIFO queues,
+//!   and every parked waiter has its **own** condition variable, so a
+//!   grant wakes exactly one thread. Cumulative admission counts are
+//!   striped across cache-line-padded counters to keep the fast path
+//!   free of shared hot words.
+//! * [`AdmissionKind::LegacyMutex`] is the pre-optimization
+//!   implementation — one big mutex around every acquire/release plus a
+//!   single `notify_all` condvar, which wakes *every* parked waiter per
+//!   freed permit. It is retained as the measured baseline of experiment
+//!   E19 (`exp_e19_scale`), which quantifies exactly that thundering
+//!   herd at 64 concurrent sessions.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::ops::Bound::{Excluded, Unbounded};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-use pario_check::{Condvar, LockLevel, Mutex};
+use pario_check::{AtomicBool, AtomicU64, Condvar, LockLevel, Mutex};
 
 use crate::error::{Result, ServerError};
 
@@ -30,6 +51,17 @@ pub enum Saturation {
     Reject,
 }
 
+/// Which admission implementation a server runs; see the module docs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum AdmissionKind {
+    /// Packed-atomic fast path + per-ticket parking (the default).
+    #[default]
+    Fast,
+    /// The pre-optimization big-mutex + `notify_all` implementation,
+    /// kept as the E19 performance baseline.
+    LegacyMutex,
+}
+
 /// A point-in-time snapshot of admission-queue statistics.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct AdmissionStats {
@@ -42,62 +74,292 @@ pub struct AdmissionStats {
     pub wait_high_water: usize,
     /// Requests rejected with [`ServerError::Busy`].
     pub rejected: u64,
+    /// Cumulative operations ever admitted (granted a permit), across
+    /// all sessions. Experiments compute goodput vs. offered rate from
+    /// this directly instead of diffing per-session counters.
+    pub total_admitted: u64,
 }
 
-struct AdmState {
+// ---------------------------------------------------------------------
+// Fast implementation
+// ---------------------------------------------------------------------
+
+/// Low 32 bits of the packed state word: operations in flight.
+const IF_MASK: u64 = 0xFFFF_FFFF;
+/// One waiter, in the high half of the packed state word.
+const WAITER: u64 = 1 << 32;
+
+/// Stripes for the cumulative admitted counter (power of two).
+const ADMITTED_STRIPES: usize = 8;
+
+/// A cache-line-padded counter stripe, so concurrent sessions bumping
+/// their cumulative-admitted count do not share a hot line.
+#[repr(align(64))]
+struct PadCounter(AtomicU64);
+
+/// One parked waiter's private wake state: its own condvar, so the
+/// granter wakes exactly this thread and no other.
+struct WaitSlot {
+    granted: AtomicBool,
+    cv: Condvar,
+}
+
+impl WaitSlot {
+    fn new() -> WaitSlot {
+        WaitSlot {
+            granted: AtomicBool::new(false),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+struct Waiter {
+    session: u64,
+    slot: Arc<WaitSlot>,
+}
+
+/// Fallback state, touched only by saturated requests: the per-session
+/// FIFO queues and the round-robin rotation point.
+struct WaitQueues {
+    /// Waiting tickets, FIFO per session.
+    queues: BTreeMap<u64, VecDeque<Waiter>>,
+    /// Session granted most recently under contention (rotation point).
+    rr_last: u64,
+}
+
+struct FastAdm {
+    /// `(waiters << 32) | in_flight`, the entire fast-path state. Both
+    /// halves live in one word so an acquire/release can atomically
+    /// observe "nobody is queued" while moving the in-flight count —
+    /// a release can never miss a waiter that announced concurrently.
+    state: AtomicU64,
+    admitted_hw: AtomicU64,
+    wait_hw: AtomicU64,
+    rejected: AtomicU64,
+    admitted: [PadCounter; ADMITTED_STRIPES],
+    m: Mutex<WaitQueues>,
+}
+
+impl FastAdm {
+    fn new() -> FastAdm {
+        FastAdm {
+            state: AtomicU64::new(0),
+            admitted_hw: AtomicU64::new(0),
+            wait_hw: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            admitted: std::array::from_fn(|_| PadCounter(AtomicU64::new(0))),
+            m: Mutex::new_named(
+                WaitQueues {
+                    queues: BTreeMap::new(),
+                    rr_last: 0,
+                },
+                LockLevel::Admission,
+            ),
+        }
+    }
+
+    /// Bump the cumulative admitted counter on `session`'s stripe.
+    fn count_admitted(&self, session: u64) {
+        self.admitted[session as usize & (ADMITTED_STRIPES - 1)]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water mark, skipping the write once it is saturated
+    /// (after warm-up the load sees the mark already at the limit and
+    /// the shared line stays read-only).
+    fn raise_hw(hw: &AtomicU64, candidate: u64) {
+        if candidate > hw.load(Ordering::Relaxed) {
+            hw.fetch_max(candidate, Ordering::Relaxed);
+        }
+    }
+
+    /// Pop the next waiter in rotation: the first session strictly after
+    /// the last grantee (wrapping), FIFO within the session.
+    fn pop_rotation(q: &mut WaitQueues) -> Option<Waiter> {
+        let next = q
+            .queues
+            .range((Excluded(q.rr_last), Unbounded))
+            .next()
+            .map(|(&s, _)| s)
+            .or_else(|| q.queues.keys().next().copied())?;
+        let dq = q.queues.get_mut(&next)?;
+        let w = dq.pop_front()?;
+        if dq.is_empty() {
+            q.queues.remove(&next);
+        }
+        q.rr_last = next;
+        Some(w)
+    }
+
+    /// Grant parked waiters while free permits remain. Callers hold the
+    /// fallback mutex; with waiters announced in `state`, no fast-path
+    /// CAS can interleave, so the transition is uncontended in practice.
+    fn grant_ready(&self, q: &mut WaitQueues, limit: usize) {
+        while !q.queues.is_empty() {
+            let s = self.state.load(Ordering::Acquire);
+            if (s & IF_MASK) as usize >= limit {
+                return;
+            }
+            // in_flight + 1, waiters - 1: the permit passes straight to
+            // the popped waiter.
+            if self
+                .state
+                .compare_exchange(s, s + 1 - WAITER, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            Self::raise_hw(&self.admitted_hw, (s & IF_MASK) + 1);
+            let Some(w) = Self::pop_rotation(q) else {
+                // Unreachable: queue emptiness was checked above and
+                // entries change only under the held mutex. Put the
+                // permit back rather than leak it.
+                self.state.fetch_sub(1, Ordering::AcqRel);
+                self.state.fetch_add(WAITER, Ordering::AcqRel);
+                return;
+            };
+            self.count_admitted(w.session);
+            w.slot.granted.store(true, Ordering::Release);
+            w.slot.cv.notify_one();
+        }
+    }
+
+    fn acquire(&self, session: u64, limit: usize, policy: Saturation) -> Result<()> {
+        // Uncontended fast path: nobody queued and capacity free — one
+        // CAS and in. Requiring `waiters == 0` keeps arrivals from
+        // overtaking parked waiters (FIFO discipline).
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if (s >> 32) != 0 || (s & IF_MASK) as usize >= limit {
+                break;
+            }
+            if self
+                .state
+                .compare_exchange_weak(s, s + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                Self::raise_hw(&self.admitted_hw, (s & IF_MASK) + 1);
+                self.count_admitted(session);
+                return Ok(());
+            }
+        }
+        if policy == Saturation::Reject {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Busy);
+        }
+        let slot = Arc::new(WaitSlot::new());
+        let mut q = self.m.lock();
+        // Announce the waiter while holding the mutex: from here on,
+        // every release observes `waiters > 0` and routes through the
+        // mutex to grant, so the park below cannot miss its wakeup.
+        let prev = self.state.fetch_add(WAITER, Ordering::AcqRel);
+        Self::raise_hw(&self.wait_hw, (prev >> 32) + 1);
+        q.queues.entry(session).or_default().push_back(Waiter {
+            session,
+            slot: Arc::clone(&slot),
+        });
+        // A permit may have freed between the fast-path check and the
+        // announcement; grant it now (possibly to ourselves).
+        self.grant_ready(&mut q, limit);
+        while !slot.granted.load(Ordering::Acquire) {
+            slot.cv.wait(&mut q);
+        }
+        Ok(())
+    }
+
+    fn release(&self, limit: usize) {
+        // Fast path: no waiters — drop in_flight and leave. The CAS
+        // fails if a waiter announces concurrently (same word), so a
+        // parked thread is never stranded with a free permit.
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if (s >> 32) != 0 {
+                break;
+            }
+            if self
+                .state
+                .compare_exchange_weak(s, s - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+        let mut q = self.m.lock();
+        match Self::pop_rotation(&mut q) {
+            Some(w) => {
+                // Direct handoff: the permit transfers to the waiter,
+                // in_flight unchanged; wake exactly that thread.
+                self.state.fetch_sub(WAITER, Ordering::AcqRel);
+                self.count_admitted(w.session);
+                w.slot.granted.store(true, Ordering::Release);
+                w.slot.cv.notify_one();
+            }
+            // A racing grant drained the queues first; just free it.
+            None => {
+                self.state.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        drop(q);
+        // The freed permit (or the rotation advance) may unblock more:
+        // nothing further to do — the next release or arrival drives
+        // subsequent grants.
+        let _ = limit;
+    }
+
+    fn stats(&self) -> AdmissionStats {
+        let s = self.state.load(Ordering::Acquire);
+        AdmissionStats {
+            in_flight: (s & IF_MASK) as usize,
+            admitted_high_water: self.admitted_hw.load(Ordering::Relaxed) as usize,
+            wait_high_water: self.wait_hw.load(Ordering::Relaxed) as usize,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            total_admitted: self
+                .admitted
+                .iter()
+                .map(|c| c.0.load(Ordering::Relaxed))
+                .sum(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy implementation (the E19 baseline)
+// ---------------------------------------------------------------------
+
+struct LegacyState {
     in_flight: usize,
     admitted_high_water: usize,
     waiting: usize,
     wait_high_water: usize,
     rejected: u64,
+    total_admitted: u64,
     /// Waiting tickets, FIFO per session.
     queues: BTreeMap<u64, VecDeque<u64>>,
-    granted: HashSet<u64>,
+    granted: std::collections::HashSet<u64>,
     next_ticket: u64,
     /// Session granted most recently under contention (rotation point).
     rr_last: u64,
 }
 
-/// Bounded admission queue; see the module docs. Its internal mutex is
-/// ranked [`LockLevel::Admission`] in the workspace lock hierarchy.
-pub struct Admission {
-    limit: usize,
-    policy: Saturation,
-    m: Mutex<AdmState>,
+struct LegacyAdm {
+    m: Mutex<LegacyState>,
     cv: Condvar,
 }
 
-/// An admitted operation; dropping it releases the permit and grants the
-/// next waiter in rotation.
-#[must_use = "the operation is admitted only while this permit lives"]
-pub struct Permit<'a> {
-    adm: &'a Admission,
-}
-
-impl Drop for Permit<'_> {
-    fn drop(&mut self) {
-        let mut st = self.adm.m.lock();
-        st.in_flight -= 1;
-        self.adm.grant_next(&mut st);
-    }
-}
-
-impl Admission {
-    /// An admission queue allowing `limit` concurrent operations.
-    pub fn new(limit: usize, policy: Saturation) -> Admission {
-        assert!(limit > 0, "admission limit must be positive");
-        Admission {
-            limit,
-            policy,
+impl LegacyAdm {
+    fn new() -> LegacyAdm {
+        LegacyAdm {
             m: Mutex::new_named(
-                AdmState {
+                LegacyState {
                     in_flight: 0,
                     admitted_high_water: 0,
                     waiting: 0,
                     wait_high_water: 0,
                     rejected: 0,
+                    total_admitted: 0,
                     queues: BTreeMap::new(),
-                    granted: HashSet::new(),
+                    granted: std::collections::HashSet::new(),
                     next_ticket: 0,
                     rr_last: 0,
                 },
@@ -107,23 +369,17 @@ impl Admission {
         }
     }
 
-    /// The configured in-flight limit.
-    pub fn limit(&self) -> usize {
-        self.limit
-    }
-
-    /// Admit one operation for `session`, blocking or rejecting per the
-    /// saturation policy.
-    pub fn acquire(&self, session: u64) -> Result<Permit<'_>> {
+    fn acquire(&self, session: u64, limit: usize, policy: Saturation) -> Result<()> {
         let mut st = self.m.lock();
         // Fast path only when nobody is queued, so arrivals cannot
         // overtake waiters.
-        if st.in_flight < self.limit && st.waiting == 0 {
+        if st.in_flight < limit && st.waiting == 0 {
             st.in_flight += 1;
             st.admitted_high_water = st.admitted_high_water.max(st.in_flight);
-            return Ok(Permit { adm: self });
+            st.total_admitted += 1;
+            return Ok(());
         }
-        if self.policy == Saturation::Reject {
+        if policy == Saturation::Reject {
             st.rejected += 1;
             return Err(ServerError::Busy);
         }
@@ -133,17 +389,26 @@ impl Admission {
         st.waiting += 1;
         st.wait_high_water = st.wait_high_water.max(st.waiting);
         // A permit may have freed between the fast-path check and here.
-        self.grant_next(&mut st);
+        self.grant_next(&mut st, limit);
         while !st.granted.remove(&ticket) {
             self.cv.wait(&mut st);
         }
-        Ok(Permit { adm: self })
+        Ok(())
+    }
+
+    fn release(&self, limit: usize) {
+        let mut st = self.m.lock();
+        st.in_flight -= 1;
+        self.grant_next(&mut st, limit);
     }
 
     /// Grant a freed permit to the next session in rotation (the first
     /// session id strictly after the last grantee, wrapping around).
-    fn grant_next(&self, st: &mut AdmState) {
-        if st.in_flight >= self.limit || st.waiting == 0 {
+    /// Deliberately wakes **every** parked waiter per grant — this is
+    /// the thundering herd E19 measures the fixed implementation
+    /// against.
+    fn grant_next(&self, st: &mut LegacyState, limit: usize) {
+        if st.in_flight >= limit || st.waiting == 0 {
             return;
         }
         let next = st
@@ -168,18 +433,111 @@ impl Admission {
         st.waiting -= 1;
         st.in_flight += 1;
         st.admitted_high_water = st.admitted_high_water.max(st.in_flight);
+        st.total_admitted += 1;
         st.granted.insert(ticket);
         self.cv.notify_all();
     }
 
-    /// A point-in-time snapshot of queue statistics.
-    pub fn stats(&self) -> AdmissionStats {
+    fn stats(&self) -> AdmissionStats {
         let st = self.m.lock();
         AdmissionStats {
             in_flight: st.in_flight,
             admitted_high_water: st.admitted_high_water,
             wait_high_water: st.wait_high_water,
             rejected: st.rejected,
+            total_admitted: st.total_admitted,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public facade
+// ---------------------------------------------------------------------
+
+// The fast implementation is boxed: its cache-line-padded counter
+// stripes make it ~4x the legacy variant's size, and `Admission` lives
+// behind an `Arc` in the server anyway.
+enum Imp {
+    Fast(Box<FastAdm>),
+    Legacy(LegacyAdm),
+}
+
+/// Bounded admission queue; see the module docs. Its fallback mutex is
+/// ranked [`LockLevel::Admission`] in the workspace lock hierarchy.
+pub struct Admission {
+    limit: usize,
+    policy: Saturation,
+    imp: Imp,
+}
+
+/// An admitted operation; dropping it releases the permit and grants the
+/// next waiter in rotation.
+#[must_use = "the operation is admitted only while this permit lives"]
+pub struct Permit<'a> {
+    adm: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        match &self.adm.imp {
+            Imp::Fast(f) => f.release(self.adm.limit),
+            Imp::Legacy(l) => l.release(self.adm.limit),
+        }
+    }
+}
+
+impl Admission {
+    /// An admission queue allowing `limit` concurrent operations, using
+    /// the default (fast) implementation.
+    pub fn new(limit: usize, policy: Saturation) -> Admission {
+        Admission::with_kind(limit, policy, AdmissionKind::Fast)
+    }
+
+    /// An admission queue with an explicit implementation choice.
+    pub fn with_kind(limit: usize, policy: Saturation, kind: AdmissionKind) -> Admission {
+        assert!(limit > 0, "admission limit must be positive");
+        assert!(
+            limit < IF_MASK as usize,
+            "admission limit must fit the packed in-flight field"
+        );
+        Admission {
+            limit,
+            policy,
+            imp: match kind {
+                AdmissionKind::Fast => Imp::Fast(Box::new(FastAdm::new())),
+                AdmissionKind::LegacyMutex => Imp::Legacy(LegacyAdm::new()),
+            },
+        }
+    }
+
+    /// The configured in-flight limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Which implementation this queue runs.
+    pub fn kind(&self) -> AdmissionKind {
+        match &self.imp {
+            Imp::Fast(_) => AdmissionKind::Fast,
+            Imp::Legacy(_) => AdmissionKind::LegacyMutex,
+        }
+    }
+
+    /// Admit one operation for `session`, blocking or rejecting per the
+    /// saturation policy.
+    pub fn acquire(&self, session: u64) -> Result<Permit<'_>> {
+        match &self.imp {
+            Imp::Fast(f) => f.acquire(session, self.limit, self.policy)?,
+            Imp::Legacy(l) => l.acquire(session, self.limit, self.policy)?,
+        }
+        Ok(Permit { adm: self })
+    }
+
+    /// A point-in-time snapshot of queue statistics.
+    pub fn stats(&self) -> AdmissionStats {
+        match &self.imp {
+            Imp::Fast(f) => f.stats(),
+            Imp::Legacy(l) => l.stats(),
         }
     }
 }
@@ -189,43 +547,52 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    const BOTH: [AdmissionKind; 2] = [AdmissionKind::Fast, AdmissionKind::LegacyMutex];
+
     #[test]
     fn high_water_bounded_by_limit() {
-        let adm = Admission::new(3, Saturation::Block);
-        let live = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
-            for sess in 0..12u64 {
-                let adm = &adm;
-                let live = &live;
-                s.spawn(move |_| {
-                    for _ in 0..50 {
-                        let p = adm.acquire(sess).unwrap();
-                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
-                        assert!(now <= 3, "{now} ops admitted past the limit");
-                        std::thread::yield_now();
-                        live.fetch_sub(1, Ordering::SeqCst);
-                        drop(p);
-                    }
-                });
-            }
-        })
-        .unwrap();
-        let s = adm.stats();
-        assert!(s.admitted_high_water <= 3);
-        assert!(s.wait_high_water > 0, "oversubscription must queue");
-        assert_eq!(s.in_flight, 0);
-        assert_eq!(s.rejected, 0);
+        for kind in BOTH {
+            let adm = Admission::with_kind(3, Saturation::Block, kind);
+            let live = AtomicUsize::new(0);
+            crossbeam::thread::scope(|s| {
+                for sess in 0..12u64 {
+                    let adm = &adm;
+                    let live = &live;
+                    s.spawn(move |_| {
+                        for _ in 0..50 {
+                            let p = adm.acquire(sess).unwrap();
+                            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                            assert!(now <= 3, "{now} ops admitted past the limit ({kind:?})");
+                            std::thread::yield_now();
+                            live.fetch_sub(1, Ordering::SeqCst);
+                            drop(p);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            let s = adm.stats();
+            assert!(s.admitted_high_water <= 3);
+            assert!(s.wait_high_water > 0, "oversubscription must queue");
+            assert_eq!(s.in_flight, 0);
+            assert_eq!(s.rejected, 0);
+            assert_eq!(s.total_admitted, 12 * 50, "every op admitted ({kind:?})");
+        }
     }
 
     #[test]
     fn reject_policy_returns_busy() {
-        let adm = Admission::new(1, Saturation::Reject);
-        let p = adm.acquire(0).unwrap();
-        assert!(matches!(adm.acquire(1), Err(ServerError::Busy)));
-        assert_eq!(adm.stats().rejected, 1);
-        drop(p);
-        // Capacity freed: admitted again.
-        let _p = adm.acquire(1).unwrap();
+        for kind in BOTH {
+            let adm = Admission::with_kind(1, Saturation::Reject, kind);
+            let p = adm.acquire(0).unwrap();
+            assert!(matches!(adm.acquire(1), Err(ServerError::Busy)));
+            assert_eq!(adm.stats().rejected, 1);
+            drop(p);
+            // Capacity freed: admitted again.
+            let _p = adm.acquire(1).unwrap();
+            let s = adm.stats();
+            assert_eq!(s.total_admitted, 2, "rejected ops are not admitted");
+        }
     }
 
     #[test]
@@ -233,38 +600,60 @@ mod tests {
         // One permit, three sessions each parking several waiters; the
         // grant order must interleave sessions 0,1,2,0,1,2,... rather
         // than draining session 0 first.
-        let adm = Admission::new(1, Saturation::Block);
-        let order = Mutex::new(Vec::new());
-        let hold = adm.acquire(99).unwrap();
-        crossbeam::thread::scope(|s| {
-            for sess in 0..3u64 {
-                for _ in 0..3 {
-                    let adm = &adm;
-                    let order = &order;
-                    s.spawn(move |_| {
-                        let p = adm.acquire(sess).unwrap();
-                        order.lock().push(sess);
-                        drop(p);
-                    });
-                    // Stagger arrivals so per-session FIFO order is fixed.
-                    std::thread::sleep(std::time::Duration::from_millis(2));
+        for kind in BOTH {
+            let adm = Admission::with_kind(1, Saturation::Block, kind);
+            let order = Mutex::new(Vec::new());
+            let hold = adm.acquire(99).unwrap();
+            crossbeam::thread::scope(|s| {
+                for sess in 0..3u64 {
+                    for _ in 0..3 {
+                        let adm = &adm;
+                        let order = &order;
+                        s.spawn(move |_| {
+                            let p = adm.acquire(sess).unwrap();
+                            order.lock().push(sess);
+                            drop(p);
+                        });
+                        // Stagger arrivals so per-session FIFO order is fixed.
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
                 }
+                // All nine parked; release the held permit.
+                while adm.stats().wait_high_water < 9 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                drop(hold);
+            })
+            .unwrap();
+            let order = order.lock().clone();
+            assert_eq!(order.len(), 9);
+            // Each window of three consecutive grants covers three
+            // distinct sessions (perfect rotation).
+            for w in order.chunks(3) {
+                let mut w = w.to_vec();
+                w.sort_unstable();
+                assert_eq!(w, vec![0, 1, 2], "unfair grant order {order:?} ({kind:?})");
             }
-            // All nine parked; release the held permit.
-            while adm.stats().wait_high_water < 9 {
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
-            drop(hold);
-        })
-        .unwrap();
-        let order = order.lock().clone();
-        assert_eq!(order.len(), 9);
-        // Each window of three consecutive grants covers three distinct
-        // sessions (perfect rotation).
-        for w in order.chunks(3) {
-            let mut w = w.to_vec();
-            w.sort_unstable();
-            assert_eq!(w, vec![0, 1, 2], "unfair grant order {order:?}");
         }
+    }
+
+    #[test]
+    fn fast_path_stays_lock_free_under_limit() {
+        // Below the limit with no waiters, permits flow with the
+        // fallback mutex completely idle: total_admitted and in_flight
+        // book-keep exactly.
+        let adm = Admission::new(4, Saturation::Block);
+        let a = adm.acquire(0).unwrap();
+        let b = adm.acquire(1).unwrap();
+        let s = adm.stats();
+        assert_eq!(s.in_flight, 2);
+        assert_eq!(s.total_admitted, 2);
+        assert_eq!(s.wait_high_water, 0, "no one should have queued");
+        drop(a);
+        drop(b);
+        let s = adm.stats();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.admitted_high_water, 2);
+        assert_eq!(adm.kind(), AdmissionKind::Fast);
     }
 }

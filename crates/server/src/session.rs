@@ -20,7 +20,7 @@ use pario_core::{
 };
 use pario_fs::{FsError, GlobalReader, GlobalWriter, Volume};
 
-use crate::admission::{Admission, Saturation};
+use crate::admission::{Admission, AdmissionKind, Saturation};
 use crate::error::{Result, ServerError};
 use crate::locks::ByteRangeLocks;
 use crate::stats::{LatencyHistogram, ServerStats, SessionCounters, SessionStats};
@@ -34,6 +34,10 @@ pub struct ServerConfig {
     pub max_in_flight: usize,
     /// What to do with requests that arrive past the limit.
     pub saturation: Saturation,
+    /// Which admission implementation to run. Defaults to the
+    /// packed-atomic fast path; [`AdmissionKind::LegacyMutex`] exists
+    /// only as the E19 performance baseline.
+    pub admission: AdmissionKind,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +45,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_in_flight: 8,
             saturation: Saturation::Block,
+            admission: AdmissionKind::Fast,
         }
     }
 }
@@ -104,7 +109,11 @@ impl Server {
         Server {
             inner: Arc::new(Inner {
                 volume,
-                admission: Admission::new(config.max_in_flight, config.saturation),
+                admission: Admission::with_kind(
+                    config.max_in_flight,
+                    config.saturation,
+                    config.admission,
+                ),
                 latency: LatencyHistogram::default(),
                 files: Mutex::new(HashMap::new()),
                 sessions: Mutex::new(Vec::new()),

@@ -3,7 +3,7 @@
 //! that device-level statistics ([`IoNodeStats`]) can be laid against to
 //! attribute time to device queues vs. transfers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use pario_disk::IoNodeStats;
@@ -16,15 +16,40 @@ use crate::admission::AdmissionStats;
 /// (≈ 34 s and beyond).
 pub const LATENCY_BUCKETS: usize = 36;
 
-/// A concurrent log₂ latency histogram.
-pub struct LatencyHistogram {
+/// Stripes the histogram spreads its writes across (power of two).
+const LATENCY_STRIPES: usize = 8;
+
+/// One stripe of histogram buckets, padded to its own cache lines so
+/// recorders on different stripes never contend on a shared word.
+#[repr(align(128))]
+struct Stripe {
     buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+/// Hands each recording thread a home stripe round-robin.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % LATENCY_STRIPES;
+}
+
+/// A concurrent log₂ latency histogram.
+///
+/// Counts are striped across cache-line-padded bucket arrays, with each
+/// recording thread pinned to a home stripe: at 64 concurrent sessions a
+/// single shared bucket word would otherwise become the hottest line in
+/// the process. [`snapshot`](LatencyHistogram::snapshot) sums the
+/// stripes, so readers see the same totals as before.
+pub struct LatencyHistogram {
+    stripes: [Stripe; LATENCY_STRIPES],
 }
 
 impl Default for LatencyHistogram {
     fn default() -> LatencyHistogram {
         LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            stripes: std::array::from_fn(|_| Stripe {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }),
         }
     }
 }
@@ -34,17 +59,21 @@ impl LatencyHistogram {
     pub fn record(&self, d: Duration) {
         let ns = d.as_nanos().max(1) as u64;
         let idx = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // Destructors may run after the thread-local is torn down.
+        let stripe = STRIPE.try_with(|s| *s).unwrap_or(0);
+        self.stripes[stripe].buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot every non-empty bucket as `(le_nanos, count)` where
     /// `le_nanos` is the bucket's exclusive upper bound.
     pub fn snapshot(&self) -> Vec<LatencyBucket> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| {
-                let count = c.load(Ordering::Relaxed);
+        (0..LATENCY_BUCKETS)
+            .filter_map(|i| {
+                let count = self
+                    .stripes
+                    .iter()
+                    .map(|s| s.buckets[i].load(Ordering::Relaxed))
+                    .sum::<u64>();
                 (count > 0).then_some(LatencyBucket {
                     le_nanos: 1u64 << (i + 1),
                     count,
@@ -120,6 +149,10 @@ pub struct ServerStats {
     pub wait_high_water: usize,
     /// Requests rejected with `Busy`.
     pub rejected: u64,
+    /// Cumulative operations ever admitted, across all sessions.
+    /// Experiments compute achieved (goodput) rates from this without
+    /// diffing per-session counters.
+    pub total_admitted: u64,
     /// End-to-end operation latency histogram (admission wait included).
     pub latency: Vec<LatencyBucket>,
     /// Aggregate device-side queue statistics, when the volume's devices
@@ -207,6 +240,7 @@ impl ServerStats {
             queue_depth_high_water: adm.admitted_high_water,
             wait_high_water: adm.wait_high_water,
             rejected: adm.rejected,
+            total_admitted: adm.total_admitted,
             latency,
             io,
             executor,

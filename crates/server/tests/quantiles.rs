@@ -1,0 +1,62 @@
+//! Property tests over the latency statistics: histogram quantiles are
+//! monotone in q, and the striped histogram round-trips recorded counts.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pario_server::{quantile_nanos, LatencyBucket, LatencyHistogram};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// quantile_nanos is monotone non-decreasing in q over arbitrary
+    /// bucket snapshots (sorted, as `snapshot` produces them).
+    #[test]
+    fn quantiles_monotone_in_q(counts in proptest::collection::vec(0u64..50, 1..20)) {
+        let buckets: Vec<LatencyBucket> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| LatencyBucket { le_nanos: 1u64 << (i + 1), count: c })
+            .collect();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let vals: Vec<Option<u64>> = qs.iter().map(|&q| quantile_nanos(&buckets, q)).collect();
+        if buckets.is_empty() {
+            prop_assert!(vals.iter().all(Option::is_none));
+        } else {
+            for w in vals.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                prop_assert!(a.is_some() && b.is_some());
+                prop_assert!(a <= b, "quantiles must be monotone in q: {a:?} > {b:?}");
+            }
+            // Every quantile is one of the bucket bounds.
+            for v in vals.into_iter().flatten() {
+                prop_assert!(buckets.iter().any(|b| b.le_nanos == v));
+            }
+        }
+    }
+
+    /// The (striped) histogram round-trips: recording N durations yields
+    /// a snapshot whose counts sum to N, bucketed at the right bounds.
+    #[test]
+    fn histogram_roundtrip(nanos in proptest::collection::vec(1u64..1_000_000_000, 1..200)) {
+        let h = LatencyHistogram::default();
+        for &n in &nanos {
+            h.record(Duration::from_nanos(n));
+        }
+        let snap = h.snapshot();
+        let total: u64 = snap.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, nanos.len() as u64);
+        // Bounds are sorted, distinct powers of two covering every value.
+        for w in snap.windows(2) {
+            prop_assert!(w[0].le_nanos < w[1].le_nanos);
+        }
+        for &n in &nanos {
+            prop_assert!(
+                snap.iter().any(|b| b.le_nanos > n),
+                "value {n} above every bucket bound"
+            );
+        }
+    }
+}

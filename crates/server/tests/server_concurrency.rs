@@ -42,6 +42,7 @@ fn ss_sessions_share_one_cursor_exactly_once() {
         ServerConfig {
             max_in_flight: 4,
             saturation: Saturation::Block,
+            ..ServerConfig::default()
         },
     );
     let seen = Mutex::new(HashSet::new());
@@ -234,6 +235,7 @@ fn reject_policy_surfaces_busy_to_the_client() {
         ServerConfig {
             max_in_flight: 1,
             saturation: Saturation::Reject,
+            ..ServerConfig::default()
         },
     );
     let (entered_tx, entered_rx) = mpsc::channel();

@@ -9,6 +9,8 @@
 //! * [`OutOfCore`] — multi-pass paging (PDA).
 //! * [`SkewedBlocks`] — Zipf-skewed database blocks (GDA / declustering).
 //! * [`Stencil1D`] — boundary-sharing relaxation (the §5 halo scenario).
+//! * [`OpenLoop`] — fixed-rate arrival schedule for overload/scale
+//!   experiments (E19), coordinated-omission safe.
 //!
 //! All generators emit [`Trace`]s consumable by both the real file
 //! handles and the discrete-event simulator.
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod generators;
+mod openloop;
 mod stencil;
 mod trace;
 mod zipf;
@@ -33,6 +36,7 @@ mod zipf;
 pub use generators::{
     record_payload, ClosedLoop, OutOfCore, SkewedBlocks, TaskQueue, WrappedMatrix,
 };
+pub use openloop::{OpenLoop, OpenLoopPlan};
 pub use stencil::{Stencil1D, Stencil2D};
 pub use trace::{Access, AccessKind, Trace};
 pub use zipf::Zipf;

@@ -1,0 +1,79 @@
+//! Property tests over the open-loop generator: the arrival schedule is
+//! a pure function of the seed, arrivals stay strictly monotone inside
+//! their rate slots, and the operation stream respects its parameters.
+
+use proptest::prelude::*;
+
+use pario_workloads::OpenLoop;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed, same schedule; different seed, different schedule.
+    #[test]
+    fn schedule_deterministic_for_fixed_seed(
+        rate in 1_000.0f64..1_000_000.0,
+        ops in 16u64..400,
+        records in 2u64..256,
+        theta in 0.0f64..1.2,
+        wf in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let mk = |s| OpenLoop { rate, ops, records, theta, write_fraction: wf, seed: s };
+        let a = mk(seed).plan();
+        prop_assert_eq!(&a, &mk(seed).plan(), "plan must be a pure function of its params");
+        let b = mk(seed ^ 0xDEAD_BEEF).plan();
+        prop_assert_ne!(a.arrivals, b.arrivals, "seed must perturb the jitter");
+    }
+
+    /// Arrivals are strictly monotone and arrival `i` lies in its own
+    /// rate slot `[i*spacing, (i+1)*spacing)` — so the offered rate is
+    /// exact over any window, not just on average.
+    #[test]
+    fn arrivals_monotone_within_slots(
+        rate in 1_000.0f64..1_000_000.0,
+        ops in 2u64..500,
+        seed in 0u64..10_000,
+    ) {
+        let ol = OpenLoop {
+            rate, ops, records: 8, theta: 0.0, write_fraction: 0.0, seed,
+        };
+        let sp = 1e9 / rate;
+        let mut prev = None;
+        for i in 0..ops {
+            let a = ol.arrival_nanos(i);
+            if let Some(p) = prev {
+                prop_assert!(a > p, "arrival {i} = {a} not after {p}");
+            }
+            prev = Some(a);
+            let lo = (sp * i as f64) as u64;
+            let hi = (sp * (i + 1) as f64) as u64;
+            prop_assert!(a >= lo && a < hi, "arrival {i} = {a} outside [{lo},{hi})");
+        }
+    }
+
+    /// Operations address the configured record space and a zero/one
+    /// write fraction is honored exactly.
+    #[test]
+    fn ops_in_range_and_write_fraction_edges(
+        records in 1u64..128,
+        ops in 1u64..200,
+        seed in 0u64..10_000,
+        all_writes in proptest::bool::ANY,
+    ) {
+        let ol = OpenLoop {
+            rate: 10_000.0,
+            ops,
+            records,
+            theta: 0.5,
+            write_fraction: if all_writes { 1.0 } else { 0.0 },
+            seed,
+        };
+        let plan = ol.plan();
+        prop_assert_eq!(plan.ops.len() as u64, ops);
+        for &(r, w) in &plan.ops {
+            prop_assert!(r < records);
+            prop_assert_eq!(w, all_writes);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! `xtask bench-diff` — compare two `BENCH_*.json` files and flag
+//! latency regressions.
+//!
+//! The bench summaries are flat JSON objects of numbers and strings
+//! (see `pario_bench::table::Bench`). This task parses them with a
+//! purpose-built scanner (xtask takes no dependencies), lines up the
+//! numeric keys both files share, and prints the relative change per
+//! key. Any key containing `p99` whose value grew by more than the
+//! threshold (default 10%) is a **regression** and fails the task —
+//! wire it between a baseline and a candidate run in CI and a p99 cliff
+//! cannot land silently.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// A flat JSON object's values: numbers compared, strings displayed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Num(f64),
+    Str(String),
+}
+
+/// Parse a flat JSON object (`{"key": 1.5, "other": "text", ...}`) —
+/// exactly the shape `Bench::save` writes. Nested objects/arrays are
+/// rejected; the bench files never contain them.
+pub fn parse_flat_json(text: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.ws();
+    if p.peek() == Some(b'}') {
+        return Ok(map);
+    }
+    loop {
+        p.ws();
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        let v = match p.peek() {
+            Some(b'"') => Value::Str(p.string()?),
+            Some(c) if c == b'-' || c.is_ascii_digit() => Value::Num(p.number()?),
+            other => return Err(format!("unsupported value at byte {}: {other:?}", p.i)),
+        };
+        map.insert(key, v);
+        p.ws();
+        match p.peek() {
+            Some(b',') => p.i += 1,
+            Some(b'}') => return Ok(map),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/')) => s.push(c as char),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    s.push(c as char);
+                    self.i += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+/// Does a grown value of this key count as a latency regression?
+/// Latency keys regress *upward*; everything else is informational.
+fn is_latency_key(key: &str) -> bool {
+    key.contains("p99")
+}
+
+/// One compared key: old, new, and the relative change.
+struct Delta {
+    key: String,
+    old: f64,
+    new: f64,
+}
+
+impl Delta {
+    fn ratio(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.new / self.old
+        }
+    }
+}
+
+/// One shared numeric key's comparison: (key, old, new, new/old ratio).
+pub type KeyDelta = (String, f64, f64, f64);
+
+/// Compare two parsed bench maps; returns (all shared numeric deltas,
+/// the subset that regressed past `threshold`).
+pub fn compare(
+    old: &BTreeMap<String, Value>,
+    new: &BTreeMap<String, Value>,
+    threshold: f64,
+) -> (Vec<KeyDelta>, Vec<String>) {
+    let mut deltas = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, ov) in old {
+        let (Value::Num(o), Some(Value::Num(n))) = (ov, new.get(key)) else {
+            continue;
+        };
+        let d = Delta {
+            key: key.clone(),
+            old: *o,
+            new: *n,
+        };
+        let ratio = d.ratio();
+        if is_latency_key(&d.key) && ratio > 1.0 + threshold {
+            regressions.push(format!(
+                "{}: {:.0} -> {:.0} (+{:.1}%)",
+                d.key,
+                d.old,
+                d.new,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+        deltas.push((d.key, d.old, d.new, ratio));
+    }
+    (deltas, regressions)
+}
+
+/// Entry point: `xtask bench-diff <old.json> <new.json> [--threshold PCT]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut threshold = 0.10;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("xtask bench-diff: --threshold needs a number (percent)");
+                return ExitCode::FAILURE;
+            };
+            threshold = v / 100.0;
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!(
+            "usage: cargo run -p xtask -- bench-diff <old.json> <new.json> [--threshold PCT]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let load = |path: &str| -> Result<BTreeMap<String, Value>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xtask bench-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (deltas, regressions) = compare(&old, &new, threshold);
+    if deltas.is_empty() {
+        eprintln!("xtask bench-diff: no shared numeric keys between the files");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-diff {old_path} -> {new_path} (threshold {:.0}%):",
+        threshold * 100.0
+    );
+    for (key, o, n, ratio) in &deltas {
+        let marker = if is_latency_key(key) && *ratio > 1.0 + threshold {
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "  {key}: {o:.2} -> {n:.2} ({:+.1}%){marker}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if regressions.is_empty() {
+        println!("bench-diff: no p99 regressions past the threshold");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench-diff: {} p99 regression(s):", regressions.len());
+        for r in &regressions {
+            println!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nums(pairs: &[(&str, f64)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), Value::Num(v)))
+            .collect()
+    }
+
+    #[test]
+    fn parses_bench_shape() {
+        let m = parse_flat_json(
+            "{\n  \"experiment\": \"e19_scale\",\n  \"sat_fast_ops_per_sec\": 86829.5,\n  \"sweep_x025_p99_nanos\": 1048576\n}",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m["experiment"], Value::Str("e19_scale".into()));
+        assert_eq!(m["sat_fast_ops_per_sec"], Value::Num(86829.5));
+        assert_eq!(m["sweep_x025_p99_nanos"], Value::Num(1_048_576.0));
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+        assert!(parse_flat_json("{\"a\": [1]}").is_err());
+        assert!(parse_flat_json("not json").is_err());
+    }
+
+    #[test]
+    fn flags_only_p99_growth_past_threshold() {
+        let old = nums(&[
+            ("sweep_x100_p99_nanos", 1000.0),
+            ("sweep_x100_p50_nanos", 500.0),
+            ("sat_fast_ops_per_sec", 100.0),
+        ]);
+        // p99 +50% regresses; p50 growth and throughput loss do not.
+        let new = nums(&[
+            ("sweep_x100_p99_nanos", 1500.0),
+            ("sweep_x100_p50_nanos", 5000.0),
+            ("sat_fast_ops_per_sec", 10.0),
+        ]);
+        let (deltas, regressions) = compare(&old, &new, 0.10);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].starts_with("sweep_x100_p99_nanos"));
+    }
+
+    #[test]
+    fn within_threshold_is_clean() {
+        let old = nums(&[("a_p99_nanos", 1000.0)]);
+        let new = nums(&[("a_p99_nanos", 1050.0)]);
+        let (_, regressions) = compare(&old, &new, 0.10);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        // Shrinking p99 is never a regression.
+        let (_, r2) = compare(&new, &old, 0.10);
+        assert!(r2.is_empty());
+    }
+
+    #[test]
+    fn missing_and_non_numeric_keys_are_skipped() {
+        let mut old = nums(&[("x_p99_nanos", 100.0)]);
+        old.insert("experiment".into(), Value::Str("e".into()));
+        let new = nums(&[("y_p99_nanos", 100.0)]);
+        let (deltas, regressions) = compare(&old, &new, 0.10);
+        assert!(deltas.is_empty());
+        assert!(regressions.is_empty());
+    }
+}
