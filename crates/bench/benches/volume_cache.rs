@@ -1,7 +1,7 @@
 //! Volume-cache tier path costs: frame hit vs. miss-plus-evict vs. the
 //! uncached device path, and the write-back absorb that makes dirty
-//! writes a frame copy. Complements `cache.rs` (the per-file
-//! `BlockCache`) by benching the shared tier the whole volume sees.
+//! writes a frame copy. Complements `cache.rs` (the raw tier over bare
+//! devices) by benching the shared tier through a mounted volume.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -134,14 +134,20 @@ impl Bench {
         self
     }
 
+    /// The exact JSON text [`Bench::save`] writes. Exposed so tools
+    /// that consume these summaries (`xtask bench-diff`) can be tested
+    /// against the real emitter rather than a hand-written imitation.
+    pub fn json(&self) -> String {
+        let value = serde_json::Value::Object(self.map.clone());
+        serde_json::to_string_pretty(&value)
+            .expect("a flat map of numbers and strings always serializes")
+    }
+
     /// Persist (best-effort) as `BENCH_<name>.json`.
     pub fn save(&self, name: &str) {
         let path = format!("BENCH_{name}.json");
-        let value = serde_json::Value::Object(self.map.clone());
-        if let Ok(s) = serde_json::to_string_pretty(&value) {
-            if std::fs::write(&path, s).is_ok() {
-                println!("(saved {path})");
-            }
+        if std::fs::write(&path, self.json()).is_ok() {
+            println!("(saved {path})");
         }
     }
 }

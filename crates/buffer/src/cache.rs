@@ -1,17 +1,13 @@
-//! An LRU block cache over a device array.
+//! Shared cache policy and statistics types.
 //!
 //! The paper (§4): "For direct access methods, buffer caching techniques
 //! would be helpful when there is some locality of reference, as in the PDA
-//! organization." The cache is keyed by `(device, block)`, supports
-//! write-through and write-back policies, and reports hit/miss statistics
-//! so experiments can connect locality to observed traffic.
-
-use std::collections::{BTreeMap, HashMap};
-
-use bytes::Bytes;
-use parking_lot::Mutex;
-
-use pario_disk::{DeviceRef, Result};
+//! organization." The caching itself lives in the volume-wide
+//! [`VolumeCache`] tier; this module holds the policy knob and the
+//! traffic counters it reports, so experiments can connect locality to
+//! observed traffic.
+//!
+//! [`VolumeCache`]: crate::VolumeCache
 
 /// When dirty data reaches the device.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -19,7 +15,7 @@ pub enum WritePolicy {
     /// Every write goes straight to the device (cache holds a clean copy).
     WriteThrough,
     /// Writes dirty the cached frame; the device is updated on eviction or
-    /// [`BlockCache::flush`].
+    /// [`VolumeCache::flush`](crate::VolumeCache::flush).
     WriteBack,
 }
 
@@ -48,351 +44,19 @@ impl CacheStats {
     }
 }
 
-struct Frame {
-    data: Box<[u8]>,
-    dirty: bool,
-    stamp: u64,
-}
-
-struct State {
-    frames: HashMap<(usize, u64), Frame>,
-    // stamp -> key, for O(log n) LRU eviction.
-    order: BTreeMap<u64, (usize, u64)>,
-    next_stamp: u64,
-    stats: CacheStats,
-}
-
-/// A shared LRU cache of device blocks.
-///
-/// Superseded by the volume-wide [`VolumeCache`] tier, which adds CLOCK
-/// eviction over a pooled frame budget, miss/writeback run coalescing,
-/// and dirty-overflow spill. This type remains for single-file
-/// experiments; [`CacheStats`] and [`WritePolicy`] are shared by both.
-///
-/// [`VolumeCache`]: crate::VolumeCache
-#[deprecated(note = "use the volume-wide `VolumeCache` tier")]
-pub struct BlockCache {
-    devices: Vec<DeviceRef>,
-    capacity: usize,
-    policy: WritePolicy,
-    state: Mutex<State>,
-}
-
-#[allow(deprecated)]
-impl BlockCache {
-    /// A cache of at most `capacity` frames over `devices`.
-    ///
-    /// All devices must share a block size.
-    pub fn new(devices: Vec<DeviceRef>, capacity: usize, policy: WritePolicy) -> BlockCache {
-        assert!(capacity > 0, "cache needs at least one frame");
-        assert!(!devices.is_empty(), "cache needs at least one device");
-        let bs = devices[0].block_size();
-        assert!(
-            devices.iter().all(|d| d.block_size() == bs),
-            "devices must share a block size"
-        );
-        BlockCache {
-            devices,
-            capacity,
-            policy,
-            state: Mutex::new(State {
-                frames: HashMap::new(),
-                order: BTreeMap::new(),
-                next_stamp: 0,
-                stats: CacheStats::default(),
-            }),
-        }
-    }
-
-    /// Block size of the underlying devices.
-    pub fn block_size(&self) -> usize {
-        self.devices[0].block_size()
-    }
-
-    /// Current statistics snapshot.
-    pub fn stats(&self) -> CacheStats {
-        self.state.lock().stats
-    }
-
-    fn touch(state: &mut State, key: (usize, u64)) {
-        let stamp = state.next_stamp;
-        state.next_stamp += 1;
-        if let Some(frame) = state.frames.get_mut(&key) {
-            state.order.remove(&frame.stamp);
-            frame.stamp = stamp;
-            state.order.insert(stamp, key);
-        }
-    }
-
-    fn evict_if_full(&self, state: &mut State) -> Result<()> {
-        while state.frames.len() >= self.capacity {
-            // invariant: the loop guard keeps frames (and order) non-empty here.
-            let (&stamp, &key) = state.order.iter().next().expect("order tracks frames");
-            state.order.remove(&stamp);
-            // invariant: order and frames always track the same keys.
-            let frame = state.frames.remove(&key).expect("frame for ordered key");
-            state.stats.evictions += 1;
-            if frame.dirty {
-                state.stats.writebacks += 1;
-                self.devices[key.0].write_block(key.1, &frame.data)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn insert(
-        &self,
-        state: &mut State,
-        key: (usize, u64),
-        data: Box<[u8]>,
-        dirty: bool,
-    ) -> Result<()> {
-        self.evict_if_full(state)?;
-        let stamp = state.next_stamp;
-        state.next_stamp += 1;
-        state.frames.insert(key, Frame { data, dirty, stamp });
-        state.order.insert(stamp, key);
-        Ok(())
-    }
-
-    /// Read block `block` of device `dev`, from cache if possible.
-    pub fn read(&self, dev: usize, block: u64) -> Result<Bytes> {
-        let mut state = self.state.lock();
-        let key = (dev, block);
-        if state.frames.contains_key(&key) {
-            state.stats.hits += 1;
-            Self::touch(&mut state, key);
-            // invariant: just checked contains_key under the same lock.
-            let frame = state.frames.get(&key).expect("just checked");
-            return Ok(Bytes::copy_from_slice(&frame.data));
-        }
-        state.stats.misses += 1;
-        let mut buf = vec![0u8; self.block_size()].into_boxed_slice();
-        self.devices[dev].read_block(block, &mut buf)?;
-        let out = Bytes::copy_from_slice(&buf);
-        self.insert(&mut state, key, buf, false)?;
-        Ok(out)
-    }
-
-    /// Write block `block` of device `dev` through the cache.
-    pub fn write(&self, dev: usize, block: u64, data: &[u8]) -> Result<()> {
-        assert_eq!(data.len(), self.block_size());
-        let mut state = self.state.lock();
-        let key = (dev, block);
-        let dirty = match self.policy {
-            WritePolicy::WriteThrough => {
-                self.devices[dev].write_block(block, data)?;
-                false
-            }
-            WritePolicy::WriteBack => true,
-        };
-        if let Some(frame) = state.frames.get_mut(&key) {
-            frame.data.copy_from_slice(data);
-            frame.dirty = frame.dirty || dirty;
-            Self::touch(&mut state, key);
-        } else {
-            self.insert(&mut state, key, data.to_vec().into_boxed_slice(), dirty)?;
-        }
-        Ok(())
-    }
-
-    /// Read-modify-write a cached block in place.
-    ///
-    /// The closure sees the current contents and may mutate them; dirtiness
-    /// follows the write policy. This is the primitive record-level access
-    /// builds on when records are smaller than blocks.
-    pub fn update(&self, dev: usize, block: u64, f: impl FnOnce(&mut [u8])) -> Result<()> {
-        let mut state = self.state.lock();
-        let key = (dev, block);
-        if !state.frames.contains_key(&key) {
-            state.stats.misses += 1;
-            let mut buf = vec![0u8; self.block_size()].into_boxed_slice();
-            self.devices[dev].read_block(block, &mut buf)?;
-            self.insert(&mut state, key, buf, false)?;
-        } else {
-            state.stats.hits += 1;
-        }
-        Self::touch(&mut state, key);
-        // invariant: inserted (or found) above under the same lock.
-        let frame = state.frames.get_mut(&key).expect("inserted above");
-        f(&mut frame.data);
-        match self.policy {
-            WritePolicy::WriteThrough => {
-                self.devices[dev].write_block(block, &frame.data)?;
-            }
-            WritePolicy::WriteBack => frame.dirty = true,
-        }
-        Ok(())
-    }
-
-    /// Write every dirty frame to its device (frames stay cached, clean).
-    pub fn flush(&self) -> Result<()> {
-        let mut state = self.state.lock();
-        // Collect first: can't write while iterating mutably over frames.
-        let dirty_keys: Vec<(usize, u64)> = state
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(&k, _)| k)
-            .collect();
-        for key in dirty_keys {
-            // invariant: keys were collected from frames under the same lock.
-            let frame = state.frames.get_mut(&key).expect("key from iteration");
-            self.devices[key.0].write_block(key.1, &frame.data)?;
-            frame.dirty = false;
-            state.stats.writebacks += 1;
-        }
-        Ok(())
-    }
-
-    /// Drop every frame without writing anything back. Test/recovery hook.
-    pub fn discard_all(&self) {
-        let mut state = self.state.lock();
-        state.frames.clear();
-        state.order.clear();
-    }
-
-    /// Number of frames currently cached.
-    pub fn len(&self) -> usize {
-        self.state.lock().frames.len()
-    }
-
-    /// True if the cache holds no frames.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use pario_disk::mem_array;
-    use std::sync::Arc;
-
-    fn cache(cap: usize, policy: WritePolicy) -> (BlockCache, Vec<DeviceRef>) {
-        let devs = mem_array(2, 32, 64);
-        (BlockCache::new(devs.clone(), cap, policy), devs)
-    }
 
     #[test]
-    fn read_caches_and_hits() {
-        let (c, devs) = cache(4, WritePolicy::WriteThrough);
-        devs[0].write_block(3, &[7u8; 64]).unwrap();
-        let before = devs[0].counters().reads;
-        let a = c.read(0, 3).unwrap();
-        let b = c.read(0, 3).unwrap();
-        assert_eq!(a, b);
-        assert_eq!(a[0], 7);
-        assert_eq!(devs[0].counters().reads, before + 1);
-        let s = c.stats();
-        assert_eq!((s.hits, s.misses), (1, 1));
+    fn hit_ratio_counts_reads_only() {
+        let s = CacheStats {
+            hits: 1,
+            misses: 1,
+            evictions: 7,
+            writebacks: 7,
+        };
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn lru_evicts_least_recent() {
-        let (c, _devs) = cache(2, WritePolicy::WriteThrough);
-        c.read(0, 1).unwrap();
-        c.read(0, 2).unwrap();
-        c.read(0, 1).unwrap(); // 1 is now most recent
-        c.read(0, 3).unwrap(); // evicts 2
-        assert_eq!(c.stats().evictions, 1);
-        c.read(0, 1).unwrap(); // still cached
-        assert_eq!(c.stats().hits, 2);
-        c.read(0, 2).unwrap(); // was evicted: miss
-        assert_eq!(c.stats().misses, 4);
-    }
-
-    #[test]
-    fn write_through_reaches_device_immediately() {
-        let (c, devs) = cache(4, WritePolicy::WriteThrough);
-        c.write(1, 5, &[9u8; 64]).unwrap();
-        let mut buf = vec![0u8; 64];
-        devs[1].read_block(5, &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == 9));
-        assert_eq!(c.stats().writebacks, 0);
-    }
-
-    #[test]
-    fn write_back_defers_until_flush() {
-        let (c, devs) = cache(4, WritePolicy::WriteBack);
-        c.write(0, 5, &[9u8; 64]).unwrap();
-        let mut buf = vec![0u8; 64];
-        devs[0].read_block(5, &mut buf).unwrap();
-        assert!(
-            buf.iter().all(|&b| b == 0),
-            "write must not reach device yet"
-        );
-        // Read-your-writes through the cache.
-        assert_eq!(c.read(0, 5).unwrap()[0], 9);
-        c.flush().unwrap();
-        devs[0].read_block(5, &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == 9));
-        assert_eq!(c.stats().writebacks, 1);
-        // Second flush writes nothing.
-        c.flush().unwrap();
-        assert_eq!(c.stats().writebacks, 1);
-    }
-
-    #[test]
-    fn write_back_eviction_writes_dirty_frame() {
-        let (c, devs) = cache(1, WritePolicy::WriteBack);
-        c.write(0, 1, &[4u8; 64]).unwrap();
-        c.read(0, 2).unwrap(); // evicts dirty block 1
-        let mut buf = vec![0u8; 64];
-        devs[0].read_block(1, &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == 4));
-        assert_eq!(c.stats().writebacks, 1);
-        assert_eq!(c.stats().evictions, 1);
-    }
-
-    #[test]
-    fn update_read_modify_write() {
-        let (c, devs) = cache(4, WritePolicy::WriteBack);
-        devs[0].write_block(0, &[1u8; 64]).unwrap();
-        c.update(0, 0, |b| b[10] = 99).unwrap();
-        let got = c.read(0, 0).unwrap();
-        assert_eq!(got[10], 99);
-        assert_eq!(got[0], 1);
-        c.flush().unwrap();
-        let mut buf = vec![0u8; 64];
-        devs[0].read_block(0, &mut buf).unwrap();
-        assert_eq!(buf[10], 99);
-    }
-
-    #[test]
-    fn discard_drops_dirty_data() {
-        let (c, devs) = cache(4, WritePolicy::WriteBack);
-        c.write(0, 0, &[5u8; 64]).unwrap();
-        c.discard_all();
-        assert!(c.is_empty());
-        let mut buf = vec![0u8; 64];
-        devs[0].read_block(0, &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == 0));
-    }
-
-    #[test]
-    fn concurrent_updates_are_atomic() {
-        let devs = mem_array(1, 8, 64);
-        let c = Arc::new(BlockCache::new(devs.clone(), 4, WritePolicy::WriteBack));
-        crossbeam::thread::scope(|s| {
-            for _ in 0..8 {
-                let c = Arc::clone(&c);
-                s.spawn(move |_| {
-                    for _ in 0..100 {
-                        c.update(0, 0, |b| {
-                            let v = u64::from_le_bytes(b[0..8].try_into().unwrap());
-                            b[0..8].copy_from_slice(&(v + 1).to_le_bytes());
-                        })
-                        .unwrap();
-                    }
-                });
-            }
-        })
-        .unwrap();
-        let got = c.read(0, 0).unwrap();
-        let v = u64::from_le_bytes(got[0..8].try_into().unwrap());
-        assert_eq!(v, 800);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
     }
 }

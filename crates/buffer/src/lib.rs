@@ -10,9 +10,9 @@
 //!   of the executor bank: CLOCK eviction over a fixed frame budget,
 //!   read-through miss coalescing, write-behind run coalescing, and a
 //!   scratch-device spill path for dirty overflow.
-//! * [`BlockCache`] — the legacy per-file LRU `(device, block)` cache
-//!   (deprecated in favor of [`VolumeCache`]; its [`CacheStats`] and
-//!   [`WritePolicy`] types are shared by both tiers).
+//! * [`CacheStats`] / [`WritePolicy`] — the cache traffic counters and
+//!   the write-through/write-back policy knob [`VolumeCache`] reports
+//!   and takes.
 //! * [`ReadAhead`] / [`WriteBehind`] — multiple-buffering pipelines
 //!   submitting to per-device I/O-executor workers, overlapping
 //!   predictable sequential I/O with computation; the buffer count is
@@ -43,8 +43,6 @@ mod pipeline;
 mod pool;
 mod volume_cache;
 
-#[allow(deprecated)]
-pub use cache::BlockCache;
 pub use cache::{CacheStats, WritePolicy};
 pub use pipeline::{ReadAhead, WriteBehind};
 pub use pool::{BufferPool, PoolBuf};

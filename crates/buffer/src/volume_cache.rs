@@ -1,10 +1,10 @@
 //! The volume-wide shared block cache tier.
 //!
 //! The paper (§4) argues buffering software is "just as important as the
-//! layout of data on disks"; the per-file [`BlockCache`] left hot reuse
-//! traffic across a server's *many* sessions hitting the device
-//! executors on every access. [`VolumeCache`] is the shared tier in
-//! front of the executor bank that every file of a volume goes through:
+//! layout of data on disks"; a per-file cache leaves hot reuse traffic
+//! across a server's *many* sessions hitting the device executors on
+//! every access. [`VolumeCache`] is the shared tier in front of the
+//! executor bank that every file of a volume goes through:
 //!
 //! * **CLOCK eviction** over a fixed frame budget drawn from a
 //!   [`BufferPool`] at construction (the pool's free-list lock is ranked
@@ -35,8 +35,6 @@
 //! (a torn write leaves the media holding a prefix — subsequent reads
 //! must see exactly that), and a failed read-fill simply skips frame
 //! installation.
-//!
-//! [`BlockCache`]: crate::BlockCache
 
 use std::collections::{HashMap, HashSet};
 
@@ -603,8 +601,7 @@ impl VolumeCache {
     }
 
     /// Read-modify-write one cached block in place, the primitive
-    /// sub-block record access builds on (kept API-compatible with the
-    /// legacy per-file `BlockCache::update`).
+    /// sub-block record access builds on.
     pub fn update(&self, dev: usize, block: u64, f: impl FnOnce(&mut [u8])) -> Result<()> {
         let key = (dev, block);
         let mut st = self.frames.lock();

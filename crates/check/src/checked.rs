@@ -316,15 +316,45 @@ impl Condvar {
     }
 }
 
+/// Does a load with this ordering have acquire semantics?
+fn load_acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Does a store/RMW with this ordering have release semantics?
+fn store_releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
 /// Instrumented atomics: every access on a model thread is a yield
 /// point, which is what lets the explorer interleave lock-free
 /// protocols (the SS cursor's reserve-then-transfer, the executor's
 /// in-flight accounting) at the granularity races actually occur.
+///
+/// After the real operation executes, the happens-before clocks are
+/// propagated exactly as the passed `Ordering` warrants: an
+/// acquire-load joins the atomic's published clock into the thread, a
+/// release-store publishes the thread's clock, an `AcqRel` RMW does
+/// both, and `Relaxed` propagates **nothing** — which is what lets the
+/// race detector catch an ordering bug (a too-weak publish) that every
+/// interleaving-only check would miss on x86 hardware.
 macro_rules! checked_atomic {
     ($name:ident, $std:ty, $prim:ty) => {
         /// Instrumented atomic; see the module docs.
         pub struct $name {
             inner: $std,
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(<$prim>::default())
+            }
         }
 
         impl $name {
@@ -335,31 +365,58 @@ macro_rules! checked_atomic {
                 }
             }
 
-            fn hook(&self) {
-                if let Some((s, tid)) = sched::current() {
-                    s.yield_point(tid);
+            fn addr(&self) -> usize {
+                &self.inner as *const _ as *const u8 as usize
+            }
+
+            /// Pre-operation yield point; returns the model context for
+            /// the post-operation clock propagation.
+            fn hook(&self, kind: sched::OpKind) -> Option<(Arc<Sched>, usize)> {
+                let ctx = sched::current();
+                if let Some((s, tid)) = &ctx {
+                    s.yield_op(
+                        *tid,
+                        sched::OpTag {
+                            obj: self.addr(),
+                            kind,
+                        },
+                    );
+                }
+                ctx
+            }
+
+            fn sync(&self, ctx: Option<(Arc<Sched>, usize)>, acquire: bool, release: bool) {
+                if let Some((s, tid)) = ctx {
+                    s.atomic_sync(tid, self.addr(), acquire, release);
                 }
             }
 
             /// Atomic load.
             pub fn load(&self, order: Ordering) -> $prim {
-                self.hook();
-                self.inner.load(order)
+                let ctx = self.hook(sched::OpKind::AtomicLoad);
+                let v = self.inner.load(order);
+                self.sync(ctx, load_acquires(order), false);
+                v
             }
 
             /// Atomic store.
             pub fn store(&self, v: $prim, order: Ordering) {
-                self.hook();
-                self.inner.store(v, order)
+                let ctx = self.hook(sched::OpKind::AtomicStore);
+                self.inner.store(v, order);
+                self.sync(ctx, false, store_releases(order));
             }
 
             /// Atomic swap.
             pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
-                self.hook();
-                self.inner.swap(v, order)
+                let ctx = self.hook(sched::OpKind::AtomicRmw);
+                let prev = self.inner.swap(v, order);
+                self.sync(ctx, load_acquires(order), store_releases(order));
+                prev
             }
 
-            /// Atomic compare-exchange.
+            /// Atomic compare-exchange. On success the *success*
+            /// ordering's edges apply (as an RMW); on failure only the
+            /// *failure* ordering's load side does.
             pub fn compare_exchange(
                 &self,
                 current: $prim,
@@ -367,8 +424,14 @@ macro_rules! checked_atomic {
                 success: Ordering,
                 failure: Ordering,
             ) -> Result<$prim, $prim> {
-                self.hook();
-                self.inner.compare_exchange(current, new, success, failure)
+                let ctx = self.hook(sched::OpKind::AtomicRmw);
+                let r = self.inner.compare_exchange(current, new, success, failure);
+                let (acq, rel) = match r {
+                    Ok(_) => (load_acquires(success), store_releases(success)),
+                    Err(_) => (load_acquires(failure), false),
+                };
+                self.sync(ctx, acq, rel);
+                r
             }
 
             /// Atomic compare-exchange allowed to fail spuriously.
@@ -379,9 +442,16 @@ macro_rules! checked_atomic {
                 success: Ordering,
                 failure: Ordering,
             ) -> Result<$prim, $prim> {
-                self.hook();
-                self.inner
-                    .compare_exchange_weak(current, new, success, failure)
+                let ctx = self.hook(sched::OpKind::AtomicRmw);
+                let r = self
+                    .inner
+                    .compare_exchange_weak(current, new, success, failure);
+                let (acq, rel) = match r {
+                    Ok(_) => (load_acquires(success), store_releases(success)),
+                    Err(_) => (load_acquires(failure), false),
+                };
+                self.sync(ctx, acq, rel);
+                r
             }
         }
     };
@@ -392,20 +462,26 @@ macro_rules! checked_atomic_arith {
         impl $name {
             /// Atomic add; returns the previous value.
             pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
-                self.hook();
-                self.inner.fetch_add(v, order)
+                let ctx = self.hook(sched::OpKind::AtomicRmw);
+                let prev = self.inner.fetch_add(v, order);
+                self.sync(ctx, load_acquires(order), store_releases(order));
+                prev
             }
 
             /// Atomic subtract; returns the previous value.
             pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
-                self.hook();
-                self.inner.fetch_sub(v, order)
+                let ctx = self.hook(sched::OpKind::AtomicRmw);
+                let prev = self.inner.fetch_sub(v, order);
+                self.sync(ctx, load_acquires(order), store_releases(order));
+                prev
             }
 
             /// Atomic max; returns the previous value.
             pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
-                self.hook();
-                self.inner.fetch_max(v, order)
+                let ctx = self.hook(sched::OpKind::AtomicRmw);
+                let prev = self.inner.fetch_max(v, order);
+                self.sync(ctx, load_acquires(order), store_releases(order));
+                prev
             }
         }
     };
@@ -422,7 +498,117 @@ checked_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
 impl AtomicBool {
     /// Atomic OR; returns the previous value.
     pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
-        self.hook();
-        self.inner.fetch_or(v, order)
+        let ctx = self.hook(sched::OpKind::AtomicRmw);
+        let prev = self.inner.fetch_or(v, order);
+        self.sync(ctx, load_acquires(order), store_releases(order));
+        prev
+    }
+}
+
+/// A cell for *plain* (non-atomic) data shared between threads under
+/// some synchronization protocol — the moral equivalent of the field a
+/// lock-free algorithm guards with its atomics. Every access on a model
+/// thread is checked against the run's happens-before clocks: two
+/// concurrent accesses, at least one a write, fail the schedule as a
+/// `DataRace` naming both sites (`#[track_caller]` keeps the labels
+/// free). In normal builds this is a zero-overhead `UnsafeCell`.
+///
+/// The accessors are safe to *call* because a model run serializes
+/// model threads through the scheduler's own lock; the **protocol** is
+/// what the detector verifies. Production code must only use a
+/// `CheckCell` where such a protocol exists, and keep `with`/`with_mut`
+/// closures free of instrumented operations (the borrow must not span
+/// a yield point).
+pub struct CheckCell<T> {
+    label: &'static str,
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: within a model run, the cooperative scheduler runs one model
+// thread at a time and hands off through its own mutex, so accesses are
+// really serialized (and the detector reports any pair the *modelled*
+// synchronization fails to order).
+unsafe impl<T: Send> Sync for CheckCell<T> {}
+
+/// Alias that names the intent at adoption sites: data that *would* be
+/// racy without the protocol the model checks.
+pub type RacyCell<T> = CheckCell<T>;
+
+impl<T> CheckCell<T> {
+    /// A new cell labeled `cell` in race reports.
+    pub const fn new(value: T) -> CheckCell<T> {
+        CheckCell::new_labeled(value, "cell")
+    }
+
+    /// A new cell carrying `label` in race reports.
+    pub const fn new_labeled(value: T, label: &'static str) -> CheckCell<T> {
+        CheckCell {
+            label,
+            inner: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self.inner.get() as usize
+    }
+
+    #[track_caller]
+    fn check(&self, write: bool) {
+        if let Some((s, tid)) = sched::current() {
+            s.cell_access(
+                tid,
+                self.addr(),
+                self.label,
+                write,
+                std::panic::Location::caller(),
+            );
+        }
+    }
+
+    /// Read the value (checked as a read).
+    #[track_caller]
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        self.check(false);
+        unsafe { *self.inner.get() }
+    }
+
+    /// Overwrite the value (checked as a write).
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        self.check(true);
+        unsafe { *self.inner.get() = value }
+    }
+
+    /// Run `f` on a shared borrow (checked as a read).
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.check(false);
+        f(unsafe { &*self.inner.get() })
+    }
+
+    /// Run `f` on a mutable borrow (checked as a write).
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.check(true);
+        f(unsafe { &mut *self.inner.get() })
+    }
+
+    /// Direct access through `&mut self` (no sharing possible).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for CheckCell<T> {
+    fn default() -> CheckCell<T> {
+        CheckCell::new(T::default())
     }
 }

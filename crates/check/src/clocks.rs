@@ -1,0 +1,413 @@
+//! Vector clocks and FastTrack-style access metadata for the
+//! happens-before data-race detector.
+//!
+//! The scheduler gives every model thread a [`VClock`] and threads sync
+//! state (locks, condvars, release/acquire atomics) a clock of its own.
+//! Synchronizing operations *join* clocks along the happens-before
+//! edges the memory model actually guarantees — a `Relaxed` atomic op
+//! propagates nothing. A [`CellMeta`] records the last write and the
+//! last read(s) of one [`crate::CheckCell`]; in the common case both
+//! collapse to a single *epoch* `(tid, clock)` so the per-access check
+//! is two comparisons (the FastTrack fast path), and only genuinely
+//! read-shared cells pay for a read vector.
+//!
+//! [`Foata`] accumulates a canonical hash of the executed operation
+//! sequence: each operation's Foata depth (1 + the deepest operation it
+//! depends on) is order-insensitive under commuting adjacent
+//! *independent* operations, so two schedules hash equal iff they are
+//! the same Mazurkiewicz trace up to hash collision. The explorer
+//! counts distinct schedules with this hash, which together with the
+//! scheduler's sleep sets stops equivalent interleavings from being
+//! counted (or explored) twice.
+
+use std::collections::HashMap;
+use std::panic::Location;
+
+/// A vector clock: `clock[t]` is the latest operation of thread `t`
+/// known to happen-before the clock's owner. Missing entries are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// Component for thread `tid` (zero if never synchronized with).
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance own component: the thread has performed a new operation
+    /// not covered by previously published clocks.
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: absorb everything `other` has seen.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(o);
+        }
+    }
+}
+
+/// A labeled access site: which thread touched the cell, from where.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Site {
+    pub(crate) tid: usize,
+    pub(crate) loc: &'static Location<'static>,
+}
+
+/// The prior access a racing operation conflicts with.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PriorAccess {
+    /// `"write"` or `"read"`.
+    pub(crate) kind: &'static str,
+    pub(crate) site: Site,
+}
+
+/// Last reads of one cell: none yet, a single epoch (the FastTrack fast
+/// path — covers exclusive and handed-off access), or a full vector for
+/// genuinely concurrent readers.
+#[derive(Clone, Debug)]
+enum Reads {
+    None,
+    Epoch(usize, u64, Site),
+    Vector(Vec<(usize, u64, Site)>),
+}
+
+/// Per-[`crate::CheckCell`] access metadata (FastTrack state machine).
+#[derive(Clone, Debug)]
+pub(crate) struct CellMeta {
+    /// Epoch + site of the most recent write, if any.
+    write: Option<(usize, u64, Site)>,
+    reads: Reads,
+}
+
+impl CellMeta {
+    pub(crate) fn new() -> CellMeta {
+        CellMeta {
+            write: None,
+            reads: Reads::None,
+        }
+    }
+
+    /// Check a read at `site` by a thread whose clock is `clock`
+    /// against the last write; record the read. `Err` is a race with
+    /// the returned prior access.
+    pub(crate) fn on_read(
+        &mut self,
+        me: usize,
+        clock: &VClock,
+        site: Site,
+    ) -> Result<(), PriorAccess> {
+        // Same-epoch fast path: this thread already read at this clock.
+        if let Reads::Epoch(t, c, _) = self.reads {
+            if t == me && c == clock.get(me) {
+                return Ok(());
+            }
+        }
+        if let Some((wt, wc, ws)) = self.write {
+            if wt != me && wc > clock.get(wt) {
+                return Err(PriorAccess {
+                    kind: "write",
+                    site: ws,
+                });
+            }
+        }
+        let my = (me, clock.get(me), site);
+        self.reads = match std::mem::replace(&mut self.reads, Reads::None) {
+            Reads::None => Reads::Epoch(my.0, my.1, my.2),
+            Reads::Epoch(t, c, s) => {
+                if t == me || c <= clock.get(t) {
+                    // Exclusive or handed-off: the previous read
+                    // happens-before this one, stay on the epoch path.
+                    Reads::Epoch(my.0, my.1, my.2)
+                } else {
+                    Reads::Vector(vec![(t, c, s), my])
+                }
+            }
+            Reads::Vector(mut v) => {
+                match v.iter_mut().find(|(t, _, _)| *t == me) {
+                    Some(slot) => *slot = my,
+                    None => v.push(my),
+                }
+                Reads::Vector(v)
+            }
+        };
+        Ok(())
+    }
+
+    /// Check a write at `site` against the last write and all recorded
+    /// reads; record the write (which clears the read set — everything
+    /// in it now happens-before the write).
+    pub(crate) fn on_write(
+        &mut self,
+        me: usize,
+        clock: &VClock,
+        site: Site,
+    ) -> Result<(), PriorAccess> {
+        if let Some((wt, wc, ws)) = self.write {
+            if wt != me && wc > clock.get(wt) {
+                return Err(PriorAccess {
+                    kind: "write",
+                    site: ws,
+                });
+            }
+        }
+        match &self.reads {
+            Reads::None => {}
+            Reads::Epoch(t, c, s) => {
+                if *t != me && *c > clock.get(*t) {
+                    return Err(PriorAccess {
+                        kind: "read",
+                        site: *s,
+                    });
+                }
+            }
+            Reads::Vector(v) => {
+                for &(t, c, s) in v {
+                    if t != me && c > clock.get(t) {
+                        return Err(PriorAccess {
+                            kind: "read",
+                            site: s,
+                        });
+                    }
+                }
+            }
+        }
+        self.write = Some((me, clock.get(me), site));
+        self.reads = Reads::None;
+        Ok(())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv(h: u64, v: u64) -> u64 {
+    let mut h = h ^ v;
+    h = h.wrapping_mul(FNV_PRIME);
+    h
+}
+
+/// Conflict depths recorded per shared object.
+#[derive(Clone, Copy, Debug, Default)]
+struct ObjDepth {
+    /// Deepest write-like operation on the object so far.
+    write: usize,
+    /// Deepest read-like operation on the object so far.
+    read: usize,
+}
+
+/// Order-insensitive canonical trace hash (Foata normal form).
+///
+/// Each executed operation gets depth `1 + max(depth of the previous
+/// operation of its thread, depth of the operations it conflicts
+/// with)`; operations are hashed as `(tid, per-thread index, depth,
+/// kind)` — deliberately address-free, so the hash is stable across
+/// runs whose allocations land elsewhere — and accumulated
+/// commutatively per depth level.
+#[derive(Debug, Default)]
+pub(crate) struct Foata {
+    thread_depth: Vec<usize>,
+    thread_ops: Vec<u64>,
+    objs: HashMap<usize, ObjDepth>,
+    /// Depth floor forced by globally-dependent operations (spawn,
+    /// notify, anything untagged).
+    floor: usize,
+    max_depth: usize,
+    levels: Vec<u64>,
+}
+
+impl Foata {
+    /// Record one executed operation.
+    ///
+    /// `obj` identifies the shared object (ignored when `global`);
+    /// `read_like` operations conflict only with write-like ones on the
+    /// same object; `global` operations conflict with everything.
+    pub(crate) fn record(
+        &mut self,
+        tid: usize,
+        obj: usize,
+        kind: u8,
+        read_like: bool,
+        global: bool,
+    ) {
+        if self.thread_depth.len() <= tid {
+            self.thread_depth.resize(tid + 1, 0);
+            self.thread_ops.resize(tid + 1, 0);
+        }
+        let mut base = self.thread_depth[tid].max(self.floor);
+        if global {
+            base = base.max(self.max_depth);
+        } else {
+            let od = self.objs.entry(obj).or_default();
+            base = base.max(od.write);
+            if !read_like {
+                base = base.max(od.read);
+            }
+        }
+        let depth = base + 1;
+        self.thread_depth[tid] = depth;
+        self.max_depth = self.max_depth.max(depth);
+        if global {
+            self.floor = self.floor.max(depth);
+        } else {
+            let od = self.objs.entry(obj).or_default();
+            if read_like {
+                od.read = od.read.max(depth);
+            } else {
+                od.write = od.write.max(depth);
+            }
+        }
+        let mut ev = FNV_OFFSET;
+        ev = fnv(ev, tid as u64);
+        ev = fnv(ev, self.thread_ops[tid]);
+        ev = fnv(ev, depth as u64);
+        ev = fnv(ev, kind as u64);
+        self.thread_ops[tid] += 1;
+        if self.levels.len() < depth {
+            self.levels.resize(depth, 0);
+        }
+        self.levels[depth - 1] = self.levels[depth - 1].wrapping_add(ev);
+    }
+
+    /// The canonical hash of everything recorded so far.
+    pub(crate) fn hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &lvl in &self.levels {
+            h = fnv(h, lvl);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(tid: usize) -> Site {
+        Site {
+            tid,
+            loc: Location::caller(),
+        }
+    }
+
+    fn clock(parts: &[(usize, u64)]) -> VClock {
+        let mut c = VClock::default();
+        for &(t, v) in parts {
+            for _ in 0..v {
+                c.bump(t);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn vclock_join_is_pointwise_max() {
+        let mut a = clock(&[(0, 3), (2, 1)]);
+        let b = clock(&[(0, 1), (1, 5)]);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(9), 0);
+    }
+
+    #[test]
+    fn concurrent_write_write_is_a_race() {
+        let mut m = CellMeta::new();
+        // Thread 0 writes at clock [0:1]; thread 1 has never heard of it.
+        m.on_write(0, &clock(&[(0, 1)]), site(0)).unwrap();
+        let err = m.on_write(1, &clock(&[(1, 1)]), site(1)).unwrap_err();
+        assert_eq!(err.kind, "write");
+        assert_eq!(err.site.tid, 0);
+    }
+
+    #[test]
+    fn synchronized_handoff_is_not_a_race() {
+        let mut m = CellMeta::new();
+        m.on_write(0, &clock(&[(0, 1)]), site(0)).unwrap();
+        // Thread 1 has absorbed thread 0's clock (e.g. via a release/
+        // acquire pair): ordered, not racing.
+        m.on_write(1, &clock(&[(0, 1), (1, 1)]), site(1)).unwrap();
+        m.on_read(0, &clock(&[(0, 2)]), site(0)).unwrap_err();
+        m.on_read(0, &clock(&[(0, 2), (1, 1)]), site(0)).unwrap();
+    }
+
+    #[test]
+    fn read_shared_promotes_and_still_catches_racy_write() {
+        let mut m = CellMeta::new();
+        // Two concurrent readers force the vector path; both fine.
+        m.on_read(0, &clock(&[(0, 1)]), site(0)).unwrap();
+        m.on_read(1, &clock(&[(1, 1)]), site(1)).unwrap();
+        // A writer that has only seen reader 0 races reader 1.
+        let err = m
+            .on_write(2, &clock(&[(0, 1), (2, 1)]), site(2))
+            .unwrap_err();
+        assert_eq!(err.kind, "read");
+        assert_eq!(err.site.tid, 1);
+        // A writer ordered after both readers is clean.
+        m.on_write(2, &clock(&[(0, 1), (1, 1), (2, 1)]), site(2))
+            .unwrap();
+    }
+
+    #[test]
+    fn same_epoch_read_fast_path_is_silent() {
+        let mut m = CellMeta::new();
+        let c = clock(&[(0, 1)]);
+        m.on_read(0, &c, site(0)).unwrap();
+        m.on_read(0, &c, site(0)).unwrap();
+        assert!(matches!(m.reads, Reads::Epoch(0, 1, _)));
+    }
+
+    #[test]
+    fn foata_hash_ignores_order_of_independent_ops() {
+        // Threads 0 and 1 touch disjoint objects: any interleaving is
+        // the same trace.
+        let mut a = Foata::default();
+        a.record(0, 100, 1, false, false);
+        a.record(1, 200, 1, false, false);
+        a.record(0, 100, 1, false, false);
+        let mut b = Foata::default();
+        b.record(0, 100, 1, false, false);
+        b.record(0, 100, 1, false, false);
+        b.record(1, 200, 1, false, false);
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn foata_hash_distinguishes_conflicting_orders() {
+        // Same object, both writes: order matters.
+        let mut a = Foata::default();
+        a.record(0, 100, 1, false, false);
+        a.record(1, 100, 1, false, false);
+        let mut b = Foata::default();
+        b.record(1, 100, 1, false, false);
+        b.record(0, 100, 1, false, false);
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn foata_reads_commute_but_read_write_does_not() {
+        let mut a = Foata::default();
+        a.record(0, 100, 2, true, false);
+        a.record(1, 100, 2, true, false);
+        let mut b = Foata::default();
+        b.record(1, 100, 2, true, false);
+        b.record(0, 100, 2, true, false);
+        assert_eq!(a.hash(), b.hash());
+
+        let mut c = Foata::default();
+        c.record(0, 100, 2, true, false);
+        c.record(1, 100, 1, false, false);
+        let mut d = Foata::default();
+        d.record(1, 100, 1, false, false);
+        d.record(0, 100, 2, true, false);
+        assert_ne!(c.hash(), d.hash());
+    }
+}

@@ -20,7 +20,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::sched::{
-    self, parse_trace, take_trace, trace_hash, AbortUnwind, Decider, FailureKind, Sched, SplitMix64,
+    self, canonical_hash, parse_trace, AbortUnwind, Decider, FailureKind, Sched, SplitMix64,
 };
 
 /// Exploration parameters.
@@ -47,7 +47,9 @@ impl Config {
 pub struct Report {
     /// Schedules executed.
     pub schedules: usize,
-    /// Distinct schedules among them (by decision-trace hash).
+    /// Distinct schedules among them, counted by the canonical Foata
+    /// hash of the executed operations: two schedules that merely
+    /// permute independent operations count once.
     pub distinct: usize,
     /// The first failure, if any schedule failed.
     pub failure: Option<CheckFailure>,
@@ -83,16 +85,17 @@ impl JoinHandle {
 /// Spawn a model thread. Must be called from inside a model run; the
 /// new thread does not execute until the scheduler picks it.
 pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
-    let (s, _) = sched::current().expect("pario_check::spawn outside a model run");
-    let tid = s.sched_spawn(f);
+    let (s, parent) = sched::current().expect("pario_check::spawn outside a model run");
+    let tid = s.sched_spawn(parent, f);
     JoinHandle { tid }
 }
 
 impl Sched {
     /// Register and start a model thread running `f` (parked until
-    /// scheduled).
-    fn sched_spawn<F: FnOnce() + Send + 'static>(self: &Arc<Self>, f: F) -> usize {
-        let tid = self.register_thread();
+    /// scheduled). Spawning establishes the parent→child happens-before
+    /// edge.
+    fn sched_spawn<F: FnOnce() + Send + 'static>(self: &Arc<Self>, parent: usize, f: F) -> usize {
+        let tid = self.register_thread(parent);
         let s = Arc::clone(self);
         let h = std::thread::Builder::new()
             .name(format!("pario-check-{tid}"))
@@ -155,9 +158,9 @@ impl Explorer {
                     remaining: 1 + (i as u32 / 2) % 3,
                 }
             };
-            let (failure, trace) = run_one(decider, Arc::clone(&model));
+            let (failure, hash) = run_one(decider, Arc::clone(&model));
             schedules += 1;
-            seen.insert(trace_hash(&trace));
+            seen.insert(hash);
             if let Some(f) = failure {
                 let fail = CheckFailure {
                     message: format!("[{:?}] {}", f.kind, f.message),
@@ -193,7 +196,7 @@ impl Explorer {
             tids: parse_trace(replay_str),
             at: 0,
         };
-        let (failure, _trace) = run_one(decider, Arc::new(model) as Arc<dyn Fn() + Send + Sync>);
+        let (failure, _hash) = run_one(decider, Arc::new(model) as Arc<dyn Fn() + Send + Sync>);
         Report {
             schedules: 1,
             distinct: 1,
@@ -216,10 +219,8 @@ where
 
 /// Execute one schedule: root model thread runs the closure to
 /// completion (or failure), then every model thread is torn down.
-fn run_one(
-    decider: Decider,
-    model: Arc<dyn Fn() + Send + Sync>,
-) -> (Option<sched::Failure>, Vec<usize>) {
+/// Returns the failure (if any) and the schedule's canonical hash.
+fn run_one(decider: Decider, model: Arc<dyn Fn() + Send + Sync>) -> (Option<sched::Failure>, u64) {
     let sched = Arc::new(Sched::new(decider));
     let s = Arc::clone(&sched);
     let root = std::thread::Builder::new()
@@ -249,6 +250,6 @@ fn run_one(
         }
     }
     let failure = sched.failure();
-    let trace = take_trace(&sched);
-    (failure, trace)
+    let hash = canonical_hash(&sched);
+    (failure, hash)
 }

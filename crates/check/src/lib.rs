@@ -13,9 +13,12 @@
 //!   operation through a cooperative scheduler that runs one thread at
 //!   a time and *chooses* who runs next, so a test can deterministically
 //!   explore thread interleavings (seeded random walk and
-//!   bounded-preemption strategies), detect deadlocks and lock-order
-//!   inversions against the declared [`hierarchy::LockLevel`] table,
-//!   and print a replayable schedule string on failure.
+//!   bounded-preemption strategies, pruned by sleep-set partial-order
+//!   reduction), detect deadlocks and lock-order inversions against the
+//!   declared [`hierarchy::LockLevel`] table, track the happens-before
+//!   relation with vector clocks keyed on the `Ordering` each atomic
+//!   call site passes, report data races on [`CheckCell`] data as two
+//!   labeled sites, and print a replayable schedule string on failure.
 //!
 //! Model tests live in this crate's `tests/` directory behind
 //! `#![cfg(pario_check)]` and drive the *real* production types
@@ -38,6 +41,8 @@ mod passthrough;
 #[cfg(not(pario_check))]
 pub use passthrough::*;
 
+#[cfg(pario_check)]
+mod clocks;
 #[cfg(pario_check)]
 mod sched;
 

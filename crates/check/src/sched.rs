@@ -22,12 +22,30 @@
 //! ([`LockLevel`]): acquiring a ranked lock while holding one of equal
 //! or higher rank is reported as a lock-order inversion even if the
 //! particular schedule did not deadlock.
+//!
+//! On top of scheduling, the scheduler maintains the happens-before
+//! relation of the run as vector clocks ([`crate::clocks`]): spawn,
+//! join, lock hand-off, condvar notify→wake, and release/acquire
+//! atomic pairs each propagate clocks — keyed on the `Ordering` the
+//! call site actually passes, so `Relaxed` correctly propagates
+//! nothing. [`crate::CheckCell`] accesses are checked against those
+//! clocks and a concurrent conflicting pair is reported as a
+//! [`FailureKind::DataRace`] with both sites labeled.
+//!
+//! Each yield point carries an [`OpTag`] naming the object about to be
+//! touched; the scheduler uses the tags for a sleep-set partial-order
+//! reduction (a thread whose next operation is independent of
+//! everything executed since it was last considered is not re-picked —
+//! running it now would only permute independent operations) and for
+//! the Foata canonical trace hash that counts distinct schedules by
+//! equivalence class rather than by raw decision string.
 
-use std::collections::HashMap;
-use std::panic::resume_unwind;
+use std::collections::{HashMap, HashSet};
+use std::panic::{resume_unwind, Location};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
 
+use crate::clocks::{CellMeta, Foata, Site, VClock};
 use crate::hierarchy::LockLevel;
 
 /// Forced preemption threshold: a thread that passes this many
@@ -51,6 +69,53 @@ pub(crate) enum FailureKind {
     Panic,
     /// The schedule exceeded [`MAX_STEPS`] decisions.
     Runaway,
+    /// Two unsynchronized accesses to a [`crate::CheckCell`], at least
+    /// one a write, with no happens-before edge between them.
+    DataRace,
+}
+
+/// What kind of operation a yield point is about to perform; drives the
+/// independence relation behind the sleep sets and the canonical trace
+/// hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    AtomicLoad,
+    AtomicStore,
+    AtomicRmw,
+    CellRead,
+    CellWrite,
+    Lock,
+    /// Conservatively dependent with everything (spawn, notify, and any
+    /// untagged yield).
+    Global,
+}
+
+/// A yield point's pending operation: which object, what kind.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpTag {
+    pub(crate) obj: usize,
+    pub(crate) kind: OpKind,
+}
+
+impl OpTag {
+    pub(crate) const GLOBAL: OpTag = OpTag {
+        obj: 0,
+        kind: OpKind::Global,
+    };
+
+    fn read_like(self) -> bool {
+        matches!(self.kind, OpKind::AtomicLoad | OpKind::CellRead)
+    }
+
+    /// Two operations are dependent iff reordering them can change the
+    /// outcome: anything global, or two accesses to the same object
+    /// that are not both read-like.
+    fn dependent(self, other: OpTag) -> bool {
+        if self.kind == OpKind::Global || other.kind == OpKind::Global {
+            return true;
+        }
+        self.obj == other.obj && !(self.read_like() && other.read_like())
+    }
 }
 
 /// A recorded model-run failure: what happened plus the schedule that
@@ -132,6 +197,23 @@ struct ThreadState {
     held: Vec<(usize, LockLevel)>,
     /// Consecutive decisions that kept this thread running.
     streak: u32,
+    /// This thread's happens-before knowledge.
+    clock: VClock,
+    /// The operation the thread will perform when next scheduled
+    /// (set at its yield point, consumed when it is picked).
+    pending: Option<OpTag>,
+}
+
+impl ThreadState {
+    fn new(status: Status, clock: VClock) -> ThreadState {
+        ThreadState {
+            status,
+            held: Vec::new(),
+            streak: 0,
+            clock,
+            pending: None,
+        }
+    }
 }
 
 struct LockState {
@@ -147,6 +229,26 @@ struct State {
     trace: Vec<usize>,
     failure: Option<Failure>,
     abort: bool,
+    /// Clock published by the last release of each lock.
+    lock_clocks: HashMap<usize, VClock>,
+    /// Clock accumulated by notifies of each condvar.
+    cv_clocks: HashMap<usize, VClock>,
+    /// Clock accumulated by release-writes to each checked atomic.
+    atomic_clocks: HashMap<usize, VClock>,
+    /// FastTrack access metadata per [`crate::CheckCell`], keyed by the
+    /// cell's address and carrying its label.
+    cells: HashMap<usize, (&'static str, CellMeta)>,
+    /// Sleep set: Ready threads whose pending operation is independent
+    /// of everything executed since they were passed over.
+    sleep: HashSet<usize>,
+    /// Decisions taken while the sleep set was non-empty; cleared with
+    /// the set. Bounds how long a sleeper can be deferred, so a
+    /// busy-wait polling independent state cannot starve the thread it
+    /// is waiting for (trace equivalence holds per finite prefix, but a
+    /// walk does not backtrack — liveness needs the bound).
+    sleep_age: u32,
+    /// Canonical (order-insensitive) hash of the executed operations.
+    foata: Foata,
 }
 
 /// One model run's scheduler. Shared by every model thread of the run
@@ -181,13 +283,14 @@ pub(crate) fn set_current(ctx: Option<(Arc<Sched>, usize)>) {
 impl Sched {
     /// A scheduler whose root thread (tid 0) is already running.
     pub(crate) fn new(decider: Decider) -> Sched {
+        // Every thread's clock starts with its own component at 1, so a
+        // fresh thread's accesses are never mistaken for ordered-after
+        // by a clock that has merely never heard of it (zero default).
+        let mut root_clock = VClock::default();
+        root_clock.bump(0);
         Sched {
             state: StdMutex::new(State {
-                threads: vec![ThreadState {
-                    status: Status::Running,
-                    held: Vec::new(),
-                    streak: 0,
-                }],
+                threads: vec![ThreadState::new(Status::Running, root_clock)],
                 current: 0,
                 locks: HashMap::new(),
                 cv_waiters: HashMap::new(),
@@ -195,6 +298,13 @@ impl Sched {
                 trace: Vec::new(),
                 failure: None,
                 abort: false,
+                lock_clocks: HashMap::new(),
+                cv_clocks: HashMap::new(),
+                atomic_clocks: HashMap::new(),
+                cells: HashMap::new(),
+                sleep: HashSet::new(),
+                sleep_age: 0,
+                foata: Foata::default(),
             }),
             cv: StdCondvar::new(),
             aborted: AtomicBool::new(false),
@@ -230,16 +340,17 @@ impl Sched {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Register a new model thread; returns its tid (caller spawns the
-    /// real thread).
-    pub(crate) fn register_thread(&self) -> usize {
+    /// Register a new model thread spawned by `parent`; returns its tid
+    /// (caller spawns the real thread). Spawn is a happens-before edge:
+    /// the child starts with everything the parent has seen.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
         let mut st = self.lock_state();
-        st.threads.push(ThreadState {
-            status: Status::Ready,
-            held: Vec::new(),
-            streak: 0,
-        });
-        st.threads.len() - 1
+        let tid = st.threads.len();
+        let mut clock = st.threads[parent].clock.clone();
+        clock.bump(tid);
+        st.threads[parent].clock.bump(parent);
+        st.threads.push(ThreadState::new(Status::Ready, clock));
+        tid
     }
 
     /// The failure recorded for this run, if any.
@@ -265,16 +376,56 @@ impl Sched {
         false
     }
 
-    /// Plain yield point (atomic ops, lock-acquire entry): let the
-    /// scheduler pick who runs next.
+    /// Plain yield point with no object information (conservatively
+    /// dependent with everything).
     pub(crate) fn yield_point(&self, me: usize) {
+        self.yield_op(me, OpTag::GLOBAL);
+    }
+
+    /// Tagged yield point: let the scheduler pick who runs next,
+    /// knowing what `me` will do when it resumes.
+    pub(crate) fn yield_op(&self, me: usize, tag: OpTag) {
         if self.abort_gate() {
             return;
         }
         let mut st = self.lock_state();
         st.threads[me].status = Status::Ready;
+        st.threads[me].pending = Some(tag);
         self.pick_next(&mut st, me);
         self.wait_until_running(st, me);
+    }
+
+    /// Grant the lock at `addr` to `me` (hierarchy check, ownership,
+    /// acquire edge from the last release).
+    fn grant_lock(&self, st: &mut State, me: usize, addr: usize, level: LockLevel) {
+        self.check_hierarchy(st, me, addr, level);
+        st.locks.insert(addr, LockState { owner: Some(me) });
+        if level != LockLevel::Unranked {
+            st.threads[me].held.push((addr, level));
+        }
+        let State {
+            lock_clocks,
+            threads,
+            ..
+        } = st;
+        if let Some(lc) = lock_clocks.get(&addr) {
+            threads[me].clock.join(lc);
+        }
+    }
+
+    /// Release edge: publish `me`'s clock to the lock at `addr` and
+    /// advance past the published point.
+    fn publish_lock(st: &mut State, me: usize, addr: usize) {
+        let State {
+            lock_clocks,
+            threads,
+            ..
+        } = st;
+        lock_clocks
+            .entry(addr)
+            .or_default()
+            .join(&threads[me].clock);
+        threads[me].clock.bump(me);
     }
 
     /// Acquire the model lock at `addr` (ranked `level`), blocking at
@@ -285,7 +436,13 @@ impl Sched {
             return;
         }
         // Acquisition is a decision point: others may run first.
-        self.yield_point(me);
+        self.yield_op(
+            me,
+            OpTag {
+                obj: addr,
+                kind: OpKind::Lock,
+            },
+        );
         let mut st = self.lock_state();
         loop {
             let owned = st
@@ -293,11 +450,7 @@ impl Sched {
                 .get(&addr)
                 .is_some_and(|l| l.owner.is_some_and(|o| o != me));
             if !owned {
-                self.check_hierarchy(&mut st, me, addr, level);
-                st.locks.insert(addr, LockState { owner: Some(me) });
-                if level != LockLevel::Unranked {
-                    st.threads[me].held.push((addr, level));
-                }
+                self.grant_lock(&mut st, me, addr, level);
                 return;
             }
             st.threads[me].status = Status::BlockedLock(addr);
@@ -312,7 +465,13 @@ impl Sched {
         if self.abort_gate() {
             return true;
         }
-        self.yield_point(me);
+        self.yield_op(
+            me,
+            OpTag {
+                obj: addr,
+                kind: OpKind::Lock,
+            },
+        );
         let mut st = self.lock_state();
         let owned = st
             .locks
@@ -321,11 +480,7 @@ impl Sched {
         if owned {
             return false;
         }
-        self.check_hierarchy(&mut st, me, addr, level);
-        st.locks.insert(addr, LockState { owner: Some(me) });
-        if level != LockLevel::Unranked {
-            st.threads[me].held.push((addr, level));
-        }
+        self.grant_lock(&mut st, me, addr, level);
         true
     }
 
@@ -339,6 +494,7 @@ impl Sched {
             }
         }
         st.threads[me].held.retain(|&(a, _)| a != addr);
+        Self::publish_lock(&mut st, me, addr);
         let mut woke = false;
         for t in st.threads.iter_mut() {
             if t.status == Status::BlockedLock(addr) {
@@ -365,6 +521,7 @@ impl Sched {
                 }
             }
             st.threads[me].held.retain(|&(a, _)| a != lock_addr);
+            Self::publish_lock(&mut st, me, lock_addr);
             let mut woke = false;
             for t in st.threads.iter_mut() {
                 if t.status == Status::BlockedLock(lock_addr) {
@@ -378,7 +535,15 @@ impl Sched {
             st.cv_waiters.entry(cv_addr).or_default().push(me);
             st.threads[me].status = Status::BlockedCv(cv_addr);
             self.pick_next(&mut st, me);
-            let st = self.wait_until_running_locked(st, me);
+            let mut st = self.wait_until_running_locked(st, me);
+            // Woken by a notify: absorb the notifiers' published clocks
+            // (the actual waker's clock is among them).
+            let State {
+                cv_clocks, threads, ..
+            } = &mut *st;
+            if let Some(cc) = cv_clocks.get(&cv_addr) {
+                threads[me].clock.join(cc);
+            }
             drop(st);
         }
         // Woken: re-acquire the lock (no extra yield; being scheduled
@@ -390,11 +555,7 @@ impl Sched {
                 .get(&lock_addr)
                 .is_some_and(|l| l.owner.is_some_and(|o| o != me));
             if !owned {
-                self.check_hierarchy(&mut st, me, lock_addr, level);
-                st.locks.insert(lock_addr, LockState { owner: Some(me) });
-                if level != LockLevel::Unranked {
-                    st.threads[me].held.push((lock_addr, level));
-                }
+                self.grant_lock(&mut st, me, lock_addr, level);
                 return;
             }
             st.threads[me].status = Status::BlockedLock(lock_addr);
@@ -411,6 +572,17 @@ impl Sched {
         }
         {
             let mut st = self.lock_state();
+            // Notify edge: whoever wakes will absorb this clock.
+            {
+                let State {
+                    cv_clocks, threads, ..
+                } = &mut *st;
+                cv_clocks
+                    .entry(cv_addr)
+                    .or_default()
+                    .join(&threads[me].clock);
+                threads[me].clock.bump(me);
+            }
             let n_waiting = st.cv_waiters.get(&cv_addr).map_or(0, Vec::len);
             let woken: Vec<usize> = if n_waiting == 0 {
                 Vec::new()
@@ -457,7 +629,8 @@ impl Sched {
         self.yield_point(me);
     }
 
-    /// Block until thread `tid` finishes.
+    /// Block until thread `tid` finishes. Join is a happens-before
+    /// edge: the joiner absorbs everything the child did.
     pub(crate) fn join(&self, me: usize, tid: usize) {
         if self.abort_gate() {
             return;
@@ -467,6 +640,88 @@ impl Sched {
             st.threads[me].status = Status::BlockedJoin(tid);
             self.pick_next(&mut st, me);
             st = self.wait_until_running_locked(st, me);
+        }
+        let child = st.threads[tid].clock.clone();
+        st.threads[me].clock.join(&child);
+    }
+
+    /// Apply the happens-before edges of an atomic operation that just
+    /// executed on the atomic at `addr`: an acquire side joins the
+    /// atomic's published clock into the thread, a release side
+    /// publishes the thread's clock to the atomic. `Relaxed` passes
+    /// `(false, false)` and propagates nothing.
+    pub(crate) fn atomic_sync(&self, me: usize, addr: usize, acquire: bool, release: bool) {
+        if !acquire && !release {
+            return;
+        }
+        if self.aborted.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut st = self.lock_state();
+        let State {
+            atomic_clocks,
+            threads,
+            ..
+        } = &mut *st;
+        let w = atomic_clocks.entry(addr).or_default();
+        if acquire {
+            threads[me].clock.join(w);
+        }
+        if release {
+            w.join(&threads[me].clock);
+            threads[me].clock.bump(me);
+        }
+    }
+
+    /// A [`crate::CheckCell`] access: a tagged yield point followed by
+    /// a FastTrack check of the access against the happens-before
+    /// clocks. A conflicting concurrent pair fails the run as a
+    /// [`FailureKind::DataRace`] naming both sites.
+    pub(crate) fn cell_access(
+        &self,
+        me: usize,
+        addr: usize,
+        label: &'static str,
+        write: bool,
+        loc: &'static Location<'static>,
+    ) {
+        if self.abort_gate() {
+            return;
+        }
+        self.yield_op(
+            me,
+            OpTag {
+                obj: addr,
+                kind: if write {
+                    OpKind::CellWrite
+                } else {
+                    OpKind::CellRead
+                },
+            },
+        );
+        let mut st = self.lock_state();
+        if st.abort {
+            return;
+        }
+        let clock = st.threads[me].clock.clone();
+        let site = Site { tid: me, loc };
+        let meta = &mut st
+            .cells
+            .entry(addr)
+            .or_insert_with(|| (label, CellMeta::new()))
+            .1;
+        let res = if write {
+            meta.on_write(me, &clock, site)
+        } else {
+            meta.on_read(me, &clock, site)
+        };
+        if let Err(prior) = res {
+            let this_kind = if write { "write" } else { "read" };
+            let msg = format!(
+                "data race on `{label}`: {} by thread {} at {} is concurrent with {} by thread {} at {}",
+                prior.kind, prior.site.tid, prior.site.loc, this_kind, me, loc,
+            );
+            self.fail_locked(&mut st, FailureKind::DataRace, msg);
         }
     }
 
@@ -491,6 +746,11 @@ impl Sched {
     /// down. Does not unwind the caller.
     pub(crate) fn fail(&self, kind: FailureKind, message: String) {
         let mut st = self.lock_state();
+        self.fail_locked(&mut st, kind, message);
+    }
+
+    /// [`Sched::fail`] with the state lock already held.
+    fn fail_locked(&self, st: &mut State, kind: FailureKind, message: String) {
         if st.failure.is_none() {
             let replay = trace_string(&st.trace);
             st.failure = Some(Failure {
@@ -530,17 +790,7 @@ impl Sched {
                 held.name(),
                 held.rank(),
             );
-            let replay = trace_string(&st.trace);
-            if st.failure.is_none() {
-                st.failure = Some(Failure {
-                    kind: FailureKind::LockOrder,
-                    message: msg,
-                    replay,
-                });
-            }
-            st.abort = true;
-            self.aborted.store(true, Ordering::Relaxed);
-            self.cv.notify_all();
+            self.fail_locked(st, FailureKind::LockOrder, msg);
         }
     }
 
@@ -589,34 +839,55 @@ impl Sched {
                     _ => format!("thread {i} in state {:?}", t.status),
                 })
                 .collect();
-            let replay = trace_string(&st.trace);
-            if st.failure.is_none() {
-                st.failure = Some(Failure {
-                    kind: FailureKind::Deadlock,
-                    message: format!("deadlock: {}", detail.join("; ")),
-                    replay,
-                });
-            }
-            st.abort = true;
-            self.aborted.store(true, Ordering::Relaxed);
-            self.cv.notify_all();
+            self.fail_locked(
+                st,
+                FailureKind::Deadlock,
+                format!("deadlock: {}", detail.join("; ")),
+            );
             return;
         }
-        let chosen = if ready.len() == 1 {
-            ready[0]
+        // Sleep-set partial-order reduction: a sleeping thread's next
+        // operation commutes with everything executed since it was put
+        // to sleep, so scheduling it now reaches a state some other
+        // schedule already covers. Deadlock detection above uses the
+        // full ready set — sleep never hides a runnable thread there.
+        // The age bound keeps the walk live: deferring a sleeper is
+        // equivalence-preserving per step, but a poll loop over
+        // independent state would otherwise defer it forever.
+        if !st.sleep.is_empty() {
+            st.sleep_age += 1;
+            if st.sleep_age > FAIRNESS_LIMIT {
+                st.sleep.clear();
+            }
+        }
+        if st.sleep.is_empty() {
+            st.sleep_age = 0;
+        }
+        let mut candidates: Vec<usize> = ready
+            .iter()
+            .copied()
+            .filter(|t| !st.sleep.contains(t))
+            .collect();
+        if candidates.is_empty() {
+            st.sleep.clear();
+            st.sleep_age = 0;
+            candidates = ready;
+        }
+        let chosen = if candidates.len() == 1 {
+            candidates[0]
         } else {
             let prev = st.current;
             let streak = st.threads[prev].streak;
             let pick = match &mut st.decider {
-                Decider::Random(rng) => ready[rng.below(ready.len())],
+                Decider::Random(rng) => candidates[rng.below(candidates.len())],
                 Decider::BoundedPreemption { rng, remaining } => {
-                    let continuing = ready.contains(&prev) && prev == me;
+                    let continuing = candidates.contains(&prev) && prev == me;
                     if continuing && streak < FAIRNESS_LIMIT {
                         let preempt = *remaining > 0 && rng.next() % 4 == 0;
                         if preempt {
                             *remaining -= 1;
                             let others: Vec<usize> =
-                                ready.iter().copied().filter(|&t| t != prev).collect();
+                                candidates.iter().copied().filter(|&t| t != prev).collect();
                             others[rng.below(others.len())]
                         } else {
                             prev
@@ -624,24 +895,50 @@ impl Sched {
                     } else if continuing {
                         // Fairness fallback: forced switch.
                         let others: Vec<usize> =
-                            ready.iter().copied().filter(|&t| t != prev).collect();
+                            candidates.iter().copied().filter(|&t| t != prev).collect();
                         others[rng.below(others.len())]
                     } else {
-                        ready[rng.below(ready.len())]
+                        candidates[rng.below(candidates.len())]
                     }
                 }
                 Decider::Replay { tids, at } => {
                     let want = tids.get(*at).copied();
                     *at += 1;
                     match want {
-                        Some(t) if ready.contains(&t) => t,
-                        _ => ready[0],
+                        Some(t) if candidates.contains(&t) => t,
+                        _ => candidates[0],
                     }
                 }
             };
             st.trace.push(pick);
             pick
         };
+        // The chosen thread's pending operation executes next: fold it
+        // into the canonical trace hash, wake sleepers that depend on
+        // it, and put passed-over candidates whose next operation is
+        // independent of it to sleep.
+        st.sleep.remove(&chosen);
+        if let Some(tag) = st.threads[chosen].pending.take() {
+            st.foata.record(
+                chosen,
+                tag.obj,
+                tag.kind as u8,
+                tag.read_like(),
+                tag.kind == OpKind::Global,
+            );
+            let State { sleep, threads, .. } = &mut *st;
+            sleep.retain(|&u| matches!(threads[u].pending, Some(p) if !p.dependent(tag)));
+            for &u in &candidates {
+                if u == chosen {
+                    continue;
+                }
+                if let Some(p) = threads[u].pending {
+                    if !p.dependent(tag) {
+                        sleep.insert(u);
+                    }
+                }
+            }
+        }
         if chosen == st.current {
             st.threads[chosen].streak += 1;
         } else {
@@ -695,17 +992,10 @@ pub(crate) fn parse_trace(s: &str) -> Vec<usize> {
         .collect()
 }
 
-/// FNV-1a over the schedule, used to count distinct schedules.
-pub(crate) fn trace_hash(trace: &[usize]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &t in trace {
-        h ^= t as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-/// The full recorded trace (owned) — explorer uses it for hashing.
-pub(crate) fn take_trace(sched: &Sched) -> Vec<usize> {
-    sched.lock_state().trace.clone()
+/// The canonical (Foata) hash of the executed schedule: equal for
+/// schedules that only permute independent operations. The explorer
+/// counts distinct schedules with this, so the count reflects
+/// genuinely different interleavings, not decision-string noise.
+pub(crate) fn canonical_hash(sched: &Sched) -> u64 {
+    sched.lock_state().foata.hash()
 }

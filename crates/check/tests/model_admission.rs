@@ -12,7 +12,7 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use pario_check::{spawn, AtomicU64, Config, Explorer, Mutex};
+use pario_check::{spawn, AtomicU64, CheckCell, Config, Explorer, Mutex};
 use pario_server::admission::{Admission, AdmissionKind};
 use pario_server::Saturation;
 
@@ -108,6 +108,60 @@ fn check_fifo_and_rotation(kind: AdmissionKind, iterations: usize) {
         assert_eq!(adm.stats().total_admitted, 4);
     });
     assert!(report.failure.is_none(), "{kind:?}: {:?}", report.failure);
+}
+
+/// The permit is a synchronizer: work done under it happens-before the
+/// next holder's work. Proved by the happens-before detector on a plain
+/// (non-atomic) cell mutated under a limit-1 admission — any missing
+/// release/acquire edge in the packed-state protocol, fast path or
+/// parked hand-off, surfaces as a data race. Excluded under the demo
+/// cfg, which deliberately breaks exactly this edge.
+#[cfg(not(pario_check_demo))]
+fn check_permit_publishes(kind: AdmissionKind, iterations: usize) -> usize {
+    let report = Explorer::new(Config::new(iterations)).run(move || {
+        let adm = Arc::new(Admission::with_kind(1, Saturation::Block, kind));
+        let cell = Arc::new(CheckCell::new_labeled(0u64, "under-permit"));
+        let mut hs = Vec::new();
+        // Four threads × two rounds: eight dependent critical sections
+        // give a Mazurkiewicz class space in the thousands, so the
+        // ≥1000-distinct assertion below measures genuine coverage.
+        for t in 1..=4u64 {
+            let (adm, cell) = (Arc::clone(&adm), Arc::clone(&cell));
+            hs.push(spawn(move || {
+                for _ in 0..2 {
+                    let p = adm.acquire(t).expect("block policy never rejects");
+                    cell.with_mut(|v| *v += t);
+                    drop(p);
+                }
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(cell.get(), 20, "an increment was lost");
+    });
+    assert!(report.failure.is_none(), "{kind:?}: {:?}", report.failure);
+    report.distinct
+}
+
+#[cfg(not(pario_check_demo))]
+#[test]
+fn permit_release_publishes_to_next_holder() {
+    let distinct = check_permit_publishes(AdmissionKind::Fast, 1500);
+    assert!(
+        distinct >= 1000,
+        "only {distinct} distinct schedules (fast)"
+    );
+}
+
+#[cfg(not(pario_check_demo))]
+#[test]
+fn permit_release_publishes_on_legacy_baseline() {
+    let distinct = check_permit_publishes(AdmissionKind::LegacyMutex, 4000);
+    assert!(
+        distinct >= 1000,
+        "only {distinct} distinct schedules (legacy)"
+    );
 }
 
 #[test]

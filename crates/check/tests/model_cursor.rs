@@ -12,7 +12,7 @@ use pario_core::SharedCursor;
 /// limit is claimed exactly once and claims past the limit all fail.
 #[test]
 fn ss_claims_are_exactly_once() {
-    let report = Explorer::new(Config::new(1500)).run(|| {
+    let report = Explorer::new(Config::new(4000)).run(|| {
         let cur = Arc::new(SharedCursor::new(0));
         let got = Arc::new(Mutex::new(Vec::new()));
         let mut hs = Vec::new();
@@ -46,7 +46,7 @@ fn ss_claims_are_exactly_once() {
 /// exactly-once without any limit check.
 #[test]
 fn unbounded_claims_are_exactly_once() {
-    let report = Explorer::new(Config::new(1200)).run(|| {
+    let report = Explorer::new(Config::new(12000)).run(|| {
         let cur = Arc::new(SharedCursor::new(0));
         let got = Arc::new(Mutex::new(Vec::new()));
         let mut hs = Vec::new();

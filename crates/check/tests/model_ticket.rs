@@ -16,7 +16,7 @@ const BS: usize = 64;
 /// in-flight gauge returns to zero (no lost or double-counted ticket).
 #[test]
 fn tickets_complete_with_exact_accounting() {
-    let report = Explorer::new(Config::new(1200)).run(|| {
+    let report = Explorer::new(Config::new(2500)).run(|| {
         let dev = mem_array(1, 64, BS).remove(0);
         let node = IoNode::spawn(dev);
         let handle = node.device();

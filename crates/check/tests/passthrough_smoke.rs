@@ -5,7 +5,7 @@
 
 use std::sync::atomic::Ordering;
 
-use pario_check::{AtomicU64, Condvar, LockLevel, Mutex, RwLock};
+use pario_check::{AtomicU64, CheckCell, Condvar, LockLevel, Mutex, RacyCell, RwLock};
 
 #[test]
 fn passthrough_types_are_zero_overhead() {
@@ -18,6 +18,28 @@ fn passthrough_types_are_zero_overhead() {
         std::mem::size_of::<parking_lot::Condvar>(),
     );
     assert_eq!(std::mem::size_of::<AtomicU64>(), std::mem::size_of::<u64>(),);
+    // CheckCell is a bare UnsafeCell in normal builds: the label and the
+    // clock metadata exist only under --cfg pario_check.
+    assert_eq!(
+        std::mem::size_of::<CheckCell<u64>>(),
+        std::mem::size_of::<u64>()
+    );
+    assert_eq!(
+        std::mem::size_of::<RacyCell<[u8; 24]>>(),
+        std::mem::size_of::<[u8; 24]>()
+    );
+}
+
+#[test]
+fn check_cell_passthrough_works() {
+    let cell = CheckCell::new_labeled(3u64, "smoke");
+    assert_eq!(cell.get(), 3);
+    cell.set(4);
+    cell.with_mut(|v| *v += 1);
+    assert_eq!(cell.with(|v| *v), 5);
+    let mut cell = cell;
+    *cell.get_mut() += 1;
+    assert_eq!(cell.into_inner(), 6);
 }
 
 #[test]

@@ -98,13 +98,13 @@ impl SharedCursor {
     /// Read the position without ordering (for use under an external
     /// lock — the big-lock baseline).
     pub fn peek_relaxed(&self) -> u64 {
-        self.pos.load(Ordering::Relaxed)
+        self.pos.load(Ordering::Relaxed) // ordering: caller holds the big lock, which orders the access
     }
 
     /// Set the position without ordering (for use under an external
     /// lock — the big-lock baseline).
     pub fn set_relaxed(&self, v: u64) {
-        self.pos.store(v, Ordering::Relaxed);
+        self.pos.store(v, Ordering::Relaxed); // ordering: caller holds the big lock, which orders the access
     }
 }
 

@@ -28,11 +28,11 @@
 //!
 //! [`heal`]: BlockDevice::heal
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use pario_check::AtomicU64;
+use pario_check::{AtomicBool, AtomicU64};
 
 use crate::device::{BlockDevice, DeviceRef, IoCounters};
 use crate::error::{DiskError, Result};
@@ -150,11 +150,11 @@ impl FaultDevice {
     /// Injection counters so far.
     pub fn counts(&self) -> FaultCounts {
         FaultCounts {
-            ops: self.op.load(Ordering::Relaxed),
-            transients: self.transients.load(Ordering::Relaxed),
-            spikes: self.spikes.load(Ordering::Relaxed),
-            torn_writes: self.torn_writes.load(Ordering::Relaxed),
-            failed_ops: self.failed_ops.load(Ordering::Relaxed),
+            ops: self.op.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            transients: self.transients.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            spikes: self.spikes.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            torn_writes: self.torn_writes.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            failed_ops: self.failed_ops.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
         }
     }
 
@@ -167,7 +167,7 @@ impl FaultDevice {
     /// fail-stop trip. `Err` means the operation must not proceed.
     fn admit(&self) -> Result<Option<Outcome>> {
         if self.tripped.load(Ordering::SeqCst) || self.inner.is_failed() {
-            self.failed_ops.fetch_add(1, Ordering::Relaxed);
+            self.failed_ops.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
             return Err(DiskError::DeviceFailed {
                 device: self.label(),
             });
@@ -175,13 +175,13 @@ impl FaultDevice {
         if !self.armed.load(Ordering::SeqCst) {
             return Ok(None);
         }
-        let slot = self.op.fetch_add(1, Ordering::Relaxed);
+        let slot = self.op.fetch_add(1, Ordering::Relaxed); // ordering: schedule slot needs uniqueness, not ordering
         if let Some(k) = self.plan.fail_after {
             if slot >= k && !self.consumed.swap(true, Ordering::SeqCst) {
                 self.tripped.store(true, Ordering::SeqCst);
             }
             if self.tripped.load(Ordering::SeqCst) {
-                self.failed_ops.fetch_add(1, Ordering::Relaxed);
+                self.failed_ops.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
                 return Err(DiskError::DeviceFailed {
                     device: self.label(),
                 });
@@ -194,14 +194,14 @@ impl FaultDevice {
             torn: unit(splitmix64(base ^ 3)) < self.plan.torn_write_rate,
         };
         if outcome.spike {
-            self.spikes.fetch_add(1, Ordering::Relaxed);
+            self.spikes.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
             std::thread::sleep(self.plan.spike);
         }
         Ok(Some(outcome))
     }
 
     fn transient(&self) -> DiskError {
-        self.transients.fetch_add(1, Ordering::Relaxed);
+        self.transients.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         DiskError::Transient {
             device: self.label(),
         }
@@ -245,7 +245,7 @@ impl BlockDevice for FaultDevice {
             Some(o) if o.torn && nblocks > 1 => {
                 // Land a prefix, then report the write as failed — the
                 // torn tail is exactly what redundancy must repair.
-                self.torn_writes.fetch_add(1, Ordering::Relaxed);
+                self.torn_writes.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
                 self.inner
                     .write_blocks_at(block, &data[..bs * (nblocks / 2)])?;
                 Err(self.transient())

@@ -7,7 +7,9 @@
 
 use std::fs::{File, OpenOptions};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use pario_check::{AtomicBool, AtomicU64};
 
 use crate::device::{BlockDevice, IoCounters};
 use crate::error::{DiskError, Result};
@@ -137,8 +139,8 @@ impl BlockDevice for FileDisk {
         self.check(block, buf.len())?;
         self.file
             .read_exact_at(buf, block * self.block_size as u64)?;
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        self.blocks_read.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         Ok(())
     }
 
@@ -146,8 +148,8 @@ impl BlockDevice for FileDisk {
         self.check(block, data.len())?;
         self.file
             .write_all_at(data, block * self.block_size as u64)?;
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.blocks_written.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        self.blocks_written.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         Ok(())
     }
 
@@ -159,8 +161,8 @@ impl BlockDevice for FileDisk {
         }
         self.file
             .read_exact_at(buf, block * self.block_size as u64)?;
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.blocks_read.fetch_add(nblocks, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        self.blocks_read.fetch_add(nblocks, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         Ok(())
     }
 
@@ -172,8 +174,8 @@ impl BlockDevice for FileDisk {
         }
         self.file
             .write_all_at(data, block * self.block_size as u64)?;
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.blocks_written.fetch_add(nblocks, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        self.blocks_written.fetch_add(nblocks, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         Ok(())
     }
 
@@ -184,10 +186,10 @@ impl BlockDevice for FileDisk {
 
     fn counters(&self) -> IoCounters {
         IoCounters {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            blocks_read: self.blocks_read.load(Ordering::Relaxed),
-            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            writes: self.writes.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            blocks_read: self.blocks_read.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            blocks_written: self.blocks_written.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
         }
     }
 

@@ -192,14 +192,14 @@ struct Shared {
 impl Shared {
     fn snapshot(&self) -> IoNodeStats {
         IoNodeStats {
-            serviced: self.serviced.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
-            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
-            queue_wait_nanos: self.queue_wait_nanos.load(Ordering::Relaxed),
-            service_nanos: self.service_nanos.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
+            serviced: self.serviced.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            in_flight: self.in_flight.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            queue_wait_nanos: self.queue_wait_nanos.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            service_nanos: self.service_nanos.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            retries: self.retries.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            timeouts: self.timeouts.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            panics: self.panics.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
         }
     }
 }
@@ -405,10 +405,10 @@ fn worker(inner: DeviceRef, shared: &Shared, queue_rx: &Receiver<Queued>) {
     // Stats are settled BEFORE the reply is sent, so a client that
     // observes its request complete also observes it counted.
     let complete = |wait: u64, service: u64| {
-        shared.serviced.fetch_add(1, Ordering::Relaxed);
-        shared.queue_wait_nanos.fetch_add(wait, Ordering::Relaxed);
-        shared.service_nanos.fetch_add(service, Ordering::Relaxed);
-        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.serviced.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        shared.queue_wait_nanos.fetch_add(wait, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        shared.service_nanos.fetch_add(service, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed); // ordering: stats gauge; completion is published by the ticket
     };
     loop {
         if pending.is_empty() {
@@ -478,7 +478,7 @@ fn execute<T>(
 ) -> Result<T> {
     let expired = |at: Option<Instant>| at.is_some_and(|d| Instant::now() >= d);
     let timeout = || {
-        shared.timeouts.fetch_add(1, Ordering::Relaxed);
+        shared.timeouts.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         DiskError::Timeout {
             device: shared.label.clone(),
         }
@@ -494,13 +494,13 @@ fn execute<T>(
                 if expired(deadline_at) {
                     return Err(timeout());
                 }
-                shared.retries.fetch_add(1, Ordering::Relaxed);
+                shared.retries.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
                 std::thread::sleep(config.retry.backoff * (1u32 << attempt.min(16)));
                 attempt += 1;
             }
             Ok(Err(e)) => return Err(e),
             Err(_) => {
-                shared.panics.fetch_add(1, Ordering::Relaxed);
+                shared.panics.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
                 return Err(DiskError::Io(format!(
                     "device operation panicked in {}",
                     shared.label
@@ -522,18 +522,18 @@ struct IoNodeDevice {
 
 impl IoNodeDevice {
     fn enqueue(&self, req: Request) -> Result<()> {
-        let inflight = self.shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        let inflight = self.shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1; // ordering: stats gauge; the queue channel orders the hand-off
         self.shared
             .max_in_flight
-            .fetch_max(inflight, Ordering::Relaxed);
+            .fetch_max(inflight, Ordering::Relaxed); // ordering: monotonic high-water mark, diagnostic only
         self.queue_tx
             .send(Queued {
                 enqueued: Instant::now(),
-                tag: self.shared.next_tag.fetch_add(1, Ordering::Relaxed),
+                tag: self.shared.next_tag.fetch_add(1, Ordering::Relaxed), // ordering: tag needs uniqueness, not ordering
                 req,
             })
             .map_err(|_| {
-                self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                self.shared.in_flight.fetch_sub(1, Ordering::Relaxed); // ordering: stats gauge; the send failed, nothing was handed off
                 DiskError::Io("I/O node stopped".into())
             })
     }

@@ -6,7 +6,9 @@
 //! memcpy, optionally padded with a calibrated busy-wait so that I/O has a
 //! nonzero service time to overlap with computation.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use pario_check::{AtomicBool, AtomicU64};
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
@@ -163,8 +165,8 @@ impl BlockDevice for MemDisk {
         let data = self.data.read();
         let base = block as usize * self.block_size;
         buf.copy_from_slice(&data[base..base + self.block_size]);
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        self.blocks_read.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         Ok(())
     }
 
@@ -174,8 +176,8 @@ impl BlockDevice for MemDisk {
         let mut data = self.data.write();
         let base = block as usize * self.block_size;
         data[base..base + self.block_size].copy_from_slice(data_in);
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.blocks_written.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        self.blocks_written.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         Ok(())
     }
 
@@ -190,8 +192,8 @@ impl BlockDevice for MemDisk {
         let data = self.data.read();
         let base = block as usize * self.block_size;
         buf.copy_from_slice(&data[base..base + buf.len()]);
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.blocks_read.fetch_add(nblocks, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        self.blocks_read.fetch_add(nblocks, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         Ok(())
     }
 
@@ -205,17 +207,17 @@ impl BlockDevice for MemDisk {
         let mut data = self.data.write();
         let base = block as usize * self.block_size;
         data[base..base + data_in.len()].copy_from_slice(data_in);
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.blocks_written.fetch_add(nblocks, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        self.blocks_written.fetch_add(nblocks, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         Ok(())
     }
 
     fn counters(&self) -> IoCounters {
         IoCounters {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            blocks_read: self.blocks_read.load(Ordering::Relaxed),
-            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            writes: self.writes.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            blocks_read: self.blocks_read.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            blocks_written: self.blocks_written.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
         }
     }
 

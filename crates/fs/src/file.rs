@@ -11,7 +11,9 @@
 //!    logical byte stream and may straddle volume blocks; `read_span` /
 //!    `write_span` handle the block arithmetic once, for everyone above.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use pario_check::AtomicU64;
 use std::sync::Arc;
 
 use pario_buffer::{CacheReadTicket, CacheWriteTicket, VolumeCache};

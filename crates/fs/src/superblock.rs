@@ -46,7 +46,7 @@ pub(crate) fn store(vol: &Volume) -> Result<()> {
     };
     let persisted = Persisted {
         block_size: vol.block_size(),
-        next_id: vol.inner.next_id.load(Ordering::Relaxed),
+        next_id: vol.inner.next_id.load(Ordering::Relaxed), // ordering: id counter; persistence runs with the volume quiesced
         files,
     };
     let json = serde_json::to_vec(&persisted).map_err(|e| FsError::Meta(e.to_string()))?;
@@ -108,7 +108,7 @@ pub(crate) fn load(vol: &Volume) -> Result<()> {
     }
     vol.inner
         .next_id
-        .store(persisted.next_id, Ordering::Relaxed);
+        .store(persisted.next_id, Ordering::Relaxed); // ordering: id counter; recovery runs before any sharing
     let mut files = vol.inner.files.write();
     let mut alloc = vol.inner.alloc.lock();
     for meta in persisted.files {

@@ -1,10 +1,10 @@
 //! The volume: a directory of parallel files over a device array.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use pario_check::{LockLevel, Mutex, RwLock};
+use pario_check::{AtomicU64, LockLevel, Mutex, RwLock};
 
 use pario_buffer::{VolumeCache, VolumeCacheConfig, VolumeCacheStats};
 use pario_disk::{mem_array, DeviceRef, IoNode, IoNodeStats, SchedPolicy};
@@ -438,7 +438,7 @@ impl Volume {
             None => (0..nslots).collect(),
         };
         let meta = FileMeta {
-            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed), // ordering: id allocation needs uniqueness, not ordering
             name: spec.name.clone(),
             record_size: spec.record_size,
             records_per_block: spec.records_per_block,

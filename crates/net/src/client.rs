@@ -28,16 +28,12 @@ use bytes::Bytes;
 use pario_check::{AtomicU64, Condvar, LockLevel, Mutex};
 use std::sync::atomic::Ordering;
 
+use crate::credits::CreditWindow;
 use crate::error::{NetError, Result};
 use crate::frame::{client_handshake, encode_frame, read_frame, Grant, FRAME_OVERHEAD};
 use crate::proto::{decode_reply_error, Opened, Request, StatsSummary, STATUS_ERR, STATUS_OK};
 use crate::sock::{self, Sock};
 use crate::wire::{WireReader, WireWriter};
-
-struct Credits {
-    avail: u32,
-    dead: Option<NetError>,
-}
 
 struct PendingMap {
     slots: HashMap<u64, Arc<ReplySlot>>,
@@ -64,8 +60,7 @@ struct WireHalf {
 }
 
 struct ClientCore {
-    credits: Mutex<Credits>,
-    credits_cv: Condvar,
+    credits: CreditWindow,
     replies: Mutex<PendingMap>,
     wire: Mutex<WireHalf>,
     next_id: AtomicU64,
@@ -107,28 +102,16 @@ impl ClientCore {
             });
         }
 
-        {
-            let mut credits = self.credits.lock();
-            loop {
-                if let Some(e) = &credits.dead {
-                    return Err(e.clone());
-                }
-                if credits.avail > 0 {
-                    credits.avail -= 1;
-                    break;
-                }
-                self.credits_cv.wait(&mut credits);
-            }
-        }
+        self.credits.acquire()?;
 
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed); // ordering: id allocation needs uniqueness, not ordering
         let slot = Arc::new(ReplySlot::new());
         {
             let mut map = self.replies.lock();
             if let Some(e) = map.dead.clone() {
                 drop(map);
                 // lock-order: released above
-                self.release_credit();
+                self.credits.release();
                 return Err(e);
             }
             map.slots.insert(id, Arc::clone(&slot));
@@ -147,18 +130,12 @@ impl ClientCore {
         };
         if let Err(e) = sent {
             // lock-order: released above
-            self.release_credit();
+            self.credits.release();
             // lock-order: released above
             self.replies.lock().slots.remove(&id);
             return Err(NetError::Io(e.to_string()));
         }
         Ok(Pending { slot })
-    }
-
-    fn release_credit(&self) {
-        let mut credits = self.credits.lock();
-        credits.avail += 1;
-        self.credits_cv.notify_one();
     }
 
     fn call(&self, req: &Request) -> Result<Vec<u8>> {
@@ -168,11 +145,7 @@ impl ClientCore {
 
 /// The reader thread: dispatch one reply frame.
 fn dispatch(core: &ClientCore, request_id: u64, code: u8, body: Vec<u8>) {
-    {
-        let mut credits = core.credits.lock();
-        credits.avail += 1;
-        core.credits_cv.notify_one();
-    }
+    core.credits.release();
     let slot = core.replies.lock().slots.remove(&request_id);
     let Some(slot) = slot else {
         return; // an abandoned or already-failed request
@@ -191,11 +164,7 @@ fn dispatch(core: &ClientCore, request_id: u64, code: u8, body: Vec<u8>) {
 
 /// The reader thread: the connection died — fail every waiter.
 fn fail_all(core: &ClientCore, err: NetError) {
-    {
-        let mut credits = core.credits.lock();
-        credits.dead = Some(err.clone());
-        core.credits_cv.notify_all();
-    }
+    core.credits.kill(err.clone());
     let drained: Vec<Arc<ReplySlot>> = {
         let mut map = core.replies.lock();
         map.dead = Some(err.clone());
@@ -233,14 +202,7 @@ impl NetClient {
         let read_half = s.try_clone()?;
         let ctl = s.try_clone()?;
         let core = Arc::new(ClientCore {
-            credits: Mutex::new_named(
-                Credits {
-                    avail: grant.credits,
-                    dead: None,
-                },
-                LockLevel::NetCredits,
-            ),
-            credits_cv: Condvar::new(),
+            credits: CreditWindow::new(grant.credits),
             replies: Mutex::new_named(
                 PendingMap {
                     slots: HashMap::new(),

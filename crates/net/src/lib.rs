@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod credits;
 pub mod error;
 pub mod frame;
 pub mod proto;
@@ -45,6 +46,7 @@ pub use client::{
     NetClient, Pending, RemoteDirect, RemoteInterleaved, RemoteLock, RemotePartition, RemoteSeq,
     RemoteSs, SsReadTicket, SsWriteTicket,
 };
+pub use credits::CreditWindow;
 pub use error::{NetError, Result};
 pub use frame::Grant;
 pub use proto::StatsSummary;

@@ -229,7 +229,7 @@ fn accept_loop(inner: Arc<NetInner>, listener: Listener) {
         if inner.stop.load(Ordering::SeqCst) {
             return; // the shutdown wake-up connection
         }
-        let id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+        let id = inner.next_conn.fetch_add(1, Ordering::Relaxed); // ordering: id allocation needs uniqueness, not ordering
         let conn_inner = Arc::clone(&inner);
         let spawned = std::thread::Builder::new()
             .name(format!("pario-net-conn-{id}"))

@@ -162,15 +162,16 @@ impl FastAdm {
     fn count_admitted(&self, session: u64) {
         self.admitted[session as usize & (ADMITTED_STRIPES - 1)]
             .0
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
     }
 
     /// Raise a high-water mark, skipping the write once it is saturated
     /// (after warm-up the load sees the mark already at the limit and
     /// the shared line stays read-only).
     fn raise_hw(hw: &AtomicU64, candidate: u64) {
+        // ordering: monotonic high-water mark, diagnostic only
         if candidate > hw.load(Ordering::Relaxed) {
-            hw.fetch_max(candidate, Ordering::Relaxed);
+            hw.fetch_max(candidate, Ordering::Relaxed); // ordering: monotonic high-water mark, diagnostic only
         }
     }
 
@@ -245,7 +246,7 @@ impl FastAdm {
             }
         }
         if policy == Saturation::Reject {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.rejected.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
             return Err(ServerError::Busy);
         }
         let slot = Arc::new(WaitSlot::new());
@@ -269,6 +270,16 @@ impl FastAdm {
     }
 
     fn release(&self, limit: usize) {
+        // Demo weakening for the race-detector regression test: demote
+        // the fast-path success ordering to Relaxed, so releasing a
+        // permit publishes nothing and the next fast-path acquirer is
+        // unordered against work done under the permit. pario-check
+        // must catch the resulting race (see model_demo_atomic.rs).
+        // ordering: deliberately-too-weak demo bug, never in real builds
+        #[cfg(all(pario_check, pario_check_demo))]
+        const FAST_RELEASE_SUCC: Ordering = Ordering::Relaxed; // ordering: deliberately-too-weak demo bug (see above)
+        #[cfg(not(all(pario_check, pario_check_demo)))]
+        const FAST_RELEASE_SUCC: Ordering = Ordering::AcqRel;
         // Fast path: no waiters — drop in_flight and leave. The CAS
         // fails if a waiter announces concurrently (same word), so a
         // parked thread is never stranded with a free permit.
@@ -279,7 +290,7 @@ impl FastAdm {
             }
             if self
                 .state
-                .compare_exchange_weak(s, s - 1, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(s, s - 1, FAST_RELEASE_SUCC, Ordering::Acquire)
                 .is_ok()
             {
                 return;
@@ -311,13 +322,13 @@ impl FastAdm {
         let s = self.state.load(Ordering::Acquire);
         AdmissionStats {
             in_flight: (s & IF_MASK) as usize,
-            admitted_high_water: self.admitted_hw.load(Ordering::Relaxed) as usize,
-            wait_high_water: self.wait_hw.load(Ordering::Relaxed) as usize,
-            rejected: self.rejected.load(Ordering::Relaxed),
+            admitted_high_water: self.admitted_hw.load(Ordering::Relaxed) as usize, // ordering: diagnostic snapshot; staleness is acceptable
+            wait_high_water: self.wait_hw.load(Ordering::Relaxed) as usize, // ordering: diagnostic snapshot; staleness is acceptable
+            rejected: self.rejected.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
             total_admitted: self
                 .admitted
                 .iter()
-                .map(|c| c.0.load(Ordering::Relaxed))
+                .map(|c| c.0.load(Ordering::Relaxed)) // ordering: diagnostic snapshot; staleness is acceptable
                 .sum(),
         }
     }

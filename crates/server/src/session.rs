@@ -8,7 +8,9 @@
 //! the GDA byte-range locks live next to the file they protect.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use pario_check::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -134,7 +136,7 @@ impl Server {
 
     /// Connect a new client session.
     pub fn connect(&self) -> Session {
-        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed); // ordering: id allocation needs uniqueness, not ordering
         let counters = Arc::new(SessionCounters::default());
         self.inner.sessions.lock().push((id, Arc::clone(&counters)));
         Session {
@@ -153,8 +155,8 @@ impl Server {
             .iter()
             .map(|(id, c)| SessionStats {
                 id: *id,
-                reads: c.reads.load(Ordering::Relaxed),
-                writes: c.writes.load(Ordering::Relaxed),
+                reads: c.reads.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+                writes: c.writes.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
             })
             .collect();
         ServerStats::from_parts(
@@ -218,7 +220,7 @@ impl Session {
                 } else {
                     &self.counters.reads
                 };
-                c.fetch_add(1, Ordering::Relaxed);
+                c.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
                 Ok(v)
             }
             Err(ServerError::Core(CoreError::Fs(FsError::Disk(e)))) => {

@@ -3,7 +3,9 @@
 //! that device-level statistics ([`IoNodeStats`]) can be laid against to
 //! attribute time to device queues vs. transfers.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+
+use pario_check::{AtomicU64, AtomicUsize};
 use std::time::Duration;
 
 use pario_disk::IoNodeStats;
@@ -30,7 +32,7 @@ struct Stripe {
 static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % LATENCY_STRIPES;
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % LATENCY_STRIPES; // ordering: stripe index needs uniqueness, not ordering
 }
 
 /// A concurrent log₂ latency histogram.
@@ -61,7 +63,7 @@ impl LatencyHistogram {
         let idx = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         // Destructors may run after the thread-local is torn down.
         let stripe = STRIPE.try_with(|s| *s).unwrap_or(0);
-        self.stripes[stripe].buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.stripes[stripe].buckets[idx].fetch_add(1, Ordering::Relaxed); // ordering: histogram bump; read only by diagnostic snapshots
     }
 
     /// Snapshot every non-empty bucket as `(le_nanos, count)` where
@@ -72,7 +74,7 @@ impl LatencyHistogram {
                 let count = self
                     .stripes
                     .iter()
-                    .map(|s| s.buckets[i].load(Ordering::Relaxed))
+                    .map(|s| s.buckets[i].load(Ordering::Relaxed)) // ordering: diagnostic snapshot; staleness is acceptable
                     .sum::<u64>();
                 (count > 0).then_some(LatencyBucket {
                     le_nanos: 1u64 << (i + 1),

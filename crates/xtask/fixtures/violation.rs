@@ -30,3 +30,11 @@ fn inverted_locks(file: &File, vol: &Volume) {
     // ...and fs.alloc (rank 50) acquired under it: descending order.
     let _alloc = vol.alloc.lock();
 }
+
+// R4: a raw std atomic type, invisible to the race detector.
+use std::sync::atomic::AtomicU64;
+
+fn unjustified_relaxed(n: &AtomicU64) -> u64 {
+    // R5: Relaxed with no justification comment.
+    n.load(std::sync::atomic::Ordering::Relaxed)
+}

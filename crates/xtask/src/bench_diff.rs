@@ -322,4 +322,109 @@ mod tests {
         assert!(deltas.is_empty());
         assert!(regressions.is_empty());
     }
+
+    /// The scanner must round-trip anything the *actual* emitter
+    /// (`pario_bench::table::Bench`) writes: every `num`/`int`/`label`
+    /// field comes back under its key with the value bench-diff will
+    /// compare. Floats are exact (`{:?}` is the shortest round-tripping
+    /// form and `str::parse::<f64>` inverts it); integers past 2^53
+    /// compare as their nearest f64, which is also what a decimal parse
+    /// of the exact digits yields.
+    mod roundtrip {
+        use super::*;
+        use pario_bench::table::Bench;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Field {
+            Num(f64),
+            Int(u64),
+            Label(String),
+        }
+
+        /// Bench keys in the wild: lowercase metric paths, sometimes
+        /// dotted (`sweep.x025.p99_nanos`).
+        fn key() -> impl Strategy<Value = String> {
+            const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.";
+            vec(0usize..ALPHA.len(), 1..17)
+                .prop_map(|ix| ix.into_iter().map(|i| ALPHA[i] as char).collect())
+        }
+
+        /// Finite floats across the magnitudes `Bench::num` sees, so the
+        /// emitter exercises both plain (`1.5`) and exponent (`1e300`,
+        /// `6.1e-7`) notation.
+        fn float() -> impl Strategy<Value = f64> {
+            prop_oneof![
+                Just(0.0),
+                -1.0e9..1.0e9,
+                (0.0..1.0).prop_map(|x| x * 1.0e300),
+                (0.0..1.0).prop_map(|x| x * 1.0e-300),
+                (1.0e-9..1.0).prop_map(|x| -x),
+            ]
+        }
+
+        /// Label text: printable ASCII plus the escapes both the emitter
+        /// and the scanner speak (`\"`, `\\`, `\n`, `\t`). The summaries
+        /// are ASCII by construction, and the scanner is byte-wise, so
+        /// non-ASCII is out of contract.
+        fn label() -> impl Strategy<Value = String> {
+            const CHARS: &[u8] = b" abcXYZ089_-./:()%\"\\\n\t";
+            vec(0usize..CHARS.len(), 0..24)
+                .prop_map(|ix| ix.into_iter().map(|i| CHARS[i] as char).collect())
+        }
+
+        fn field() -> impl Strategy<Value = Field> {
+            prop_oneof![
+                float().prop_map(Field::Num),
+                any::<u64>().prop_map(Field::Int),
+                label().prop_map(Field::Label),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            fn parser_roundtrips_bench_output(fields in vec((key(), field()), 0..12)) {
+                let mut bench = Bench::new();
+                let mut expected: BTreeMap<String, Value> = BTreeMap::new();
+                // Apply in order: a repeated key overwrites in both the
+                // emitter's map and the expectation.
+                for (k, f) in &fields {
+                    match f {
+                        Field::Num(v) => {
+                            bench.num(k, *v);
+                            expected.insert(k.clone(), Value::Num(*v));
+                        }
+                        Field::Int(v) => {
+                            bench.int(k, *v);
+                            expected.insert(k.clone(), Value::Num(*v as f64));
+                        }
+                        Field::Label(s) => {
+                            bench.label(k, s);
+                            expected.insert(k.clone(), Value::Str(s.clone()));
+                        }
+                    }
+                }
+                let parsed = parse_flat_json(&bench.json()).expect("emitter output must parse");
+                prop_assert_eq!(parsed, expected);
+            }
+
+            fn self_diff_is_always_clean(fields in vec((key(), field()), 1..12)) {
+                let mut bench = Bench::new();
+                for (k, f) in &fields {
+                    match f {
+                        Field::Num(v) => bench.num(k, *v),
+                        Field::Int(v) => bench.int(k, *v),
+                        Field::Label(s) => bench.label(k, s),
+                    };
+                }
+                let m = parse_flat_json(&bench.json()).expect("emitter output must parse");
+                let (deltas, regressions) = compare(&m, &m, 0.10);
+                prop_assert!(regressions.is_empty(), "{:?}", regressions);
+                // Every shared numeric key self-compares at ratio 1.
+                prop_assert!(deltas.iter().all(|(_, _, _, r)| *r == 1.0), "{:?}", deltas);
+            }
+        }
+    }
 }

@@ -10,7 +10,8 @@ use std::path::Path;
 #[derive(Debug)]
 pub struct Finding {
     /// Rule id: "R1" (std-sync ban), "R2" (unwrap policy), "R3"
-    /// (lock order).
+    /// (lock order), "R4" (raw-atomic ban), "R5" (Relaxed
+    /// justification).
     pub rule: &'static str,
     pub file: String,
     pub line: usize,
@@ -124,6 +125,36 @@ pub fn lint_file(path: &Path, text: &str) -> Vec<Finding> {
             });
         }
 
+        // R4: raw atomic *types* are banned; `std::sync::atomic::Ordering`
+        // alone stays legal (the wrappers take the std Ordering enum).
+        if line.contains("std::sync::atomic") && line.contains("Atomic") {
+            out.push(Finding {
+                rule: "R4",
+                file: file.clone(),
+                line: lineno,
+                message: "raw `std::sync::atomic` type on the request path: use the \
+                          pario_check atomics so the happens-before detector sees \
+                          every operation"
+                    .to_string(),
+            });
+        }
+
+        // R5: a Relaxed ordering propagates no happens-before edge, so
+        // each use must say why that is sound.
+        let ordered = raw.contains("// ordering:")
+            || (strip_comment(prev_line).trim().is_empty() && prev_line.contains("// ordering:"));
+        if !ordered && line.contains("Ordering::Relaxed") {
+            out.push(Finding {
+                rule: "R5",
+                file: file.clone(),
+                line: lineno,
+                message: "`Ordering::Relaxed` synchronizes nothing: justify it with a \
+                          `// ordering:` comment on the same or the preceding line \
+                          (or use Acquire/Release/SeqCst)"
+                    .to_string(),
+            });
+        }
+
         let order_waived = raw.contains("// lock-order:") || prev_line.contains("// lock-order:");
         for &(pat, name, rank) in RANKED_LOCKS {
             if !line.contains(pat) {
@@ -193,6 +224,33 @@ mod tests {
         assert_eq!(v.iter().filter(|f| f.rule == "R3").count(), 1);
         let good = "fn f(&self) {\n let b = self.vol.alloc.lock();\n let a = self.state.rmw_lock.lock();\n}\n";
         assert!(lint(good).iter().all(|f| f.rule != "R3"));
+    }
+
+    #[test]
+    fn raw_atomics_are_banned_but_ordering_import_is_not() {
+        let v = lint("use std::sync::atomic::{AtomicU64, Ordering};\n");
+        assert_eq!(v.iter().filter(|f| f.rule == "R4").count(), 1);
+        let v = lint("let b = std::sync::atomic::AtomicBool::new(false);\n");
+        assert_eq!(v.iter().filter(|f| f.rule == "R4").count(), 1);
+        assert!(
+            lint("use std::sync::atomic::Ordering;\n").is_empty(),
+            "importing just the Ordering enum is legal"
+        );
+    }
+
+    #[test]
+    fn relaxed_needs_ordering_comment() {
+        let v = lint("let x = n.load(Ordering::Relaxed);\n");
+        assert_eq!(v.iter().filter(|f| f.rule == "R5").count(), 1);
+        assert!(
+            lint("let x = n.load(Ordering::Relaxed); // ordering: monotonic counter\n").is_empty()
+        );
+        assert!(
+            lint("// ordering: stats only, no reader depends on it\nlet x = n.load(Ordering::Relaxed);\n")
+                .is_empty(),
+            "a full-line ordering comment waives the next line"
+        );
+        assert!(lint("let x = n.load(Ordering::Acquire);\n").is_empty());
     }
 
     #[test]

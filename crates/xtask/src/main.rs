@@ -25,6 +25,14 @@
 //!   textual (it cannot see guard drops), so a deliberate
 //!   release-before-acquire sequence is waived with
 //!   `// lock-order: released above`.
+//! * **R4 raw-atomic ban** — request-path crates must use the
+//!   `pario-check` atomic wrappers, not `std::sync::atomic` types, so
+//!   the happens-before race detector observes every operation and the
+//!   `Ordering` it was given (importing `std::sync::atomic::Ordering`
+//!   itself is fine — the wrappers take it).
+//! * **R5 Relaxed justification** — every `Ordering::Relaxed` must
+//!   carry a `// ordering:` comment on the same or the preceding line
+//!   saying why no happens-before edge is needed there.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -106,7 +114,7 @@ fn self_test(root: &Path) -> ExitCode {
     };
     let findings = lint::lint_file(&fixture, &text);
     let mut ok = true;
-    for rule in ["R1", "R2", "R3"] {
+    for rule in ["R1", "R2", "R3", "R4", "R5"] {
         let n = findings.iter().filter(|f| f.rule == rule).count();
         if n == 0 {
             eprintln!("xtask lint --self-test: rule {rule} found nothing in the fixture");
