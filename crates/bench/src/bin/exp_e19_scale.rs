@@ -34,8 +34,9 @@ use std::time::{Duration, Instant};
 use pario_bench::table::{save_json, Bench, Table};
 use pario_bench::{banner, BS};
 use pario_core::{Organization, ParallelFile};
-use pario_disk::{DeviceRef, MemDisk};
+use pario_disk::{DeviceRef, FaultDevice, FaultPlan, MemDisk};
 use pario_fs::Volume;
+use pario_layout::LayoutSpec;
 use pario_net::{NetClient, NetConfig, NetServer};
 use pario_server::{AdmissionKind, LatencyHistogram, Saturation, Server, ServerConfig};
 use pario_workloads::{OpenLoop, OpenLoopPlan};
@@ -352,6 +353,100 @@ fn main() {
     save_json("e19_net", &net_t);
     println!("net knee: p99 grows {net_knee:.1}x (required >= {NET_KNEE_BOUND}x)");
 
+    // -- Lane 4: fault-armed rung — overload and degraded routing at
+    // the same time. One shadow-pair device runs a transient schedule
+    // with a mid-flood fail-stop; the open-loop flood keeps arriving
+    // while the health board walks the device to Failed and reads
+    // reroute to the surviving shadow. The rung measures what the
+    // saturation ceiling costs when the array is simultaneously
+    // overloaded and degraded.
+    let degraded_ops: u64 = if smoke() { 2_000 } else { 8_000 };
+    let mut devices: Vec<DeviceRef> = (0..4)
+        .map(|i| Arc::new(MemDisk::named(&format!("dmem{i}"), 2048, BS)) as DeviceRef)
+        .collect();
+    let (fault, wrapped) = FaultDevice::wrap(
+        devices[1].clone(),
+        FaultPlan {
+            seed: 1919,
+            transient_rate: 0.05,
+            fail_after: Some(degraded_ops / 8),
+            ..FaultPlan::default()
+        },
+    );
+    devices[1] = wrapped;
+    fault.set_armed(false);
+    let volume = Volume::new(devices).unwrap();
+    let pf = ParallelFile::create_with_layout(
+        &volume,
+        "scale",
+        Organization::GlobalDirect,
+        BS,
+        1,
+        LayoutSpec::Shadowed(Box::new(LayoutSpec::Striped {
+            devices: 2,
+            unit: 1,
+        })),
+        None,
+    )
+    .unwrap();
+    pf.raw()
+        .write_span(0, &vec![7u8; RECORDS as usize * BS])
+        .unwrap();
+    pf.raw().set_len_records(RECORDS).unwrap();
+    let server = Server::new(
+        volume.clone(),
+        ServerConfig {
+            max_in_flight: LIMIT,
+            saturation: Saturation::Block,
+            admission: AdmissionKind::Fast,
+        },
+    );
+    fault.set_armed(true);
+    let wl = OpenLoop {
+        rate: FLOOD_RATE,
+        ops: degraded_ops,
+        records: RECORDS,
+        theta: 0.0,
+        write_fraction: 0.0,
+        seed: 119,
+    };
+    let plan = wl.plan();
+    let hist = LatencyHistogram::default();
+    let degraded_secs = drive(&plan, SESSIONS, &hist, |_w| {
+        let sess = server.connect();
+        let g = sess.open_direct("scale").unwrap();
+        let mut buf = vec![0u8; BS];
+        move |r: u64, _wr: bool| g.read_record(r, &mut buf).unwrap()
+    });
+    fault.set_armed(false);
+    let degraded_sat = degraded_ops as f64 / degraded_secs;
+    let degraded_p99 = pario_server::quantile_nanos(&hist.snapshot(), 0.99);
+    let counts = fault.counts();
+    let degraded_ratio = degraded_sat / fast_sat;
+    println!(
+        "\nfault-armed rung ({SESSIONS} sessions flooding a shadowed volume):\n\
+         \x20 degraded saturation  {degraded_sat:.0} ops/s  p99 {}  \
+         ({:.0}% of the healthy ceiling)\n\
+         \x20 schedule: {} transients, fail-stop after {} ops \
+         ({} refused post-trip), every read completed via rerouting",
+        fmt_ns(degraded_p99),
+        degraded_ratio * 100.0,
+        counts.transients,
+        degraded_ops / 8,
+        counts.failed_ops,
+    );
+    assert!(
+        counts.transients > 0 && counts.failed_ops > 0,
+        "the fault schedule must actually bite mid-flood \
+         (transients {}, refused {})",
+        counts.transients,
+        counts.failed_ops
+    );
+    assert!(
+        volume.is_degraded(),
+        "the fail-stop must surface on the health board during overload"
+    );
+
     bench
         .num("knee_p99_ratio", knee)
         .num("sweep_x025_goodput", low_goodput)
@@ -359,6 +454,11 @@ fn main() {
         .num("net_knee_p99_ratio", net_knee)
         .int("net_low_p99_nanos", net_low_p99.unwrap_or(0))
         .int("net_high_p99_nanos", net_high_p99.unwrap_or(0))
+        .num("degraded_sat_ops_per_sec", degraded_sat)
+        .num("degraded_vs_healthy_ratio", degraded_ratio)
+        .int("degraded_p99_nanos", degraded_p99.unwrap_or(0))
+        .int("degraded_transients", counts.transients)
+        .int("degraded_refused_ops", counts.failed_ops)
         .save("e19_scale");
 
     // The headline claims, asserted so CI catches a regression.

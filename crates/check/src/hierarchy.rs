@@ -25,6 +25,7 @@
 //! | 60 | `FileState::rmw_lock` | pario-fs | sub-block RMW window |
 //! | 70 | `FileState::stripe_lock` | pario-fs | parity stripe RMW cycle |
 //! | 75 | `VolumeCache::frames` | pario-buffer | volume-wide block cache state |
+//! | 78 | `VolInner::journal` | pario-fs | intent-journal cursor + superblock generation |
 //! | 80 | `HealthBoard::board` | pario-fs | device health state machine |
 
 /// Rank of a lock in the global acquisition order. Larger ranks must be
@@ -65,6 +66,12 @@ pub enum LockLevel {
     /// cached frames only after releasing the board mutex, and I/O
     /// outcome feedback is reported after the cache lock is released).
     VolumeCache = 75,
+    /// `pario-fs` metadata intent journal: append cursor + superblock
+    /// generation. An innermost lock on the metadata path — grow takes
+    /// it after the allocator, checkpoint takes it with nothing else
+    /// ranked held (the directory snapshot is collected first) — so it
+    /// sits above every I/O-path lock except the health board.
+    FsJournal = 78,
     /// `pario-fs` per-volume device health board. Ranked above every
     /// I/O-path lock because error feedback is reported from inside
     /// RMW/stripe critical sections.
@@ -89,6 +96,7 @@ impl LockLevel {
             LockLevel::FsRmw => "fs.rmw",
             LockLevel::FsStripe => "fs.stripe",
             LockLevel::VolumeCache => "buffer.volume_cache",
+            LockLevel::FsJournal => "fs.journal",
             LockLevel::FsHealth => "fs.health",
             LockLevel::Unranked => "unranked",
         }

@@ -58,6 +58,20 @@ pub struct FaultPlan {
     /// Fail-stop after this many armed operations (the schedule's hard
     /// failure). Trips once; [`BlockDevice::heal`] clears it.
     pub fail_after: Option<u64>,
+    /// Deterministic crash point: fail-stop at the Nth armed *write*
+    /// boundary (0-based, so `Some(0)` kills the very first write).
+    /// Unlike [`FaultPlan::fail_after`], only writes advance the count
+    /// — reads model a host that keeps running until the moment power
+    /// is lost — and the boundary clock may be shared across devices
+    /// ([`FaultDevice::wrap_with_clock`]) so a multi-device volume has
+    /// one global write ordering to sweep. Trips once per schedule;
+    /// [`BlockDevice::heal`] models restarting on the surviving media.
+    pub crash_after_writes: Option<u64>,
+    /// Tear the write at the crash point: the first half of a
+    /// multi-block write lands before the fail-stop (a single-block
+    /// write is atomic and lands nothing). Models losing power mid
+    /// transfer instead of exactly between transfers.
+    pub crash_torn: bool,
 }
 
 impl Default for FaultPlan {
@@ -69,6 +83,8 @@ impl Default for FaultPlan {
             spike: Duration::ZERO,
             torn_write_rate: 0.0,
             fail_after: None,
+            crash_after_writes: None,
+            crash_torn: false,
         }
     }
 }
@@ -86,6 +102,9 @@ pub struct FaultCounts {
     pub torn_writes: u64,
     /// Operations refused because the fail-stop had tripped.
     pub failed_ops: u64,
+    /// Armed write boundaries this device has observed on its crash
+    /// clock (shared across devices when wrapped with one).
+    pub write_boundaries: u64,
 }
 
 /// A [`BlockDevice`] wrapper that injects faults per a [`FaultPlan`].
@@ -103,6 +122,14 @@ pub struct FaultDevice {
     /// device is a fresh one).
     tripped: AtomicBool,
     consumed: AtomicBool,
+    /// One-shot latch for the crash schedule: once the crash point has
+    /// fired, a healed (restarted) device does not re-crash.
+    crash_consumed: AtomicBool,
+    /// Write-boundary clock for [`FaultPlan::crash_after_writes`].
+    /// Shared across a device array via
+    /// [`FaultDevice::wrap_with_clock`] so the crash point indexes one
+    /// volume-wide write ordering.
+    wclock: Arc<AtomicU64>,
     op: AtomicU64,
     transients: AtomicU64,
     spikes: AtomicU64,
@@ -120,12 +147,22 @@ struct Outcome {
 impl FaultDevice {
     /// Wrap `inner` with the fault schedule `plan`, armed immediately.
     pub fn new(inner: DeviceRef, plan: FaultPlan) -> FaultDevice {
+        FaultDevice::with_clock(inner, plan, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// [`FaultDevice::new`] with a caller-provided write-boundary clock,
+    /// so several devices share one global write ordering and
+    /// [`FaultPlan::crash_after_writes`] means "the Nth write anywhere
+    /// in the array" — the shape a crash/remount sweep needs.
+    pub fn with_clock(inner: DeviceRef, plan: FaultPlan, wclock: Arc<AtomicU64>) -> FaultDevice {
         FaultDevice {
             inner,
             plan,
             armed: AtomicBool::new(true),
             tripped: AtomicBool::new(false),
             consumed: AtomicBool::new(false),
+            crash_consumed: AtomicBool::new(false),
+            wclock,
             op: AtomicU64::new(0),
             transients: AtomicU64::new(0),
             spikes: AtomicU64::new(0),
@@ -138,6 +175,24 @@ impl FaultDevice {
     /// (for arming and counter access) — the common test arrangement.
     pub fn wrap(inner: DeviceRef, plan: FaultPlan) -> (Arc<FaultDevice>, DeviceRef) {
         let dev = Arc::new(FaultDevice::new(inner, plan));
+        (Arc::clone(&dev), dev as DeviceRef)
+    }
+
+    /// A fresh write-boundary clock for [`FaultDevice::wrap_with_clock`],
+    /// starting at boundary zero. Kept behind a constructor so callers
+    /// never name the atomic type (which differs under the checked
+    /// concurrency build).
+    pub fn write_clock() -> Arc<AtomicU64> {
+        Arc::new(AtomicU64::new(0))
+    }
+
+    /// [`FaultDevice::wrap`] with a shared write-boundary clock.
+    pub fn wrap_with_clock(
+        inner: DeviceRef,
+        plan: FaultPlan,
+        wclock: Arc<AtomicU64>,
+    ) -> (Arc<FaultDevice>, DeviceRef) {
+        let dev = Arc::new(FaultDevice::with_clock(inner, plan, wclock));
         (Arc::clone(&dev), dev as DeviceRef)
     }
 
@@ -155,7 +210,15 @@ impl FaultDevice {
             spikes: self.spikes.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
             torn_writes: self.torn_writes.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
             failed_ops: self.failed_ops.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
+            write_boundaries: self.wclock.load(Ordering::Relaxed), // ordering: diagnostic snapshot; staleness is acceptable
         }
+    }
+
+    /// Write boundaries observed on this device's crash clock so far. A
+    /// crash sweep first runs the workload fault-free to learn how many
+    /// boundaries exist, then replays it once per boundary.
+    pub fn write_boundaries(&self) -> u64 {
+        self.wclock.load(Ordering::SeqCst)
     }
 
     /// The schedule this device runs.
@@ -200,6 +263,42 @@ impl FaultDevice {
         Ok(Some(outcome))
     }
 
+    /// Advance the write-boundary clock and fire the deterministic
+    /// crash point if this write crosses it. `Err` means the host
+    /// crashed: the write did not land (beyond an optional torn
+    /// prefix) and the device fail-stops until healed.
+    fn crash_gate(&self, block: u64, data: &[u8]) -> Result<()> {
+        if !self.armed.load(Ordering::SeqCst) || self.crash_consumed.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // The clock always advances on armed writes, crash point or not:
+        // a fault-free run of a workload measures how many boundaries a
+        // sweep has to cover.
+        let w = self.wclock.fetch_add(1, Ordering::SeqCst);
+        let Some(n) = self.plan.crash_after_writes else {
+            return Ok(());
+        };
+        if w < n {
+            return Ok(());
+        }
+        if w == n && self.plan.crash_torn {
+            let bs = self.inner.block_size();
+            let nblocks = data.len() / bs.max(1);
+            if nblocks > 1 {
+                // Half the transfer reaches the media before power dies.
+                let _ = self
+                    .inner
+                    .write_blocks_at(block, &data[..bs * (nblocks / 2)]);
+            }
+        }
+        self.crash_consumed.store(true, Ordering::SeqCst);
+        self.tripped.store(true, Ordering::SeqCst);
+        self.failed_ops.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
+        Err(DiskError::DeviceFailed {
+            device: self.label(),
+        })
+    }
+
     fn transient(&self) -> DiskError {
         self.transients.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stats counter; read only by diagnostic snapshots
         DiskError::Transient {
@@ -225,6 +324,7 @@ impl BlockDevice for FaultDevice {
     }
 
     fn write_block(&self, block: u64, data: &[u8]) -> Result<()> {
+        self.crash_gate(block, data)?;
         match self.admit()? {
             Some(o) if o.transient => Err(self.transient()),
             _ => self.inner.write_block(block, data),
@@ -239,6 +339,7 @@ impl BlockDevice for FaultDevice {
     }
 
     fn write_blocks_at(&self, block: u64, data: &[u8]) -> Result<()> {
+        self.crash_gate(block, data)?;
         let bs = self.inner.block_size();
         let nblocks = data.len() / bs.max(1);
         match self.admit()? {
@@ -420,6 +521,82 @@ mod tests {
         }
         assert_eq!(h.counts().spikes, 4);
         assert!(t0.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn crash_point_fires_at_nth_write_boundary() {
+        let (h, dev) = faulty(FaultPlan {
+            crash_after_writes: Some(2),
+            ..FaultPlan::default()
+        });
+        dev.write_block(0, &[1u8; 64]).unwrap();
+        dev.write_block(1, &[2u8; 64]).unwrap();
+        let err = dev.write_block(2, &[3u8; 64]).unwrap_err();
+        assert!(matches!(err, DiskError::DeviceFailed { .. }));
+        assert!(dev.is_failed(), "a crash is a fail-stop");
+        // Reads die with the host too.
+        let mut buf = [0u8; 64];
+        assert!(dev.read_block(0, &mut buf).is_err());
+        // Restart on the surviving media: earlier writes landed, the
+        // crashed one did not, and the consumed crash does not re-trip.
+        dev.heal();
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 2);
+        dev.read_block(2, &mut buf).unwrap();
+        assert_eq!(buf[0], 0, "the in-flight write must not land");
+        dev.write_block(2, &[3u8; 64]).unwrap();
+        assert!(h.counts().write_boundaries >= 3);
+    }
+
+    #[test]
+    fn crash_point_optionally_tears_the_in_flight_write() {
+        let (_, dev) = faulty(FaultPlan {
+            crash_after_writes: Some(0),
+            crash_torn: true,
+            ..FaultPlan::default()
+        });
+        let data = vec![9u8; 64 * 4];
+        assert!(dev.write_blocks_at(0, &data).is_err());
+        dev.heal();
+        let mut buf = vec![0u8; 64 * 4];
+        dev.read_blocks_at(0, &mut buf).unwrap();
+        assert!(buf[..128].iter().all(|&b| b == 9), "prefix lands");
+        assert!(buf[128..].iter().all(|&b| b == 0), "tail is lost");
+    }
+
+    #[test]
+    fn shared_clock_orders_writes_across_devices() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let plan = FaultPlan {
+            crash_after_writes: Some(1),
+            ..FaultPlan::default()
+        };
+        let (_, a) = FaultDevice::wrap_with_clock(
+            Arc::new(MemDisk::new(64, 64)) as DeviceRef,
+            plan,
+            Arc::clone(&clock),
+        );
+        let (hb, b) = FaultDevice::wrap_with_clock(
+            Arc::new(MemDisk::new(64, 64)) as DeviceRef,
+            plan,
+            Arc::clone(&clock),
+        );
+        // Boundary 0 is device A's write; boundary 1 — the crash point —
+        // is device B's, so the whole array dies there.
+        a.write_block(0, &[1u8; 64]).unwrap();
+        assert!(b.write_block(0, &[2u8; 64]).is_err());
+        assert!(a.write_block(1, &[3u8; 64]).is_err(), "A crashed too");
+        assert_eq!(hb.counts().write_boundaries, 3);
+        // A fault-free plan still advances the clock, so a counting run
+        // can size a sweep.
+        let (hc, c) = FaultDevice::wrap_with_clock(
+            Arc::new(MemDisk::new(64, 64)) as DeviceRef,
+            FaultPlan::default(),
+            Arc::new(AtomicU64::new(0)),
+        );
+        c.write_block(0, &[0u8; 64]).unwrap();
+        c.write_block(1, &[0u8; 64]).unwrap();
+        assert_eq!(hc.write_boundaries(), 2);
     }
 
     #[test]

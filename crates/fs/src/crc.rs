@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3 polynomial) for metadata integrity.
+//!
+//! Both superblock slots and journal records carry a CRC over their
+//! payload so a torn or interrupted metadata write is *detected* rather
+//! than parsed: mount falls back to the alternate slot, replay stops at
+//! the torn journal tail. A tiny table-driven implementation keeps the
+//! crate free of new dependencies; metadata is cold, so throughput is
+//! irrelevant.
+
+/// Compute the CRC-32 (reflected, init/xorout `0xFFFF_FFFF`) of `data`.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// The 256-entry lookup table for the reflected polynomial `0xEDB88320`,
+/// built at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"pario superblock payload".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[i] ^= 1 << bit;
+                assert_ne!(crc32(&m), c0, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -1650,6 +1650,9 @@ mod tests {
         // one device; rotation (RAID-5) spreads the load.
         let count_writes = |rotated: bool| -> Vec<u64> {
             let v = vol(4);
+            // Journal appends land on device 0 and would skew the
+            // data-path distribution this test measures.
+            v.set_meta_journaling(false).unwrap();
             let before: Vec<u64> = (0..4).map(|d| v.device(d).counters().writes).collect();
             let f = v
                 .create_file(FileSpec::new(

@@ -43,10 +43,12 @@
 #![warn(missing_docs)]
 
 mod alloc;
+mod crc;
 mod error;
 mod file;
 mod global;
 mod health;
+mod journal;
 mod meta;
 mod superblock;
 mod volume;
@@ -58,4 +60,5 @@ pub use global::{copy_global, ByteReader, ByteWriter, GlobalReader, GlobalWriter
 pub use health::{legal_transition, DeviceHealth, HealthBoard, HealthPolicy, HealthState};
 pub use meta::FileMeta;
 pub use pario_buffer::{VolumeCache, VolumeCacheConfig, VolumeCacheStats};
+pub use superblock::{MetaStatus, MountReport};
 pub use volume::{FileSpec, FileState, Volume, VolumeConfig};

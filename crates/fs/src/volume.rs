@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use pario_check::{AtomicU64, LockLevel, Mutex, RwLock};
+use pario_check::{AtomicBool, AtomicU64, LockLevel, Mutex, RwLock};
 
 use pario_buffer::{VolumeCache, VolumeCacheConfig, VolumeCacheStats};
 use pario_disk::{mem_array, DeviceRef, IoNode, IoNodeStats, SchedPolicy};
@@ -14,8 +14,9 @@ use crate::alloc::{extents_len, Allocator, Extent};
 use crate::error::{FsError, Result};
 use crate::file::RawFile;
 use crate::health::{DeviceHealth, HealthBoard, HealthPolicy, HealthState};
+use crate::journal::{self, Appended, JournalState, Record};
 use crate::meta::FileMeta;
-use crate::superblock;
+use crate::superblock::{self, MetaStatus, MountReport};
 
 /// Shape of a fresh in-memory volume.
 #[derive(Copy, Clone, Debug)]
@@ -149,6 +150,34 @@ pub(crate) struct VolInner {
     /// Set at most once by [`Volume::enable_cache`]; absent, every span
     /// path submits straight to the executor (the seed behavior).
     pub(crate) cache: std::sync::OnceLock<Arc<VolumeCache>>,
+    /// Metadata intent-journal cursor + superblock generation (rank 78).
+    pub(crate) journal: Mutex<JournalState>,
+    /// True once `new`/`mount` completed: teardown then syncs metadata
+    /// best-effort. Stays false on construction error paths (a failed
+    /// mount must not scribble a superblock onto foreign devices) and
+    /// after [`Volume::abandon`] (crash simulation).
+    pub(crate) live: AtomicBool,
+    /// What mount found in the meta region, for recovery tooling.
+    pub(crate) mount_report: std::sync::OnceLock<MountReport>,
+}
+
+impl Drop for VolInner {
+    fn drop(&mut self) {
+        if !self.live.load(Ordering::SeqCst) {
+            return;
+        }
+        // Teardown sync: flush dirty cached data, checkpoint the
+        // directory, and push everything to stable media. Best-effort —
+        // a failed device cannot be helped at this point, and explicit
+        // `sync_meta` calls are still the durability contract.
+        if let Some(cache) = self.cache.get() {
+            let _ = cache.flush();
+        }
+        let _ = superblock::store(self);
+        for d in &self.devices {
+            let _ = d.flush();
+        }
+    }
 }
 
 /// A mounted volume: cheap to clone, shared across threads.
@@ -171,6 +200,7 @@ impl Volume {
     pub fn new_with_policy(devices: Vec<DeviceRef>, policy: SchedPolicy) -> Result<Volume> {
         let vol = Volume::init(devices, policy)?;
         vol.sync_meta()?;
+        vol.inner.live.store(true, Ordering::SeqCst);
         Ok(vol)
     }
 
@@ -228,6 +258,17 @@ impl Volume {
                 next_id: AtomicU64::new(1),
                 health,
                 cache: std::sync::OnceLock::new(),
+                journal: Mutex::new_named(
+                    JournalState {
+                        gen: 0,
+                        pos: 0,
+                        seq: 0,
+                        enabled: true,
+                    },
+                    LockLevel::FsJournal,
+                ),
+                live: AtomicBool::new(false),
+                mount_report: std::sync::OnceLock::new(),
             }),
         })
     }
@@ -289,8 +330,55 @@ impl Volume {
     /// [`Volume::mount`] with the executor dispatch policy chosen.
     pub fn mount_with_policy(devices: Vec<DeviceRef>, policy: SchedPolicy) -> Result<Volume> {
         let vol = Volume::init(devices, policy)?;
-        superblock::load(&vol)?;
+        let report = superblock::load(&vol.inner)?;
+        let _ = vol.inner.mount_report.set(report);
+        vol.inner.live.store(true, Ordering::SeqCst);
         Ok(vol)
+    }
+
+    /// What this mount found in the meta region: which slot validated,
+    /// the generation loaded, and how many intent-journal records were
+    /// replayed. `None` on a freshly created (not mounted) volume.
+    pub fn mount_report(&self) -> Option<MountReport> {
+        self.inner.mount_report.get().cloned()
+    }
+
+    /// Point-in-time health of the meta region: on-disk slot
+    /// generations plus the in-memory journal cursor.
+    pub fn meta_status(&self) -> MetaStatus {
+        superblock::status(&self.inner)
+    }
+
+    /// Blocks reserved for the meta region (superblock slots + intent
+    /// journal) on device 0.
+    pub fn meta_region_blocks(&self) -> u64 {
+        self.inner.meta_blocks
+    }
+
+    /// Disable the volume's teardown metadata sync. A dropped volume
+    /// then leaves the devices exactly as the last explicit write left
+    /// them — what a crash/remount harness needs.
+    pub fn abandon(&self) {
+        self.inner.live.store(false, Ordering::SeqCst);
+    }
+
+    /// Toggle metadata intent journaling (measurement knob). While
+    /// disabled, metadata operations are durable only at [`Volume::sync_meta`]
+    /// checkpoints — crash consistency degrades to checkpoint
+    /// granularity. Re-enabling checkpoints first so the journal
+    /// restarts from a clean generation.
+    pub fn set_meta_journaling(&self, enabled: bool) -> Result<()> {
+        {
+            let mut journal = self.inner.journal.lock();
+            if journal.enabled == enabled {
+                return Ok(());
+            }
+            journal.enabled = enabled;
+        }
+        if enabled {
+            self.sync_meta()?;
+        }
+        Ok(())
     }
 
     /// Volume block size in bytes.
@@ -458,6 +546,19 @@ impl Volume {
             }
             files.insert(spec.name.clone(), Arc::clone(&state));
         }
+        // Journal the create before any growth it triggers, so replay
+        // sees the file before its extents arrive.
+        let (id, create_rec) = {
+            let meta = state.meta.read();
+            (meta.id, Record::Create { meta: meta.clone() })
+        };
+        let journal_full = match journal::append(&self.inner, &create_rec) {
+            Ok(a) => a == Appended::Full,
+            Err(e) => {
+                self.inner.files.write().remove(&spec.name);
+                return Err(e);
+            }
+        };
         // Fixed-size files are fully preallocated so partitioned layouts
         // never see a partial total (their mapping is sized at creation).
         // Fixed-size partitioned layouts preallocate the full mapping
@@ -475,8 +576,13 @@ impl Volume {
         if lblocks > 0 {
             if let Err(e) = self.grow_file(&state, lblocks) {
                 self.inner.files.write().remove(&spec.name);
+                // Replay must not resurrect the rolled-back create.
+                let _ = journal::append(&self.inner, &Record::Remove { id });
                 return Err(e);
             }
+        }
+        if journal_full {
+            self.sync_meta()?;
         }
         RawFile::from_state(self.clone(), state)
     }
@@ -498,9 +604,27 @@ impl Volume {
         let state = self
             .inner
             .files
-            .write()
-            .remove(name)
+            .read()
+            .get(name)
+            .cloned()
             .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let id = state.meta.read().id;
+        // Journal the intent *before* releasing blocks: a racing grow
+        // that reuses them then journals strictly after this record,
+        // so replay keeps allocator and extents agreeing.
+        let journal_full = journal::append(&self.inner, &Record::Remove { id })? == Appended::Full;
+        let state = {
+            let mut files = self.inner.files.write();
+            match files.get(name) {
+                Some(s) if Arc::ptr_eq(s, &state) => {
+                    // invariant: the entry was just matched under the write lock.
+                    files.remove(name).expect("entry matched under write lock")
+                }
+                // A racing remove won; its record makes ours a no-op
+                // at replay.
+                _ => return Err(FsError::NotFound(name.to_string())),
+            }
+        };
         let meta = state.meta.read();
         // Cached frames of the released blocks must die with the file: a
         // dirty write-back frame flushed later would clobber whoever the
@@ -513,20 +637,27 @@ impl Volume {
                 }
             }
         }
-        let mut alloc = self.inner.alloc.lock();
-        for (slot, extents) in meta.extents.iter().enumerate() {
-            let dev = meta.device_map[slot];
-            for &e in extents {
-                alloc.release(dev, e);
+        {
+            let mut alloc = self.inner.alloc.lock();
+            for (slot, extents) in meta.extents.iter().enumerate() {
+                let dev = meta.device_map[slot];
+                for &e in extents {
+                    alloc.release(dev, e);
+                }
             }
+        }
+        drop(meta);
+        if journal_full {
+            self.sync_meta()?;
         }
         Ok(())
     }
 
-    /// Persist the directory and all file metadata to the superblock
-    /// region on device 0.
+    /// Checkpoint: persist the directory and all file metadata to the
+    /// superblock region on device 0 (alternating slots, CRC-protected,
+    /// flushed to stable media) and reset the intent journal.
     pub fn sync_meta(&self) -> Result<()> {
-        superblock::store(self)
+        superblock::store(&self.inner)
     }
 
     fn validate_spec(&self, spec: &FileSpec) -> Result<()> {
@@ -591,73 +722,93 @@ impl Volume {
     /// blocks, zeroing new extents (parity and shadow invariants start
     /// from all-zero stripes).
     pub(crate) fn grow_file(&self, state: &FileState, total_lblocks: u64) -> Result<()> {
-        let mut meta = state.meta.write();
-        if total_lblocks <= meta.nblocks {
-            return Ok(());
-        }
-        if let Some(cap) = meta.fixed_capacity_records {
-            let cap_blocks = match &meta.layout {
-                // invariant: partitioned specs persist with non-empty bounds.
-                LayoutSpec::Partitioned { bounds, .. } => *bounds.last().expect("non-empty bounds"),
-                _ => (cap * meta.record_size as u64).div_ceil(self.block_size() as u64),
-            };
-            if total_lblocks > cap_blocks {
-                return Err(FsError::CapacityExceeded {
-                    requested: total_lblocks,
-                    capacity: cap_blocks,
-                });
+        let journal_full = {
+            let mut meta = state.meta.write();
+            if total_lblocks <= meta.nblocks {
+                return Ok(());
             }
-        }
-        let layout = meta.layout.build();
-        let mut added: Vec<(usize, Extent)> = Vec::new();
-        let zero = vec![0u8; self.block_size() * 32];
-        for slot in 0..layout.devices() {
-            let need = layout.blocks_on_device(total_lblocks, slot);
-            let have = extents_len(&meta.extents[slot]);
-            if need <= have {
-                continue;
+            if let Some(cap) = meta.fixed_capacity_records {
+                let cap_blocks = match &meta.layout {
+                    LayoutSpec::Partitioned { bounds, .. } => {
+                        *bounds.last().expect("non-empty bounds") // invariant: partitioned specs persist with non-empty bounds
+                    }
+                    _ => (cap * meta.record_size as u64).div_ceil(self.block_size() as u64),
+                };
+                if total_lblocks > cap_blocks {
+                    return Err(FsError::CapacityExceeded {
+                        requested: total_lblocks,
+                        capacity: cap_blocks,
+                    });
+                }
             }
-            let dev = meta.device_map[slot];
-            let new_extents = {
-                let mut alloc = self.inner.alloc.lock();
-                match alloc.allocate(dev, need - have) {
-                    Ok(es) => es,
-                    Err(e) => {
-                        for &(d, ext) in &added {
-                            alloc.release(d, ext);
+            let layout = meta.layout.build();
+            let mut added: Vec<(usize, Extent)> = Vec::new();
+            let mut logged: Vec<Vec<Extent>> = vec![Vec::new(); layout.devices()];
+            let zero = vec![0u8; self.block_size() * 32];
+            for slot in 0..layout.devices() {
+                let need = layout.blocks_on_device(total_lblocks, slot);
+                let have = extents_len(&meta.extents[slot]);
+                if need <= have {
+                    continue;
+                }
+                let dev = meta.device_map[slot];
+                let new_extents = {
+                    let mut alloc = self.inner.alloc.lock();
+                    match alloc.allocate(dev, need - have) {
+                        Ok(es) => es,
+                        Err(e) => {
+                            for &(d, ext) in &added {
+                                alloc.release(d, ext);
+                            }
+                            return Err(e);
                         }
-                        return Err(e);
+                    }
+                };
+                for &e in &new_extents {
+                    added.push((dev, e));
+                    logged[slot].push(e);
+                    // Zero-fill vectored, a whole extent (chunked) per request.
+                    let mut b = e.start;
+                    while b < e.end() {
+                        let n = (e.end() - b).min((zero.len() / self.block_size()) as u64);
+                        self.inner.devices[dev]
+                            .write_blocks_at(b, &zero[..n as usize * self.block_size()])?;
+                        b += n;
+                    }
+                    // The zero-fill bypassed the cache; any frame left over
+                    // from a previous owner of these blocks is now stale.
+                    if let Some(cache) = self.inner.cache.get() {
+                        cache.invalidate_range(dev, e.start, e.len);
                     }
                 }
-            };
-            for &e in &new_extents {
-                added.push((dev, e));
-                // Zero-fill vectored, a whole extent (chunked) per request.
-                let mut b = e.start;
-                while b < e.end() {
-                    let n = (e.end() - b).min((zero.len() / self.block_size()) as u64);
-                    self.inner.devices[dev]
-                        .write_blocks_at(b, &zero[..n as usize * self.block_size()])?;
-                    b += n;
-                }
-                // The zero-fill bypassed the cache; any frame left over
-                // from a previous owner of these blocks is now stale.
-                if let Some(cache) = self.inner.cache.get() {
-                    cache.invalidate_range(dev, e.start, e.len);
+                // Merge extents that continue the previous one, so span I/O
+                // sees maximal contiguous device runs even after the file
+                // grew one block at a time.
+                let slot_extents = &mut meta.extents[slot];
+                for e in new_extents {
+                    match slot_extents.last_mut() {
+                        Some(prev) if prev.start + prev.len == e.start => prev.len += e.len,
+                        _ => slot_extents.push(e),
+                    }
                 }
             }
-            // Merge extents that continue the previous one, so span I/O
-            // sees maximal contiguous device runs even after the file
-            // grew one block at a time.
-            let slot_extents = &mut meta.extents[slot];
-            for e in new_extents {
-                match slot_extents.last_mut() {
-                    Some(prev) if prev.start + prev.len == e.start => prev.len += e.len,
-                    _ => slot_extents.push(e),
-                }
-            }
+            meta.nblocks = total_lblocks;
+            // Journal the completed grow. The zero-fill above already
+            // landed, so at any crash point where this record exists the
+            // data invariant (fresh extents read as zero) holds and
+            // replay never rewrites data blocks.
+            journal::append(
+                &self.inner,
+                &Record::Grow {
+                    id: meta.id,
+                    slots: logged,
+                    nblocks: total_lblocks,
+                },
+            )? == Appended::Full
+        };
+        if journal_full {
+            self.sync_meta()?;
         }
-        meta.nblocks = total_lblocks;
         Ok(())
     }
 }

@@ -166,6 +166,7 @@ proptest! {
                 spike: std::time::Duration::ZERO,
                 torn_write_rate: torn_rate,
                 fail_after: None,
+                ..FaultPlan::default()
             },
         );
         devices[1] = wrapped;

@@ -54,6 +54,8 @@ proptest! {
             // Reads are never torn, but leave the knob live anyway.
             torn_write_rate: 0.2,
             fail_after,
+            crash_after_writes: None,
+            crash_torn: false,
         });
         devices[target] = wrapped;
         // Preload fault-free: the schedule applies to the read workload.

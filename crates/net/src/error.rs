@@ -33,6 +33,11 @@ pub enum NetError {
     /// An OS-level socket error (message form, so the error stays
     /// cloneable).
     Io(String),
+    /// The server is shutting down; the request was **not** executed.
+    /// Sent as a typed reply to requests still in the pipe when
+    /// shutdown begins, so clients can distinguish an orderly drain
+    /// (safe to retry elsewhere) from a torn connection.
+    Shutdown,
     /// A payload exceeds the limit the handshake advertised.
     TooLarge {
         /// Offending payload length.
@@ -53,6 +58,7 @@ impl fmt::Display for NetError {
                     "version mismatch: we speak v{ours}, peer speaks v{theirs}"
                 )
             }
+            NetError::Shutdown => write!(f, "server shutting down; request not executed"),
             NetError::ConnectionLost(msg) => write!(f, "connection lost: {msg}"),
             NetError::Io(msg) => write!(f, "socket error: {msg}"),
             NetError::TooLarge { len, max } => {

@@ -31,6 +31,7 @@ pub const STATUS_ERR: u8 = 1;
 // Error-body class tags under STATUS_ERR.
 const ERR_CLASS_SERVER: u8 = 0;
 const ERR_CLASS_PROTOCOL: u8 = 1;
+const ERR_CLASS_SHUTDOWN: u8 = 2;
 
 /// One request on the wire. Bulk write payloads are [`Bytes`], so a
 /// benchmark replaying one record body across thousands of requests
@@ -594,17 +595,20 @@ impl StatsSummary {
 // Error taxonomy on the wire
 // ---------------------------------------------------------------------
 
-/// Encode the error body of a `STATUS_ERR` reply. Only the two classes
-/// a server produces are encodable: typed [`ServerError`]s and
-/// connection-survivable protocol complaints (bad handle, oversized
-/// payload). Everything else a [`NetError`] can hold is local to one
-/// endpoint and never crosses the wire; those encode as their display
-/// string in the protocol class.
+/// Encode the error body of a `STATUS_ERR` reply. Only the classes a
+/// server produces are encodable losslessly: typed [`ServerError`]s,
+/// the shutdown notice, and connection-survivable protocol complaints
+/// (bad handle, oversized payload). Everything else a [`NetError`] can
+/// hold is local to one endpoint and never crosses the wire; those
+/// encode as their display string in the protocol class.
 pub fn encode_reply_error(w: &mut WireWriter, e: &NetError) {
     match e {
         NetError::Server(se) => {
             w.u8(ERR_CLASS_SERVER);
             encode_server_error(w, se);
+        }
+        NetError::Shutdown => {
+            w.u8(ERR_CLASS_SHUTDOWN);
         }
         other => {
             w.u8(ERR_CLASS_PROTOCOL);
@@ -619,6 +623,7 @@ pub fn decode_reply_error(body: &[u8]) -> WireResult<NetError> {
     let e = match r.u8()? {
         ERR_CLASS_SERVER => NetError::Server(decode_server_error(&mut r)?),
         ERR_CLASS_PROTOCOL => NetError::Protocol(r.str_prefixed()?),
+        ERR_CLASS_SHUTDOWN => NetError::Shutdown,
         other => {
             return Err(WireError::Malformed(format!("bad error class {other}")));
         }

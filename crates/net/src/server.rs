@@ -156,15 +156,24 @@ impl NetServer {
         }
     }
 
-    /// Stop accepting, close every live connection, and join all
+    /// Stop accepting, **drain** every live connection, and join all
     /// server-side threads. Idempotent.
+    ///
+    /// The drain is graceful: only the *read* half of each live socket
+    /// is closed, so parked readers wake with EOF while writers keep
+    /// the send half open to flush replies already in flight. Requests
+    /// still in the pipe when the stop flag rises are answered with a
+    /// typed [`NetError::Shutdown`] reply — they were **not** executed —
+    /// instead of a torn connection. A peer that has stopped reading
+    /// could wedge that drain, so a watchdog falls back to the old hard
+    /// close of every socket after a grace period.
     pub fn shutdown(&mut self) {
         if self.inner.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Closing the live sockets unblocks parked connection readers.
-        for s in self.inner.socks.lock().drain(..) {
-            s.shutdown();
+        // Close only the receive half: readers wake, writers drain.
+        for s in self.inner.socks.lock().iter() {
+            s.shutdown_read();
         }
         // A throwaway connection unblocks the acceptor.
         match &self.inner.endpoint {
@@ -178,10 +187,38 @@ impl NetServer {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        // The acceptor is gone, so the sock list is complete now; a
+        // connection that registered after the first pass gets its
+        // read half closed here.
+        for s in self.inner.socks.lock().iter() {
+            s.shutdown_read();
+        }
+        // Liveness net for the joins below: a peer that has stopped
+        // reading blocks its writer mid-flush indefinitely. If the
+        // drain outlives the grace period, hard-close everything.
+        let watchdog_inner = Arc::clone(&self.inner);
+        let (drained_tx, drained_rx) = mpsc::channel::<()>();
+        let watchdog = std::thread::Builder::new()
+            .name("pario-net-shutdown-watchdog".to_string())
+            .spawn(move || {
+                if drained_rx
+                    .recv_timeout(std::time::Duration::from_secs(5))
+                    .is_err()
+                {
+                    for s in watchdog_inner.socks.lock().iter() {
+                        s.shutdown();
+                    }
+                }
+            });
         let conns: Vec<_> = self.inner.conns.lock().drain(..).collect();
         for h in conns {
             let _ = h.join();
         }
+        let _ = drained_tx.send(());
+        if let Ok(h) = watchdog {
+            let _ = h.join();
+        }
+        self.inner.socks.lock().clear();
         if let Endpoint::Unix(path) = &self.inner.endpoint {
             let _ = std::fs::remove_file(path);
         }
@@ -298,15 +335,24 @@ fn run_connection(inner: Arc<NetInner>, mut sock: Sock, id: u64) {
     let mut reader = BufReader::with_capacity(64 * 1024, sock);
 
     loop {
-        if inner.stop.load(Ordering::SeqCst) {
-            break;
-        }
         let frame = match read_frame(&mut reader, max_frame) {
             Ok(Some(f)) => f,
             // Clean EOF, connection loss, or a frame-level protocol
-            // violation: all tear down this connection only.
+            // violation: all tear down this connection only. Under a
+            // server shutdown the EOF comes from the closed read half
+            // once the pipelined backlog below has drained.
             Ok(None) | Err(_) => break,
         };
+        if inner.stop.load(Ordering::SeqCst) {
+            // Server-wide shutdown: this request was *not* executed.
+            // Keep draining the pipeline and answer every frame with
+            // the typed notice — the writer flushes them all before
+            // the socket closes, so no client is left mid-reply.
+            if !send_reply(&tx, frame.request_id, Err(NetError::Shutdown)) {
+                break;
+            }
+            continue;
+        }
         let reply = match Request::decode(frame.code, &frame.body) {
             Ok(req) => conn.execute(req),
             Err(e) => {
@@ -329,10 +375,11 @@ fn run_connection(inner: Arc<NetInner>, mut sock: Sock, id: u64) {
     // slot claims, and any GDA range locks this connection still owns.
     drop(conn);
     // Disconnect the channel and let the writer drain: any final error
-    // frame must reach the socket *before* the connection is shut down
-    // (the writer closes the socket itself once it has flushed). A
-    // server-wide shutdown still unblocks a stalled writer because
-    // `NetServer::shutdown` closes every live socket first.
+    // frame — including the typed shutdown notices — must reach the
+    // socket *before* the connection is shut down (the writer closes
+    // the socket itself once it has flushed). A stalled writer under a
+    // server-wide shutdown is unwedged by the shutdown watchdog's hard
+    // close after the grace period.
     drop(tx);
     let _ = writer.join();
     ctl_sock.shutdown();

@@ -47,6 +47,17 @@ impl Sock {
         };
     }
 
+    /// Shut down only the receive direction: a parked reader wakes with
+    /// EOF, but the send half stays open so a writer thread can still
+    /// flush replies already in flight. This is the graceful half of
+    /// server shutdown; `shutdown` is the hard half.
+    pub fn shutdown_read(&self) {
+        let _ = match self {
+            Sock::Tcp(s) => s.shutdown(std::net::Shutdown::Read),
+            Sock::Unix(s) => s.shutdown(std::net::Shutdown::Read),
+        };
+    }
+
     /// A short peer label for thread names and error messages.
     pub fn peer_label(&self) -> String {
         match self {

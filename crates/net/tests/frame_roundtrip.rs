@@ -12,8 +12,11 @@ use pario_core::{CoreError, Organization};
 use pario_disk::DiskError;
 use pario_fs::{FsError, HealthState};
 use pario_net::frame::{encode_frame, read_frame, RawFrame};
-use pario_net::proto::{decode_server_error, encode_server_error, Request};
+use pario_net::proto::{
+    decode_reply_error, decode_server_error, encode_reply_error, encode_server_error, Request,
+};
 use pario_net::wire::WireWriter;
+use pario_net::NetError;
 use pario_server::ServerError;
 
 /// A reader that hands out at most `chunk` bytes per call — the
@@ -156,5 +159,22 @@ fn server_error_taxonomy_is_lossless() {
         encode_server_error(&mut w, &e);
         let back = decode_server_error(&mut pario_net::wire::WireReader::new(w.bytes())).unwrap();
         assert_eq!(back, e, "taxonomy lost a field crossing the wire");
+    }
+}
+
+/// The shutdown notice is its own wire class: it round-trips as the
+/// typed [`NetError::Shutdown`] variant clients can match on, while
+/// endpoint-local errors still degrade to protocol-class strings.
+#[test]
+fn shutdown_error_class_round_trips() {
+    let mut w = WireWriter::new();
+    encode_reply_error(&mut w, &NetError::Shutdown);
+    assert_eq!(decode_reply_error(w.bytes()).unwrap(), NetError::Shutdown);
+
+    let mut w = WireWriter::new();
+    encode_reply_error(&mut w, &NetError::Io("no route".into()));
+    match decode_reply_error(w.bytes()).unwrap() {
+        NetError::Protocol(msg) => assert!(msg.contains("no route")),
+        other => panic!("expected protocol-class fallback, got {other:?}"),
     }
 }

@@ -7,6 +7,7 @@
 use std::collections::HashSet;
 use std::sync::Mutex;
 
+use bytes::Bytes;
 use pario_core::{CoreError, Organization, ParallelFile};
 use pario_fs::{resolve, RawFile, Volume, VolumeCacheConfig, VolumeConfig};
 use pario_net::{NetClient, NetConfig, NetError, NetServer};
@@ -310,6 +311,48 @@ fn unix_socket_carries_the_same_protocol() {
     net.shutdown();
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_dir(&dir);
+}
+
+/// Graceful shutdown drains in-flight work and answers pipelined
+/// requests still in the pipe with the typed shutdown notice instead of
+/// tearing the socket mid-reply.
+#[test]
+fn shutdown_drains_in_flight_and_replies_typed_notice() {
+    let volume = volume();
+    drop(ParallelFile::create(&volume, "d", Organization::GlobalDirect, REC, 4).unwrap());
+    let (mut net, addr) = serve(volume);
+
+    let a = NetClient::connect_tcp(&addr).unwrap();
+    let da = a.open_direct("d").unwrap();
+    let b = NetClient::connect_tcp(&addr).unwrap();
+    let db = b.open_direct("d").unwrap();
+
+    // A holds record 0's byte range, so B's write of record 0 starts
+    // executing server-side and parks on that lock — a genuinely
+    // in-flight request. Three more writes queue behind it on B's
+    // ordered connection, unread while the first is parked.
+    let _lock = da.lock_range(0, 1).unwrap();
+    let in_flight = db.submit_write(0, Bytes::from(vec![0x5A; REC])).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let queued: Vec<_> = (1..4u64)
+        .map(|r| db.submit_write(r, Bytes::from(vec![r as u8; REC])).unwrap())
+        .collect();
+
+    // Shutdown tears down A's connection, which releases the range
+    // lock, which lets B's parked write finish; its reply must be
+    // flushed before B's socket closes. The three queued writes were
+    // never executed and must come back as the typed notice.
+    net.shutdown();
+
+    in_flight
+        .wait()
+        .expect("the in-flight write must complete and its reply must be drained");
+    for t in queued {
+        match t.wait() {
+            Err(NetError::Shutdown) => {}
+            other => panic!("queued request expected the typed shutdown notice, got {other:?}"),
+        }
+    }
 }
 
 #[test]

@@ -18,6 +18,9 @@
 //!   I/O keeps flowing while the drive rebuilds.
 //! * [`scrub`] + [`snapshot_device`] / [`restore_device`] — the
 //!   partial-rollback consistency demonstration.
+//! * [`audit_volume`] — volume-wide allocator/extent/directory
+//!   agreement, the invariant the crash-recovery sweep asserts after
+//!   every simulated crash and remount.
 //! * [`failure_schedule`] — deterministic exponential failure campaigns.
 //!
 //! ```
@@ -29,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod checksum;
 mod inject;
 pub mod mtbf;
@@ -36,6 +40,7 @@ mod online;
 mod rebuild;
 mod scrub;
 
+pub use audit::{audit_volume, AuditReport};
 pub use checksum::{fnv1a, ChecksumDevice};
 pub use inject::{apply_failures, failure_schedule, FailureEvent};
 pub use mtbf::{

@@ -43,6 +43,7 @@ const RANKED_LOCKS: &[(&str, &str, u8)] = &[
     ("rmw_lock.lock(", "fs.rmw", 60),
     ("stripe_lock.lock(", "fs.stripe", 70),
     ("frames.lock(", "buffer.volume_cache", 75),
+    ("journal.lock(", "fs.journal", 78),
     ("board.lock(", "fs.health", 80),
 ];
 

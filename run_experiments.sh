@@ -16,6 +16,7 @@ cargo run --release -q -p pario-bench --bin exp_e16_faults
 cargo run --release -q -p pario-bench --bin exp_e17_cache
 cargo run --release -q -p pario-bench --bin exp_e18_net
 cargo run --release -q -p pario-bench --bin exp_e19_scale
+cargo run --release -q -p pario-bench --bin exp_e20_recovery
 
 # Every experiment must have left its JSON behind; a silent skip (an
 # early exit, a renamed table) should fail the run, not go unnoticed.
@@ -27,7 +28,7 @@ for f in e2_striping_devices e2_striping_unit e3_selfsched \
          e12_is_blocksize span_coalesce span_coalesce_global \
          e14_server e14_server_sweep e15_executor e15_executor_sched \
          e16_faults e17_cache e18_net_sweep e18_net_depth \
-         e19_scale e19_net; do
+         e19_scale e19_net e20_recovery; do
     if [ ! -f "results/$f.json" ]; then
         echo "MISSING: results/$f.json" >&2
         missing=1
@@ -37,7 +38,7 @@ done
 # The flat benchmark summaries (regression tracking) must exist too.
 for f in BENCH_e14_server.json BENCH_e15_executor.json \
          BENCH_e16_faults.json BENCH_e17_cache.json BENCH_e18_net.json \
-         BENCH_e19_scale.json; do
+         BENCH_e19_scale.json BENCH_e20_recovery.json; do
     if [ ! -f "$f" ]; then
         echo "MISSING: $f" >&2
         missing=1
