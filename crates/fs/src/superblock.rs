@@ -38,6 +38,11 @@ pub(crate) const META_REGION_BYTES: usize = 256 * 1024;
 /// Slot header magic ("2" = the dual-slot checksummed format).
 const MAGIC: &[u8; 8] = b"PARIOSB2";
 
+/// Magic of the legacy single-slot format: one unchecksummed
+/// `magic (8) | length (8) | JSON` image starting at block 0. Mount
+/// still recognises it and migrates the volume to the dual-slot format.
+const LEGACY_MAGIC: &[u8; 8] = b"PARIOFS1";
+
 /// Bytes of slot header preceding the payload: magic (8), generation
 /// (8), payload length (8), CRC-32 (4), padded to a round 32.
 const HEADER: usize = 32;
@@ -109,6 +114,16 @@ struct Persisted {
 /// Serialise the directory into the slot the previous generation did
 /// not use, then reset the intent journal (a checkpoint supersedes it).
 pub(crate) fn store(inner: &VolInner) -> Result<()> {
+    // Hold the checkpoint barrier exclusively from snapshot to journal
+    // reset. Metadata operations hold it shared across their
+    // [mutation, journal-append] window, so every record in the journal
+    // right now belongs to a *completed* window: its mutation is
+    // visible to the snapshot below, and discarding the record with the
+    // journal reset cannot lose an acknowledged operation. Without the
+    // barrier, an operation completing between the snapshot and the
+    // reset would append a durable record tagged with the old
+    // generation that the new checkpoint neither contains nor replays.
+    let _barrier = inner.ckpt.write();
     let files: Vec<FileMeta> = {
         let map = inner.files.read();
         let mut metas: Vec<FileMeta> = map.values().map(|s| s.meta.read().clone()).collect();
@@ -130,8 +145,10 @@ pub(crate) fn store(inner: &VolInner) -> Result<()> {
         )));
     }
     // The journal lock serialises generation arithmetic against record
-    // appends: a record is tagged with the generation current at append
-    // time, and replay only honours records matching the loaded slot.
+    // appends (a record is tagged with the generation current at append
+    // time, and replay only honours records matching the loaded slot);
+    // the barrier above guarantees no append lands between the snapshot
+    // and this acquisition.
     let mut journal = inner.journal.lock();
     let gen = journal.gen + 1;
     let slot = gen % 2;
@@ -204,28 +221,68 @@ fn read_slot(inner: &VolInner, slot: u64) -> Option<(u64, Vec<u8>)> {
     Some((gen, image[HEADER..].to_vec()))
 }
 
+/// Read a legacy `PARIOFS1` image and return its JSON payload, if block
+/// 0 carries one. The legacy region shares `meta_blocks` with the
+/// current layout, so the payload bytes are wherever the old release
+/// left them — possibly extending under today's slot B and journal
+/// areas, which is why migration re-persists before anything writes
+/// there.
+fn read_legacy(inner: &VolInner) -> Option<Vec<u8>> {
+    let bs = inner.block_size;
+    let dev = &inner.devices[0];
+    let mut head = vec![0u8; bs];
+    dev.read_block(0, &mut head).ok()?;
+    if &head[..8] != LEGACY_MAGIC {
+        return None;
+    }
+    let len = u64::from_le_bytes(head[8..16].try_into().ok()?) as usize;
+    let region = (inner.meta_blocks * bs as u64) as usize;
+    if 16 + len > region {
+        return None;
+    }
+    let mut image = vec![0u8; 16 + len];
+    let blocks_needed = image.len().div_ceil(bs);
+    let mut block = vec![0u8; bs];
+    for i in 0..blocks_needed {
+        if i == 0 {
+            block.copy_from_slice(&head);
+        } else {
+            dev.read_block(i as u64, &mut block).ok()?;
+        }
+        let start = i * bs;
+        let take = bs.min(image.len() - start);
+        image[start..start + take].copy_from_slice(&block[..take]);
+    }
+    Some(image[16..].to_vec())
+}
+
 /// Read the meta region, rebuild directory + allocator state from the
-/// newest valid slot, and replay the intent journal on top of it.
+/// newest valid slot, and replay the intent journal on top of it. A
+/// volume written by the legacy single-slot release is loaded as
+/// generation 0 and re-persisted in the dual-slot format.
 pub(crate) fn load(inner: &VolInner) -> Result<MountReport> {
     let a = read_slot(inner, 0);
     let b = read_slot(inner, 1);
     let slot_a = a.as_ref().map(|(g, _)| *g);
     let slot_b = b.as_ref().map(|(g, _)| *g);
-    let (slot, gen, payload) = match (a, b) {
+    let (slot, gen, payload, legacy) = match (a, b) {
         (Some((ga, pa)), Some((gb, pb))) => {
             if ga >= gb {
-                (0, ga, pa)
+                (0, ga, pa, false)
             } else {
-                (1, gb, pb)
+                (1, gb, pb, false)
             }
         }
-        (Some((ga, pa)), None) => (0, ga, pa),
-        (None, Some((gb, pb))) => (1, gb, pb),
-        (None, None) => {
-            return Err(FsError::Meta(
-                "no valid pario superblock in either slot on device 0".into(),
-            ))
-        }
+        (Some((ga, pa)), None) => (0, ga, pa, false),
+        (None, Some((gb, pb))) => (1, gb, pb, false),
+        (None, None) => match read_legacy(inner) {
+            Some(payload) => (0, 0, payload, true),
+            None => {
+                return Err(FsError::Meta(
+                    "no valid pario superblock in either slot on device 0".into(),
+                ))
+            }
+        },
     };
     let bs = inner.block_size;
     let persisted: Persisted =
@@ -257,10 +314,13 @@ pub(crate) fn load(inner: &VolInner) -> Result<MountReport> {
         journal.pos = 0;
         journal.seq = 0;
     }
-    let replayed = journal::replay(inner, gen)?;
-    if replayed > 0 {
-        // Fold the replayed operations into a fresh checkpoint so the
-        // recovered state is durable without a second replay.
+    // A legacy volume predates the journal: its journal area holds
+    // whatever bytes the old release left there, not records.
+    let replayed = if legacy { 0 } else { journal::replay(inner, gen)? };
+    if replayed > 0 || legacy {
+        // Fold the replayed operations (or the migrated legacy image)
+        // into a fresh checkpoint so the recovered state is durable in
+        // the current format without a second replay or migration.
         store(inner)?;
     }
     Ok(MountReport {
@@ -413,6 +473,37 @@ mod tests {
         let (a, b) = (s1.slot_a.unwrap(), s1.slot_b.unwrap());
         assert_eq!(a.max(b), s1.generation);
         assert_eq!(a.min(b) + 1, a.max(b));
+    }
+
+    #[test]
+    fn legacy_single_slot_superblock_migrates() {
+        let devs = devices();
+        // A minimal image as the pre-dual-slot release wrote it: magic,
+        // payload length, then the JSON directory at block 0.
+        let json = br#"{"block_size":512,"next_id":1,"files":[]}"#;
+        let mut image = Vec::new();
+        image.extend_from_slice(super::LEGACY_MAGIC);
+        image.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        image.extend_from_slice(json);
+        let mut block = vec![0u8; 512];
+        block[..image.len()].copy_from_slice(&image);
+        devs[0].write_block(0, &block).unwrap();
+
+        let v = Volume::mount(devs.clone()).unwrap();
+        assert!(v.list().is_empty());
+        let report = v.mount_report().expect("mount sets a report");
+        assert_eq!(report.generation, 0);
+        assert_eq!(report.replayed_records, 0);
+        // Migration re-persisted the image in the dual-slot format...
+        let s = v.meta_status();
+        assert_eq!(s.generation, 1);
+        assert!(s.slot_a.is_some() || s.slot_b.is_some());
+        v.abandon();
+        drop(v);
+        // ...so the next mount loads a current-format checkpoint.
+        let v2 = Volume::mount(devs).unwrap();
+        assert!(v2.list().is_empty());
+        assert_eq!(v2.mount_report().expect("report").generation, 1);
     }
 
     #[test]

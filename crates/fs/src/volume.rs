@@ -152,6 +152,18 @@ pub(crate) struct VolInner {
     pub(crate) cache: std::sync::OnceLock<Arc<VolumeCache>>,
     /// Metadata intent-journal cursor + superblock generation (rank 78).
     pub(crate) journal: Mutex<JournalState>,
+    /// Checkpoint barrier. Every metadata operation holds it **shared**
+    /// across its [in-memory mutation, journal append] window;
+    /// `superblock::store` holds it **exclusive** from directory
+    /// snapshot through journal reset. A checkpoint therefore never
+    /// interleaves a window: every record in the journal when the
+    /// snapshot is taken describes a mutation the snapshot already
+    /// contains, so resetting the journal cannot drop a durable,
+    /// acknowledged operation, and records appended after the reset
+    /// carry the new generation and replay. Unranked (like `files` and
+    /// per-file `meta`); acquired before any ranked lock and never held
+    /// across `sync_meta`.
+    pub(crate) ckpt: RwLock<()>,
     /// True once `new`/`mount` completed: teardown then syncs metadata
     /// best-effort. Stays false on construction error paths (a failed
     /// mount must not scribble a superblock onto foreign devices) and
@@ -267,6 +279,7 @@ impl Volume {
                     },
                     LockLevel::FsJournal,
                 ),
+                ckpt: RwLock::new(()),
                 live: AtomicBool::new(false),
                 mount_report: std::sync::OnceLock::new(),
             }),
@@ -538,25 +551,32 @@ impl Volume {
             nblocks: 0,
             extents: vec![Vec::new(); nslots],
         };
+        let id = meta.id;
         let state = Arc::new(FileState::new(meta));
-        {
-            let mut files = self.inner.files.write();
-            if files.contains_key(&spec.name) {
-                return Err(FsError::AlreadyExists(spec.name));
+        // The checkpoint barrier spans [directory insert, journal
+        // append]: a checkpoint slicing between the two could persist
+        // the file yet reset the journal around a Create record about
+        // to land with a stale generation — losing the create at replay.
+        let journal_full = {
+            let _window = self.inner.ckpt.read();
+            {
+                let mut files = self.inner.files.write();
+                if files.contains_key(&spec.name) {
+                    return Err(FsError::AlreadyExists(spec.name));
+                }
+                files.insert(spec.name.clone(), Arc::clone(&state));
             }
-            files.insert(spec.name.clone(), Arc::clone(&state));
-        }
-        // Journal the create before any growth it triggers, so replay
-        // sees the file before its extents arrive.
-        let (id, create_rec) = {
-            let meta = state.meta.read();
-            (meta.id, Record::Create { meta: meta.clone() })
-        };
-        let journal_full = match journal::append(&self.inner, &create_rec) {
-            Ok(a) => a == Appended::Full,
-            Err(e) => {
-                self.inner.files.write().remove(&spec.name);
-                return Err(e);
+            // Journal the create before any growth it triggers, so
+            // replay sees the file before its extents arrive.
+            let create_rec = Record::Create {
+                meta: state.meta.read().clone(),
+            };
+            match journal::append(&self.inner, &create_rec) {
+                Ok(a) => a == Appended::Full,
+                Err(e) => {
+                    self.inner.files.write().remove(&spec.name);
+                    return Err(e);
+                }
             }
         };
         // Fixed-size files are fully preallocated so partitioned layouts
@@ -575,9 +595,25 @@ impl Volume {
         };
         if lblocks > 0 {
             if let Err(e) = self.grow_file(&state, lblocks) {
-                self.inner.files.write().remove(&spec.name);
-                // Replay must not resurrect the rolled-back create.
-                let _ = journal::append(&self.inner, &Record::Remove { id });
+                // Replay must not resurrect the rolled-back create: a
+                // durable Remove record must supersede the logged
+                // Create record.
+                let compensated = {
+                    let _window = self.inner.ckpt.read();
+                    self.inner.files.write().remove(&spec.name);
+                    matches!(
+                        journal::append(&self.inner, &Record::Remove { id }),
+                        Ok(Appended::Logged)
+                    )
+                };
+                if !compensated {
+                    // No room (or a failing device): a checkpoint
+                    // without the file supersedes the Create record
+                    // instead; if even that fails, surface it — replay
+                    // could otherwise resurrect a file the caller was
+                    // told does not exist.
+                    self.sync_meta()?;
+                }
                 return Err(e);
             }
         }
@@ -609,6 +645,11 @@ impl Volume {
             .cloned()
             .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         let id = state.meta.read().id;
+        // The checkpoint barrier spans [journal append, directory
+        // removal, block release]: a checkpoint never sees the record
+        // without the removal (it would reset the journal around an
+        // acknowledged remove) or the release without the record.
+        let window = self.inner.ckpt.read();
         // Journal the intent *before* releasing blocks: a racing grow
         // that reuses them then journals strictly after this record,
         // so replay keeps allocator and extents agreeing.
@@ -637,20 +678,34 @@ impl Volume {
                 }
             }
         }
-        {
-            let mut alloc = self.inner.alloc.lock();
-            for (slot, extents) in meta.extents.iter().enumerate() {
-                let dev = meta.device_map[slot];
-                for &e in extents {
-                    alloc.release(dev, e);
-                }
+        if journal_full {
+            // The journal had no room, so no durable Remove record
+            // exists yet: checkpoint (without the file) *before* the
+            // allocator can hand these blocks to a concurrent create or
+            // grow — a crash after reuse would otherwise resurrect the
+            // file from the last durable checkpoint over someone else's
+            // data.
+            drop(meta);
+            drop(window);
+            self.sync_meta()?;
+            self.release_extents(&state.meta.read());
+            return Ok(());
+        }
+        self.release_extents(&meta);
+        drop(meta);
+        drop(window);
+        Ok(())
+    }
+
+    /// Return every extent of `meta` to the allocator.
+    fn release_extents(&self, meta: &FileMeta) {
+        let mut alloc = self.inner.alloc.lock();
+        for (slot, extents) in meta.extents.iter().enumerate() {
+            let dev = meta.device_map[slot];
+            for &e in extents {
+                alloc.release(dev, e);
             }
         }
-        drop(meta);
-        if journal_full {
-            self.sync_meta()?;
-        }
-        Ok(())
     }
 
     /// Checkpoint: persist the directory and all file metadata to the
@@ -723,6 +778,12 @@ impl Volume {
     /// from all-zero stripes).
     pub(crate) fn grow_file(&self, state: &FileState, total_lblocks: u64) -> Result<()> {
         let journal_full = {
+            // The checkpoint barrier spans [extent-map mutation, journal
+            // append] — see `VolInner::ckpt`. Taken before the meta
+            // write lock so a checkpoint (which reads every file's meta
+            // under the exclusive barrier) cannot deadlock against the
+            // append below.
+            let _window = self.inner.ckpt.read();
             let mut meta = state.meta.write();
             if total_lblocks <= meta.nblocks {
                 return Ok(());

@@ -18,8 +18,11 @@ pub const MAGIC: [u8; 4] = *b"PIO1";
 
 /// Protocol version spoken by this build. The handshake carries it both
 /// ways; a mismatch fails the connection with [`NetError::Handshake`]
-/// instead of misparsing frames.
-pub const VERSION: u16 = 1;
+/// instead of misparsing frames. Version 2 added the typed shutdown
+/// error class (`ERR_CLASS_SHUTDOWN`) for graceful drain — a v1 peer
+/// would decode that reply as malformed and tear the connection, so the
+/// incompatibility is surfaced at the handshake instead.
+pub const VERSION: u16 = 2;
 
 /// Reply status byte: the request succeeded; the body is the
 /// operation's result.
